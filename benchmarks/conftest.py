@@ -1,0 +1,31 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one of the paper's tables or figures: it
+runs the matching experiment on the simulated testbed, prints the same
+rows/series the paper reports, and saves them under benchmarks/out/ so
+EXPERIMENTS.md can be cross-checked against fresh runs.
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+@pytest.fixture
+def emit():
+    """Print a figure/table reproduction and persist it to out/."""
+
+    def _emit(name: str, text: str) -> None:
+        os.makedirs(OUT_DIR, exist_ok=True)
+        print()
+        print(f"=== {name} ===")
+        print(text)
+        with open(os.path.join(OUT_DIR, f"{name}.txt"), "w") as fh:
+            fh.write(text + "\n")
+
+    return _emit

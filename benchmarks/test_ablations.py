@@ -1,0 +1,140 @@
+"""Ablations of the design choices DESIGN.md calls out (not in the
+paper's evaluation, but implied by its design discussion):
+
+- deterministic boundary resync (Figure 8b) vs speculation-only,
+- the hardware-driven speculation machinery vs none at all,
+- sensitivity to the driver's resync-request latency,
+- NIC context-cache size vs miss rate,
+- TLS record size vs recovery effectiveness under loss.
+"""
+
+from repro.experiments.iperf_tls import run_iperf
+from repro.experiments.scalability import run_scale_point
+from repro.harness.report import Table
+
+LOSS = 0.03
+SEED = 41
+
+
+def _full_fraction(run):
+    total = max(1, sum(run.records.values()))
+    return run.records["full"] / total
+
+
+def test_ablation_recovery_mechanisms(benchmark, emit):
+    def runs():
+        def off_boundary(nic):
+            nic.rx_engine.enable_boundary_resync = False
+
+        def off_everything(nic):
+            nic.rx_engine.enable_boundary_resync = False
+            nic.rx_engine.enable_speculation = False
+
+        return {
+            "full machinery": run_iperf("tls-offload", "rx", streams=16, loss=LOSS, seed=SEED),
+            "no boundary resync": run_iperf(
+                "tls-offload", "rx", streams=16, loss=LOSS, seed=SEED, tune_nic=off_boundary
+            ),
+            "no recovery at all": run_iperf(
+                "tls-offload", "rx", streams=16, loss=LOSS, seed=SEED, tune_nic=off_everything
+            ),
+        }
+
+    grid = benchmark.pedantic(runs, rounds=1, iterations=1)
+    table = Table(
+        ["configuration", "Gbps", "fully offloaded %", "resyncs"],
+        title=f"Ablation: RX recovery machinery at {100 * LOSS:.0f}% loss",
+    )
+    for name, run in grid.items():
+        table.row(name, run.goodput_gbps, f"{100 * _full_fraction(run):.0f}%", run.resyncs)
+    emit("ablation_recovery", table.render())
+
+    full = _full_fraction(grid["full machinery"])
+    no_boundary = _full_fraction(grid["no boundary resync"])
+    none_at_all = _full_fraction(grid["no recovery at all"])
+    # The deterministic boundary re-lock carries the recovery: without
+    # it, speculation alone cannot keep up at this loss rate (every
+    # episode pays the software-confirmation round trip) and with
+    # nothing at all the offload dies at the first loss per flow.
+    assert full > max(no_boundary, 0.1)
+    assert no_boundary >= none_at_all
+    assert grid["no boundary resync"].resyncs > 0
+    assert grid["no recovery at all"].resyncs == 0
+    assert none_at_all < 0.05
+
+
+def test_ablation_resync_latency(benchmark, emit):
+    def runs():
+        # Small records make speculation the dominant recovery path
+        # (headers are lost along with data), so the request latency
+        # actually bites.
+        out = {}
+        for delay in (0.0, 500e-6, 2e-3):
+            def tune(nic, d=delay):
+                nic.driver.resync_delay_s = d
+
+            out[delay] = run_iperf(
+                "tls-offload", "rx", streams=16, loss=LOSS, record_size=2048, seed=SEED, tune_nic=tune
+            )
+        return out
+
+    grid = benchmark.pedantic(runs, rounds=1, iterations=1)
+    table = Table(
+        ["resync request delay", "Gbps", "fully offloaded %"],
+        title=f"Ablation: driver resync latency at {100 * LOSS:.0f}% loss",
+    )
+    for delay, run in grid.items():
+        table.row(f"{delay * 1e6:.0f}us", run.goodput_gbps, f"{100 * _full_fraction(run):.0f}%")
+    emit("ablation_resync_latency", table.render())
+
+    # Slower confirmations keep the NIC bypassing longer.
+    assert _full_fraction(grid[0.0]) >= _full_fraction(grid[2e-3])
+
+
+def test_ablation_record_size_under_loss(benchmark, emit):
+    def runs():
+        return {
+            size: run_iperf("tls-offload", "rx", streams=16, loss=LOSS, record_size=size, seed=SEED)
+            for size in (2 * 1024, 8 * 1024, 16 * 1024)
+        }
+
+    grid = benchmark.pedantic(runs, rounds=1, iterations=1)
+    table = Table(
+        ["record size", "Gbps", "fully offloaded %"],
+        title=f"Ablation: record size vs recovery at {100 * LOSS:.0f}% loss",
+    )
+    for size, run in grid.items():
+        table.row(f"{size // 1024}KiB", run.goodput_gbps, f"{100 * _full_fraction(run):.0f}%")
+    emit("ablation_record_size", table.render())
+
+    # Smaller records put more headers on the wire, so after a loss the
+    # NIC re-locks sooner (boundary re-locks and partially-past tracking
+    # walks find a header within a packet or two) and a larger fraction
+    # of records survives fully offloaded.  Note: more headers also mean
+    # losses hit headers more often, driving more speculative searches
+    # (see the resync counts) — but confirmations resolve quickly.
+    assert _full_fraction(grid[2 * 1024]) > _full_fraction(grid[16 * 1024])
+    assert grid[2 * 1024].resyncs > grid[16 * 1024].resyncs
+
+
+def test_ablation_nic_cache_size(benchmark, emit):
+    def runs():
+        # Same connection count against shrinking caches.
+        return {
+            scale: run_scale_point(512, variant="offload+zc", server_cores=4, scale=scale, measure=6e-3)
+            for scale in (4, 64, 512)
+        }
+
+    grid = benchmark.pedantic(runs, rounds=1, iterations=1)
+    table = Table(
+        ["cache flows", "Gbps", "ctx miss %", "rx batch"],
+        title="Ablation: NIC context-cache size, 512 connections",
+    )
+    for scale, p in grid.items():
+        table.row(p.cache_capacity_flows, p.goodput_gbps, f"{100 * p.cache_miss_rate:.1f}%", p.mean_rx_batch)
+    emit("ablation_cache_size", table.render())
+
+    # Misses rise as the cache shrinks below the flow count...
+    assert grid[512].cache_miss_rate > grid[4].cache_miss_rate
+    # ...but throughput survives (batching hides the misses, §6.5).
+    assert grid[512].goodput_gbps > 0.5 * grid[4].goodput_gbps

@@ -1,0 +1,33 @@
+"""Figure 3: per-year Linux TCP/IP LoC, total and modified — the
+maintenance burden a dependent (TOE-style) offload would freeze into
+silicon."""
+
+from repro.data.linux_loc import (
+    COMPONENTS,
+    LINUX_TCP_LOC,
+    modified_by_year,
+    modified_fraction_range,
+    totals_by_year,
+)
+from repro.harness.report import Table
+
+
+def test_fig03(benchmark, emit):
+    totals = benchmark.pedantic(totals_by_year, rounds=1, iterations=1)
+    modified = modified_by_year()
+    table = Table(
+        ["year", "total LoC", "modified LoC"],
+        title="Figure 3: Linux TCP/IP processing code per year",
+    )
+    for (year, total), (_, mod) in zip(totals, modified):
+        table.row(year, total, mod)
+    emit("fig03_linux_loc", table.render())
+
+    # Totals grow monotonically (the stack keeps evolving)...
+    values = [t for _, t in totals]
+    assert values == sorted(values)
+    assert values[0] > 200_000 and values[-1] > values[0]
+    # ...and each component churns 5-25% per year (the paper's claim).
+    lo, hi = modified_fraction_range()
+    assert 0.05 <= lo and hi <= 0.25
+    assert set(LINUX_TCP_LOC[2015]) == set(COMPONENTS)

@@ -1,0 +1,40 @@
+"""Figure 4 + Table 2: ConnectX prices track speed and port count, not
+offload generation — ASIC offloads come 'essentially for free'."""
+
+from repro.data.nic_prices import (
+    CONNECTX_OFFLOADS,
+    CONNECTX_PRICES,
+    price_determinants_hold,
+    price_spread_by_class,
+)
+from repro.harness.report import Table
+
+
+def test_fig04_prices(benchmark, emit):
+    spread = benchmark.pedantic(price_spread_by_class, rounds=1, iterations=1)
+    table = Table(
+        ["speed (Gbps)", "ports", "min $", "max $", "spread"],
+        title="Figure 4: price spread across generations, per NIC class",
+    )
+    for (speed, ports), (lo, hi) in sorted(spread.items()):
+        table.row(speed, ports, lo, hi, f"{hi / lo:.2f}x")
+    emit("fig04_nic_prices", table.render())
+
+    # Same speed/ports => similar price despite added offloads (<=20%).
+    assert all(hi <= lo * 1.2 for lo, hi in spread.values())
+    assert price_determinants_hold()
+
+
+def test_tab02_offload_generations(benchmark, emit):
+    benchmark.pedantic(lambda: CONNECTX_OFFLOADS, rounds=1, iterations=1)
+    table = Table(
+        ["generation", "year", "offloads added"],
+        title="Table 2: ConnectX generations and introduced offloads",
+    )
+    for gen, (year, offloads) in sorted(CONNECTX_OFFLOADS.items()):
+        table.row(gen, year, "; ".join(offloads))
+    emit("tab02_connectx_offloads", table.render())
+
+    years = [year for year, _ in CONNECTX_OFFLOADS.values()]
+    assert years == sorted(years)
+    assert len(CONNECTX_PRICES) > 15

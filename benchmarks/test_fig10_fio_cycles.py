@@ -1,0 +1,64 @@
+"""Figure 10: NVMe-TCP/fio cycles per random read vs I/O depth, for
+4 KiB and 256 KiB requests; copy+crc share of the total, with the LLC
+cliff once the in-flight working set exceeds 32 MiB."""
+
+import pytest
+
+from repro.experiments.fio_cycles import run_fio_point
+from repro.harness.report import Table
+
+DEPTHS = (1, 4, 16, 64, 256)
+
+
+def sweep(block_size):
+    return [run_fio_point(block_size, depth, measure=8e-3) for depth in DEPTHS]
+
+
+@pytest.mark.parametrize("block_size,label", [(4 * 1024, "4KiB"), (256 * 1024, "256KiB")])
+def test_fig10(benchmark, emit, block_size, label):
+    points = benchmark.pedantic(sweep, args=(block_size,), rounds=1, iterations=1)
+    table = Table(
+        ["depth", "crc", "copy", "other", "idle", "total", "copy+crc %", "IOPS"],
+        title=f"Figure 10 ({label}): cycles per random read on the server",
+    )
+    for p in points:
+        table.row(
+            p.iodepth,
+            p.cycles_crc,
+            p.cycles_copy,
+            p.cycles_other,
+            p.cycles_idle,
+            p.cycles_total,
+            f"{100 * p.offloadable_fraction:.1f}%",
+            p.requests and p.iops,
+        )
+    emit(f"fig10_fio_{label}", table.render())
+
+    fractions = [p.offloadable_fraction for p in points]
+    if block_size == 4 * 1024:
+        # Small requests: modest potential (paper: 2-8%).
+        assert all(f < 0.20 for f in fractions)
+    else:
+        # Big requests: 25%+ at low depth; the LLC spill at depth >= 128
+        # pushes the copy share up further (paper: 25% -> 55%).
+        assert fractions[0] > 0.15
+        assert max(fractions) > 0.30
+        assert fractions[-1] > fractions[1]
+    # Deeper queues amortize idle time.
+    assert points[-1].cycles_idle < points[0].cycles_idle
+
+
+def test_fig10_offload_removes_copy_crc(benchmark, emit):
+    """Sanity companion: with the NVMe offloads on, the copy+crc cycles
+    vanish from the same workload."""
+    base = benchmark.pedantic(run_fio_point, args=(256 * 1024, 16), kwargs={"measure": 6e-3}, rounds=1, iterations=1)
+    offl = run_fio_point(256 * 1024, 16, offload=True, measure=6e-3)
+    table = Table(
+        ["config", "crc", "copy", "other", "IOPS"],
+        title="Figure 10 companion: NVMe-TCP offload removes copy+crc",
+    )
+    table.row("baseline", base.cycles_crc, base.cycles_copy, base.cycles_other, base.iops)
+    table.row("offload", offl.cycles_crc, offl.cycles_copy, offl.cycles_other, offl.iops)
+    emit("fig10_offload_companion", table.render())
+    assert offl.cycles_crc + offl.cycles_copy < 0.1 * (base.cycles_crc + base.cycles_copy)
+    assert offl.offloaded_pdus > 0

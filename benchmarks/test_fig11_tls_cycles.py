@@ -1,0 +1,74 @@
+"""Figure 11 + §6.1: kTLS/iperf per-record cycles by record size, and
+the single-core throughput gains of the real TLS offload (paper: 3.3x
+transmit, 2.2x receive)."""
+
+from repro.experiments.iperf_tls import run_iperf
+from repro.harness.report import Table
+
+RECORD_SIZES = (2 * 1024, 4 * 1024, 8 * 1024, 16 * 1024)
+PAPER_SHARE = {  # crypto % per record size, transmit / receive
+    2 * 1024: (61, 54),
+    4 * 1024: (66, 55),
+    8 * 1024: (70, 58),
+    16 * 1024: (70, 60),
+}
+
+
+def sweep(direction):
+    return [
+        run_iperf("tls-sw", direction=direction, record_size=size, measure=6e-3)
+        for size in RECORD_SIZES
+    ]
+
+
+def test_fig11_cycles_per_record(benchmark, emit):
+    tx_runs = benchmark.pedantic(sweep, args=("tx",), rounds=1, iterations=1)
+    rx_runs = sweep("rx")
+    table = Table(
+        ["record", "dir", "crypto/rec", "other/rec", "crypto %", "paper %"],
+        title="Figure 11: kTLS/iperf per-record cycles (software TLS)",
+    )
+    shares = {}
+    for direction, runs in (("tx", tx_runs), ("rx", rx_runs)):
+        for size, run in zip(RECORD_SIZES, runs):
+            per_record = run.cycles_per_record(size)
+            crypto = per_record.get("crypto", 0)
+            other = sum(per_record.values()) - crypto
+            share = run.crypto_fraction
+            shares[(direction, size)] = share
+            paper = PAPER_SHARE[size][0 if direction == "tx" else 1]
+            table.row(f"{size // 1024}KiB", direction, crypto, other, f"{100 * share:.0f}%", f"{paper}%")
+    emit("fig11_tls_cycles", table.render())
+
+    # Bigger records make crypto more dominant, in both directions.
+    for direction in ("tx", "rx"):
+        series = [shares[(direction, s)] for s in RECORD_SIZES]
+        assert series[-1] > series[0]
+        assert series[-1] > 0.5
+
+
+def test_sec61_offload_gains(benchmark, emit):
+    def run_all():
+        # 8 streams: the single DUT core stays the bottleneck while the
+        # generator spreads the other side across its cores.
+        return {
+            "tx-sw": run_iperf("tls-sw", direction="tx", streams=8),
+            "tx-off": run_iperf("tls-offload", direction="tx", streams=8),
+            "rx-sw": run_iperf("tls-sw", direction="rx", streams=8),
+            "rx-off": run_iperf("tls-offload", direction="rx", streams=8),
+        }
+
+    runs = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    tx_gain = runs["tx-off"].goodput_gbps / runs["tx-sw"].goodput_gbps
+    rx_gain = runs["rx-off"].goodput_gbps / runs["rx-sw"].goodput_gbps
+    table = Table(
+        ["direction", "software Gbps", "offload Gbps", "gain", "paper"],
+        title="§6.1: single-core iperf TLS offload improvement",
+    )
+    table.row("transmit", runs["tx-sw"].goodput_gbps, runs["tx-off"].goodput_gbps, f"{tx_gain:.2f}x", "3.3x")
+    table.row("receive", runs["rx-sw"].goodput_gbps, runs["rx-off"].goodput_gbps, f"{rx_gain:.2f}x", "2.2x")
+    emit("sec61_offload_gains", table.render())
+
+    assert 2.0 <= tx_gain <= 4.5
+    assert 1.5 <= rx_gain <= 3.5
+    assert tx_gain > rx_gain  # transmit benefits more (paper's finding)

@@ -1,0 +1,67 @@
+"""Figure 12: nginx with the NVMe-TCP offload, C1 (cold page cache,
+drive-bound).  (a) 1-core throughput, (b) 8-core throughput against the
+drive's ~21.4 Gbps ceiling, (c) busy cores at saturation."""
+
+from repro.experiments.nginx_bench import run_nginx
+from repro.harness.report import Table, ratio_label
+
+SIZES = (16 * 1024, 64 * 1024, 256 * 1024)
+PAPER_1CORE = {16 * 1024: "+11%", 64 * 1024: "+26%", 256 * 1024: "+44%"}
+
+
+def run_grid(cores):
+    out = {}
+    for size in SIZES:
+        for offload in (False, True):
+            out[(size, offload)] = run_nginx(
+                "http",
+                storage="c1",
+                file_size=size,
+                server_cores=cores,
+                connections=32,
+                nvme_offload=offload,
+                measure=8e-3,
+            )
+    return out
+
+
+def test_fig12_one_core(benchmark, emit):
+    grid = benchmark.pedantic(run_grid, args=(1,), rounds=1, iterations=1)
+    table = Table(
+        ["file", "baseline Gbps", "offload Gbps", "gain", "paper"],
+        title="Figure 12a: nginx + NVMe-TCP offload, C1, 1 core",
+    )
+    gains = {}
+    for size in SIZES:
+        base, off = grid[(size, False)], grid[(size, True)]
+        gains[size] = off.goodput_gbps / base.goodput_gbps
+        table.row(
+            f"{size // 1024}KiB",
+            base.goodput_gbps,
+            off.goodput_gbps,
+            ratio_label(off.goodput_gbps, base.goodput_gbps),
+            PAPER_1CORE[size],
+        )
+    emit("fig12a_nginx_nvme_1core", table.render())
+
+    # Offload wins, and the gain grows with file size (per-byte savings).
+    assert all(g > 1.0 for g in gains.values())
+    assert gains[256 * 1024] > gains[16 * 1024]
+
+
+def test_fig12_eight_cores(benchmark, emit):
+    grid = benchmark.pedantic(run_grid, args=(8,), rounds=1, iterations=1)
+    table = Table(
+        ["file", "baseline Gbps", "offload Gbps", "baseline busy", "offload busy"],
+        title="Figure 12b/c: nginx + NVMe-TCP offload, C1, 8 cores (drive-bound)",
+    )
+    for size in SIZES:
+        base, off = grid[(size, False)], grid[(size, True)]
+        table.row(f"{size // 1024}KiB", base.goodput_gbps, off.goodput_gbps, base.busy_cores, off.busy_cores)
+    emit("fig12bc_nginx_nvme_8core", table.render())
+
+    base, off = grid[(256 * 1024, False)], grid[(256 * 1024, True)]
+    # Both are capped by the drive (~21.4 Gbps)...
+    assert base.goodput_gbps < 23 and off.goodput_gbps < 23
+    # ...so the offload's benefit appears as reduced CPU (paper: -27%).
+    assert off.busy_cores < base.busy_cores

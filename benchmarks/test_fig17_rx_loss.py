@@ -1,0 +1,70 @@
+"""Figure 17: packet loss at the *receiver* — throughput plus the
+classification of TLS records into entirely / partially / not offloaded
+(the effectiveness of the NIC's context recovery)."""
+
+from repro.experiments.iperf_tls import run_iperf
+from repro.harness.report import Table
+
+LOSS_POINTS = (0.0, 0.01, 0.03, 0.05)
+STREAMS = 64  # scaled from the paper's 128 for simulation cost
+MODES = ("tcp", "tls-offload", "tls-sw")
+
+
+def sweep():
+    out = {}
+    for loss in LOSS_POINTS:
+        for mode in MODES:
+            out[(loss, mode)] = run_iperf(
+                mode,
+                direction="rx",
+                streams=STREAMS,
+                loss=loss,
+                warmup=4e-3,
+                measure=8e-3,
+                seed=23,
+            )
+    return out
+
+
+def classify(run):
+    total = max(1, sum(run.records.values()))
+    return {k: v / total for k, v in run.records.items()}
+
+
+def test_fig17(benchmark, emit):
+    grid = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = Table(
+        ["loss %", "tcp Gbps", "offload Gbps", "sw tls Gbps", "full %", "partial %", "none %"],
+        title=f"Figure 17: receiver-side loss (1 receiver core, {STREAMS} streams)",
+    )
+    for loss in LOSS_POINTS:
+        off = grid[(loss, "tls-offload")]
+        cls = classify(off)
+        table.row(
+            f"{100 * loss:.0f}",
+            grid[(loss, "tcp")].goodput_gbps,
+            off.goodput_gbps,
+            grid[(loss, "tls-sw")].goodput_gbps,
+            f"{100 * cls['full']:.0f}%",
+            f"{100 * cls['partial']:.0f}%",
+            f"{100 * cls['none']:.0f}%",
+        )
+    emit("fig17_rx_loss", table.render())
+
+    # Loss-free: everything is offloaded and offload ~ matches TCP pace.
+    clean = classify(grid[(0.0, "tls-offload")])
+    assert clean["full"] > 0.99
+    # Under light loss, most records stay fully offloaded; heavier loss
+    # degrades gradually, never to zero.  (The paper reports >50% full
+    # at 5%; our software-confirmation latency is more conservative —
+    # each speculative recovery costs a few records — so the measured
+    # tail is lower.  See EXPERIMENTS.md.)
+    assert classify(grid[(0.01, "tls-offload")])["full"] > 0.45
+    worst = classify(grid[(0.05, "tls-offload")])
+    assert worst["full"] > 0.05
+    # Offload clearly wins at realistic loss (<=2% on the internet) and
+    # degrades to software-TLS parity at the worst case.
+    for loss in LOSS_POINTS:
+        off = grid[(loss, "tls-offload")].goodput_gbps
+        sw = grid[(loss, "tls-sw")].goodput_gbps
+        assert off > sw * (1.2 if loss <= 0.01 else 0.9)

@@ -1,0 +1,35 @@
+"""Table 1: AES-NI (on-CPU) vs QAT (off-CPU) encryption bandwidth,
+16 KB blocks, one 2.40 GHz core, 1 vs 128 threads."""
+
+from repro.cpu.accel import table1
+from repro.harness.report import Table
+
+PAPER = {
+    "aes-128-cbc-hmac-sha1": {"qat_1": 249, "qat_128": 3144, "aesni_1": 695},
+    "aes-128-gcm": {"qat_1": 249, "qat_128": 3109, "aesni_1": 3150},
+}
+
+
+def test_tab01(benchmark, emit):
+    rows = benchmark.pedantic(table1, rounds=1, iterations=1)
+    table = Table(
+        ["cipher", "QAT 1", "QAT 128", "AES-NI 1", "paper QAT1/128/AESNI"],
+        title="Table 1: encryption bandwidth (MB/s), 16KB blocks, single core",
+    )
+    for cipher, cells in rows.items():
+        paper = PAPER[cipher]
+        table.row(
+            cipher,
+            cells["qat_1"],
+            cells["qat_128"],
+            cells["aesni_1"],
+            f"{paper['qat_1']}/{paper['qat_128']}/{paper['aesni_1']}",
+        )
+    emit("tab01_qat_vs_aesni", table.render())
+
+    cbc, gcm = rows["aes-128-cbc-hmac-sha1"], rows["aes-128-gcm"]
+    # The paper's qualitative claims:
+    assert cbc["qat_1"] < cbc["aesni_1"]  # 1-thread QAT loses to AES-NI
+    assert cbc["qat_128"] > 4 * cbc["aesni_1"]  # threaded QAT wins CBC-HMAC
+    assert 0.8 < gcm["qat_128"] / gcm["aesni_1"] < 1.25  # GCM: only parity
+    assert gcm["qat_1"] * 10 < gcm["aesni_1"]  # 12.5x gap, 1 thread

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Scenario: what happens to the offload when the network misbehaves.
+
+Injects loss and reordering on the path toward an offloaded TLS
+receiver and watches the Figure-7 machinery work: retransmitted packets
+bypass the offload, message-boundary resyncs re-lock deterministically,
+and the speculative magic-pattern search plus software confirmation
+brings the NIC back when whole headers go missing — all while the data
+stays bit-correct.
+
+Run:  python examples/lossy_network_resilience.py
+"""
+
+from repro.experiments.iperf_tls import run_iperf
+from repro.harness.report import Table
+
+
+def main() -> None:
+    table = Table(
+        ["fault", "offload Gbps", "sw TLS Gbps", "full %", "partial %", "none %", "resyncs"],
+        title="Offloaded TLS receiver under injected faults (16 streams, 1 core)",
+    )
+    for fault, kwargs in [
+        ("clean", {}),
+        ("1% loss", {"loss": 0.01}),
+        ("5% loss", {"loss": 0.05}),
+        ("1% reorder", {"reorder": 0.01}),
+        ("5% reorder", {"reorder": 0.05}),
+    ]:
+        off = run_iperf("tls-offload", direction="rx", streams=16, seed=11, **kwargs)
+        sw = run_iperf("tls-sw", direction="rx", streams=16, seed=11, **kwargs)
+        total = max(1, sum(off.records.values()))
+        table.row(
+            fault,
+            off.goodput_gbps,
+            sw.goodput_gbps,
+            f"{100 * off.records['full'] / total:.0f}%",
+            f"{100 * off.records['partial'] / total:.0f}%",
+            f"{100 * off.records['none'] / total:.0f}%",
+            off.resyncs,
+        )
+    table.show()
+    print()
+    print("Light faults leave most records fully offloaded (boundary resync")
+    print("is cheap); heavy faults push more records to software fallback")
+    print("until the offload converges to software-TLS performance — never")
+    print("meaningfully below it — and every byte arrives intact.")
+
+
+if __name__ == "__main__":
+    main()

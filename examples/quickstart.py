@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: autonomous TLS offload in 60 lines.
+
+Builds the paper's two-machine testbed, connects a kTLS client to a
+kTLS sink with the autonomous NIC offload enabled on both sides, pushes
+data through a real (simulated) TCP stack, and shows what the offload
+did: every in-sequence packet was encrypted/decrypted by the NIC while
+TCP stayed entirely in software.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.harness.testbed import Testbed, TestbedConfig
+from repro.l5p.tls import KtlsSocket, TlsConfig
+
+
+def main() -> None:
+    tb = Testbed(TestbedConfig(seed=1, server_cores=1, generator_cores=2))
+
+    received = bytearray()
+
+    def on_accept(conn):
+        tls = KtlsSocket(tb.generator, conn, "server", TlsConfig(rx_offload=True))
+        tls.on_data = received.extend
+
+    tb.generator.tcp.listen(443, on_accept)
+
+    conn = tb.server.tcp.connect("generator", 443)
+    client = KtlsSocket(tb.server, conn, "client", TlsConfig(tx_offload=True))
+
+    payload = b"autonomous offloads keep TCP in software! " * 25_000  # ~1 MiB
+    progress = {"sent": 0}
+
+    def feed():
+        while progress["sent"] < len(payload):
+            sent = client.send(payload[progress["sent"] : progress["sent"] + 65536])
+            if sent == 0:
+                return
+            progress["sent"] += sent
+
+    client.on_ready = feed
+    client.on_writable = feed
+
+    tb.run(until=0.1)
+
+    assert bytes(received) == payload, "decrypted stream must match"
+    tx_stats = tb.server.nic.offload_stats()
+    rx_stats = tb.generator.nic.offload_stats()
+    crypto_cycles = tb.server.cpu.cycles_by_category().get("crypto", 0)
+
+    print(f"transferred        : {len(received):,} bytes over TLS in "
+          f"{tb.sim.now * 1000:.2f} ms of simulated time")
+    print(f"sender NIC         : {tx_stats['pkts_offloaded']} packets encrypted inline")
+    print(f"receiver NIC       : {rx_stats['pkts_offloaded']} packets decrypted inline")
+    print(f"sender CPU crypto  : {crypto_cycles:,.0f} cycles "
+          f"(just the handshake — the record path cost zero)")
+    print("TCP retransmissions, acks, congestion control: all still in software.")
+
+
+if __name__ == "__main__":
+    main()

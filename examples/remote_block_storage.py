@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Scenario: remote block storage over NVMe-TCP with inline CRC + data
+placement offload (the paper's §5.1).
+
+Mounts a remote Optane-class drive over NVMe-TCP, runs random reads at
+increasing queue depth, and shows the zero-copy effect: with the offload
+the NIC DMA-writes payloads straight into block-layer buffers and checks
+the CRC32C digests inline, so the host's copy+crc cycles vanish.
+
+Run:  python examples/remote_block_storage.py
+"""
+
+from repro.apps.fio import FioJob
+from repro.harness.report import Table
+from repro.harness.testbed import Testbed, TestbedConfig
+from repro.l5p.nvme_tcp import NvmeConfig, NvmeTcpHost, NvmeTcpTarget
+from repro.storage.blockdev import BlockDevice
+
+
+def run(offload: bool, iodepth: int = 32, block_size: int = 256 * 1024):
+    tb = Testbed(TestbedConfig(seed=2, server_cores=1, generator_cores=8))
+    device = BlockDevice(tb.sim)
+    NvmeTcpTarget(tb.generator, device, config=NvmeConfig(digest_name="fast", tx_offload=True)).start()
+    nvme = NvmeTcpHost(
+        tb.server,
+        config=NvmeConfig(
+            digest_name="fast",
+            rx_offload_crc=offload,
+            rx_offload_copy=offload,
+            queue_depth=iodepth * 2,
+        ),
+    )
+    nvme.connect("generator")
+    job = FioJob(nvme, block_size=block_size, iodepth=iodepth)
+    job.start()
+    tb.run(until=0.004)
+    tb.server.cpu.reset_stats()
+    before = job.stats.completed
+    tb.run(until=0.014)
+    cats = tb.server.cpu.cycles_by_category()
+    requests = job.stats.completed - before
+    return {
+        "iops": requests / 0.010,
+        "gbps": requests * block_size * 8 / 0.010 / 1e9,
+        "copy": cats.get("copy", 0) / max(1, requests),
+        "crc": cats.get("crc", 0) / max(1, requests),
+        "placed": nvme.stats.pdus_placed,
+    }
+
+
+def main() -> None:
+    base = run(offload=False)
+    off = run(offload=True)
+    table = Table(
+        ["config", "Gbps", "IOPS", "copy cyc/req", "crc cyc/req", "NIC-placed PDUs"],
+        title="Random 256KiB reads from a remote NVMe-TCP drive (1 core)",
+    )
+    table.row("software", base["gbps"], base["iops"], base["copy"], base["crc"], base["placed"])
+    table.row("offload", off["gbps"], off["iops"], off["copy"], off["crc"], off["placed"])
+    table.show()
+    print()
+    print("With the autonomous offload, C2HData payloads land directly in")
+    print("their block-layer buffers (memcpy src == dst is skipped) and the")
+    print("CRC32C data digests are verified by the NIC as packets fly by.")
+
+
+if __name__ == "__main__":
+    main()

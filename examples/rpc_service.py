@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Scenario: an RPC service with response copy+CRC offload (paper §1/§3).
+
+gRPC/Thrift-class protocols qualify for autonomous offloading via their
+copy operation: the client registers each call's response buffer under
+the rpc_id (like NVMe-TCP's CID), and the NIC places the response
+payload and checks the frame CRC inline.  Run a blob store service and
+compare client-side cycles with and without the offload.
+
+Run:  python examples/rpc_service.py
+"""
+
+from repro.harness.report import Table
+from repro.harness.testbed import Testbed, TestbedConfig
+from repro.l5p.rpc import RpcClient, RpcConfig, RpcServer
+
+
+def run(offload: bool, calls: int = 40, blob: int = 128 * 1024):
+    tb = Testbed(TestbedConfig(seed=3, server_cores=2, generator_cores=2))
+    service = RpcServer(tb.generator, port=7000)
+    blobs = {i: bytes([i]) * blob for i in range(8)}
+    service.register(1, lambda args: blobs[args["key"] % 8])
+
+    cfg = RpcConfig(rx_offload_crc=offload, rx_offload_copy=offload, max_response=256 * 1024)
+    client = RpcClient(tb.server, "generator", port=7000, config=cfg)
+    latencies = []
+    for i in range(calls):
+        client.call(1, {"key": i}, lambda v, lat: latencies.append(lat))
+    tb.run(until=1.0)
+    assert len(latencies) == calls, "all calls must complete"
+    cats = tb.server.cpu.cycles_by_category()
+    return {
+        "placed": client.stats["placed"],
+        "software": client.stats["software"],
+        "copy_mcycles": cats.get("copy", 0) / 1e6,
+        "crc_mcycles": cats.get("crc", 0) / 1e6,
+        "mean_latency_us": 1e6 * sum(latencies) / len(latencies),
+    }
+
+
+def main() -> None:
+    base = run(offload=False)
+    off = run(offload=True)
+    table = Table(
+        ["config", "NIC-placed", "software", "copy Mcyc", "crc Mcyc", "latency (us)"],
+        title="RPC blob fetches, 128KiB responses (client side)",
+    )
+    table.row("software", base["placed"], base["software"], base["copy_mcycles"], base["crc_mcycles"], base["mean_latency_us"])
+    table.row("offload", off["placed"], off["software"], off["copy_mcycles"], off["crc_mcycles"], off["mean_latency_us"])
+    table.show()
+    print()
+    print("The response payloads landed directly in the call's registered")
+    print("buffers; the client's copy and CRC cycles disappeared while the")
+    print("TCP stack below stayed untouched.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The environment ships a setuptools without wheel support, so editable
+installs need the classic ``setup.py develop`` path.  All metadata lives
+in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

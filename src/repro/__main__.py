@@ -1,0 +1,155 @@
+"""Command-line entry point: run individual experiments.
+
+    python -m repro list
+    python -m repro iperf --mode tls-offload --direction rx --loss 0.02
+    python -m repro nginx --variant offload+zc --storage c2 --size 262144
+    python -m repro fio --block-size 262144 --iodepth 64
+    python -m repro rof --variant offload --size 65536
+    python -m repro table1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness.report import Table
+from repro.util.units import parse_size
+
+
+def _cmd_iperf(args) -> None:
+    from repro.experiments.iperf_tls import run_iperf
+
+    run = run_iperf(
+        args.mode,
+        direction=args.direction,
+        streams=args.streams,
+        loss=args.loss,
+        reorder=args.reorder,
+        seed=args.seed,
+    )
+    table = Table(["metric", "value"], title=f"iperf {args.mode} ({args.direction})")
+    table.row("goodput (Gbps)", run.goodput_gbps)
+    table.row("crypto share", f"{100 * run.crypto_fraction:.1f}%")
+    table.row("records full/partial/none", "/".join(str(run.records.get(k, 0)) for k in ("full", "partial", "none")))
+    table.row("tx recoveries", run.tx_recoveries)
+    table.row("resyncs completed", run.resyncs)
+    table.row("PCIe recovery share", f"{100 * run.pcie_recovery_fraction:.2f}%")
+    table.show()
+
+
+def _cmd_nginx(args) -> None:
+    from repro.experiments.nginx_bench import run_nginx
+
+    run = run_nginx(
+        args.variant,
+        storage=args.storage,
+        file_size=args.size,
+        server_cores=args.cores,
+        connections=args.connections,
+        nvme_offload=args.nvme_offload,
+        storage_tls=args.storage_tls,
+        seed=args.seed,
+    )
+    table = Table(["metric", "value"], title=f"nginx {args.variant} ({args.storage})")
+    table.row("goodput (Gbps)", run.goodput_gbps)
+    table.row("busy cores", run.busy_cores)
+    table.row("requests", run.requests)
+    table.show()
+
+
+def _cmd_fio(args) -> None:
+    from repro.experiments.fio_cycles import run_fio_point
+
+    p = run_fio_point(args.block_size, args.iodepth, offload=args.offload, seed=args.seed)
+    table = Table(["metric", "value"], title=f"fio randread {args.block_size}B depth={args.iodepth}")
+    table.row("IOPS", p.iops)
+    table.row("cycles/request (crc)", p.cycles_crc)
+    table.row("cycles/request (copy)", p.cycles_copy)
+    table.row("cycles/request (other)", p.cycles_other)
+    table.row("cycles/request (idle)", p.cycles_idle)
+    table.row("copy+crc share", f"{100 * p.offloadable_fraction:.1f}%")
+    table.show()
+
+
+def _cmd_rof(args) -> None:
+    from repro.experiments.rof_bench import run_rof
+
+    run = run_rof(args.variant, value_size=args.size, server_cores=args.cores, seed=args.seed)
+    table = Table(["metric", "value"], title=f"Redis-on-Flash {args.variant}")
+    table.row("goodput (Gbps)", run.goodput_gbps)
+    table.row("busy cores", run.busy_cores)
+    table.row("gets", run.gets)
+    table.show()
+
+
+def _cmd_table1(args) -> None:
+    del args
+    from repro.cpu.accel import table1
+
+    table = Table(["cipher", "QAT 1", "QAT 128", "AES-NI 1"], title="Table 1 (MB/s)")
+    for cipher, cells in table1().items():
+        table.row(cipher, cells["qat_1"], cells["qat_128"], cells["aesni_1"])
+    table.show()
+
+
+def _size(text: str) -> int:
+    return parse_size(text)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description="Autonomous NIC offloads reproduction")
+    sub = parser.add_subparsers(dest="command")
+
+    sub.add_parser("list", help="list available experiments")
+
+    p = sub.add_parser("iperf", help="TLS/TCP bulk transfer (Figs 11, 16-18)")
+    p.add_argument("--mode", default="tls-sw", choices=["tcp", "tls-sw", "tls-offload"])
+    p.add_argument("--direction", default="tx", choices=["tx", "rx"])
+    p.add_argument("--streams", type=int, default=8)
+    p.add_argument("--loss", type=float, default=0.0)
+    p.add_argument("--reorder", type=float, default=0.0)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("nginx", help="HTTPS file server (Figs 12-14)")
+    p.add_argument("--variant", default="https", choices=["http", "https", "offload", "offload+zc"])
+    p.add_argument("--storage", default="c2", choices=["c1", "c2"])
+    p.add_argument("--size", type=_size, default=256 * 1024)
+    p.add_argument("--cores", type=int, default=1)
+    p.add_argument("--connections", type=int, default=24)
+    p.add_argument("--nvme-offload", action="store_true")
+    p.add_argument("--storage-tls", default=None, choices=[None, "sw", "offload"])
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("fio", help="NVMe-TCP random reads (Fig 10)")
+    p.add_argument("--block-size", type=_size, default=256 * 1024)
+    p.add_argument("--iodepth", type=int, default=16)
+    p.add_argument("--offload", action="store_true")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("rof", help="Redis-on-Flash over NVMe-TLS (Fig 15)")
+    p.add_argument("--variant", default="baseline", choices=["baseline", "offload"])
+    p.add_argument("--size", type=_size, default=64 * 1024)
+    p.add_argument("--cores", type=int, default=1)
+    p.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("table1", help="AES-NI vs QAT model (Table 1)")
+
+    args = parser.parse_args(argv)
+    if args.command in (None, "list"):
+        parser.parse_args(["--help"] if args.command is None else [])
+        print("experiments: iperf, nginx, fio, rof, table1")
+        return 0
+    handlers = {
+        "iperf": _cmd_iperf,
+        "nginx": _cmd_nginx,
+        "fio": _cmd_fio,
+        "rof": _cmd_rof,
+        "table1": _cmd_table1,
+    }
+    handlers[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

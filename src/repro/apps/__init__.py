@@ -1,0 +1,17 @@
+"""Workload applications: iperf, fio, nginx/wrk, Redis-on-Flash/memtier."""
+
+from repro.apps.iperf import IperfClient, IperfServer
+from repro.apps.fio import FioJob
+from repro.apps.nginx import NginxServer
+from repro.apps.wrk import WrkClient
+from repro.apps.rof import MemtierClient, RofServer
+
+__all__ = [
+    "IperfClient",
+    "IperfServer",
+    "FioJob",
+    "NginxServer",
+    "WrkClient",
+    "RofServer",
+    "MemtierClient",
+]

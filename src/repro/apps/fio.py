@@ -1,0 +1,112 @@
+"""fio: random-read/write workload against an NVMe-TCP namespace.
+
+Figure 10's microbenchmark: random reads of a fixed size with a given
+I/O depth, one core doing all the work, reporting cycles per request
+broken into crc / copy / other / idle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.l5p.nvme_tcp.host import NvmeTcpHost
+
+
+@dataclass
+class FioStats:
+    completed: int = 0
+    bytes_done: int = 0
+    latencies: list = field(default_factory=list)
+    started_at: float = 0.0
+    finished_at: float = 0.0
+
+    @property
+    def iops(self) -> float:
+        elapsed = self.finished_at - self.started_at
+        return self.completed / elapsed if elapsed > 0 else 0.0
+
+    @property
+    def mean_latency(self) -> float:
+        return sum(self.latencies) / len(self.latencies) if self.latencies else 0.0
+
+
+class FioJob:
+    """Keeps ``iodepth`` random requests outstanding on one queue pair."""
+
+    def __init__(
+        self,
+        nvme: NvmeTcpHost,
+        block_size: int,
+        iodepth: int,
+        span_bytes: int = 8 << 30,
+        mode: str = "randread",
+        total_requests: Optional[int] = None,
+        seed: int = 0,
+    ):
+        if mode not in ("randread", "randwrite"):
+            raise ValueError(f"unsupported fio mode {mode!r}")
+        self.nvme = nvme
+        self.block_size = block_size
+        self.iodepth = iodepth
+        self.span_blocks = max(1, span_bytes // block_size)
+        self.mode = mode
+        self.total_requests = total_requests
+        self.rng = nvme.host.sim.substream(f"fio:{seed}")
+        self.stats = FioStats()
+        self._issued = 0
+        self._stopped = False
+        self._write_payload = bytes(block_size)
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self.stats.started_at = self.nvme.host.sim.now
+        if self.nvme.ready:
+            self._fill()
+        else:
+            previous = self.nvme.on_ready
+
+            def ready():
+                if previous:
+                    previous()
+                self.stats.started_at = self.nvme.host.sim.now
+                self._fill()
+
+            self.nvme.on_ready = ready
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _fill(self) -> None:
+        while not self._done_issuing() and self.nvme.inflight + len(self.nvme._waiting) < self.iodepth:
+            self._issue_one()
+
+    def _done_issuing(self) -> bool:
+        if self._stopped:
+            return True
+        return self.total_requests is not None and self._issued >= self.total_requests
+
+    def _issue_one(self) -> None:
+        offset = self.rng.randrange(self.span_blocks) * self.block_size
+        self._issued += 1
+        if self.mode == "randread":
+            self.nvme.read(offset, self.block_size, self._read_done)
+        else:
+            self.nvme.write(offset, self._write_payload, self._write_done)
+
+    def _read_done(self, data: bytes, latency: float) -> None:
+        self._complete(len(data), latency)
+
+    def _write_done(self, latency: float) -> None:
+        self._complete(self.block_size, latency)
+
+    def _complete(self, nbytes: int, latency: float) -> None:
+        self.stats.completed += 1
+        self.stats.bytes_done += nbytes
+        self.stats.latencies.append(latency)
+        self.stats.finished_at = self.nvme.host.sim.now
+        self._fill()
+
+    @property
+    def done(self) -> bool:
+        return self._done_issuing() and self.nvme.inflight == 0 and not self.nvme._waiting

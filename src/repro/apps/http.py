@@ -1,0 +1,42 @@
+"""Minimal HTTP/1.1 framing shared by the nginx and wrk models."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+def build_request(path: str) -> bytes:
+    return f"GET {path} HTTP/1.1\r\nHost: server\r\nConnection: keep-alive\r\n\r\n".encode()
+
+
+def parse_request(buffer: bytes) -> Optional[tuple[str, int]]:
+    """Parse one request from ``buffer``; returns (path, bytes_consumed)
+    or None if incomplete."""
+    end = buffer.find(b"\r\n\r\n")
+    if end < 0:
+        return None
+    request_line = buffer[: buffer.find(b"\r\n")].decode(errors="replace")
+    parts = request_line.split(" ")
+    if len(parts) != 3 or parts[0] != "GET":
+        raise ValueError(f"malformed request line: {request_line!r}")
+    return parts[1], end + 4
+
+
+def build_response_header(content_length: int, status: str = "200 OK") -> bytes:
+    return (
+        f"HTTP/1.1 {status}\r\nServer: nginx-sim\r\nContent-Length: {content_length}\r\n"
+        f"Connection: keep-alive\r\n\r\n"
+    ).encode()
+
+
+def parse_response_header(buffer: bytes) -> Optional[tuple[int, int]]:
+    """Returns (content_length, header_bytes) or None if incomplete."""
+    end = buffer.find(b"\r\n\r\n")
+    if end < 0:
+        return None
+    header = buffer[:end].decode(errors="replace")
+    for line in header.split("\r\n")[1:]:
+        name, _, value = line.partition(":")
+        if name.strip().lower() == "content-length":
+            return int(value.strip()), end + 4
+    raise ValueError("response missing Content-Length")

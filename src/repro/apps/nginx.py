@@ -1,0 +1,102 @@
+"""nginx model: an HTTP(S) file server over FlatFs (§6.3).
+
+Serves GET requests from the filesystem through the page cache; bodies
+go out via sendfile.  Configurations map to the paper's bars: plain
+http, https (software kTLS), offload, and offload+zc are all just
+transport/TlsConfig choices.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.apps.http import build_response_header, parse_request
+from repro.apps.transport import Transport
+from repro.l5p.tls.ktls import TlsConfig
+from repro.net.host import Host
+from repro.storage.fs import FlatFs
+
+
+class NginxServer:
+    """Event-driven static file server."""
+
+    def __init__(self, host: Host, fs: FlatFs, port: int = 80, tls: Optional[TlsConfig] = None):
+        self.host = host
+        self.fs = fs
+        self.port = port
+        self.tls_config = tls
+        self.requests_served = 0
+        self.bytes_served = 0
+        host.tcp.listen(port, self._accept)
+
+    def _accept(self, conn) -> None:
+        _NginxConn(self, conn)
+
+
+class _NginxConn:
+    def __init__(self, server: NginxServer, conn):
+        self.server = server
+        self.host = server.host
+        self.core = self.host.core_for_flow(conn.flow)
+        self.transport = Transport(self.host, conn, "server", server.tls_config)
+        self.transport.on_data = self._on_data
+        self.transport.on_writable = self._flush
+        self.transport.on_ready = self._flush
+        self._buffer = bytearray()
+        self._outq: deque[tuple[bytes, bool]] = deque()  # (bytes, via_sendfile)
+        self._busy = False  # a request is being served (file read pending)
+        self._pipeline: deque[str] = deque()
+
+    # ------------------------------------------------------------------
+    def _on_data(self, data: bytes) -> None:
+        self._buffer += data
+        while True:
+            parsed = parse_request(bytes(self._buffer))
+            if parsed is None:
+                return
+            path, consumed = parsed
+            del self._buffer[:consumed]
+            self._pipeline.append(path.lstrip("/"))
+            self._serve_next()
+
+    def _serve_next(self) -> None:
+        if self._busy or not self._pipeline:
+            return
+        name = self._pipeline.popleft()
+        self._busy = True
+        self.core.charge(self.host.model.cycles_http_req, "app")
+        try:
+            extent = self.server.fs.stat(name)
+        except FileNotFoundError:
+            self._queue(build_response_header(0, status="404 Not Found"), sendfile=False)
+            self._busy = False
+            self._serve_next()
+            return
+        self.server.fs.read(name, 0, extent.size, self._respond)
+
+    def _respond(self, body: bytes) -> None:
+        self.server.requests_served += 1
+        self.server.bytes_served += len(body)
+        self._queue(build_response_header(len(body)), sendfile=False)
+        if body:
+            self._queue(body, sendfile=True)
+        self._busy = False
+        self._serve_next()
+
+    # ------------------------------------------------------------------
+    def _queue(self, data: bytes, sendfile: bool) -> None:
+        self._outq.append((data, sendfile))
+        self._flush()
+
+    def _flush(self) -> None:
+        if not self.transport.ready:
+            return
+        while self._outq:
+            data, via_sendfile = self._outq[0]
+            sent = self.transport.sendfile(data) if via_sendfile else self.transport.send(data)
+            if sent == len(data):
+                self._outq.popleft()
+                continue
+            self._outq[0] = (data[sent:], via_sendfile)
+            return

@@ -1,0 +1,226 @@
+"""Redis-on-Flash with the OffloadDB storage backend, plus memtier (§6.2–6.3).
+
+RoF keeps values on flash behind an NVMe-TCP namespace.  The paper's
+OffloadDB backend separates keys, values, and metadata so values map to
+clean block extents — here that is the ``key -> (offset, length)``
+table.  GET requests look the key up, read the value over NVMe-TCP, and
+return it; memtier drives concurrent request-response connections.
+
+Protocol (RESP-flavoured):  request ``GET <key>\\r\\n``; response
+``$<len>\\r\\n<value>\\r\\n`` or ``$-1\\r\\n`` for a miss.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.apps.transport import Transport
+from repro.l5p.nvme_tcp.host import NvmeTcpHost
+from repro.l5p.tls.ktls import TlsConfig
+from repro.net.host import Host
+
+
+class OffloadDb:
+    """Key/value-extent metadata: values live on flash, unmixed with
+    metadata (the 568-LoC backend the paper built with Redis Labs)."""
+
+    def __init__(self) -> None:
+        self._table: dict[str, tuple[int, int]] = {}
+        self._next_offset = 0
+
+    def allocate(self, key: str, length: int, align: int = 4096) -> tuple[int, int]:
+        if key in self._table:
+            raise ValueError(f"key {key!r} exists")
+        extent = (self._next_offset, length)
+        self._table[key] = extent
+        slots = (length + align - 1) // align
+        self._next_offset += slots * align
+        return extent
+
+    def lookup(self, key: str) -> Optional[tuple[int, int]]:
+        return self._table.get(key)
+
+    @property
+    def keys(self) -> list[str]:
+        return sorted(self._table)
+
+
+class RofServer:
+    """One Redis-on-Flash instance (one core, one NVMe-TCP queue pair)."""
+
+    def __init__(
+        self,
+        host: Host,
+        nvme: NvmeTcpHost,
+        db: OffloadDb,
+        port: int = 6379,
+        tls: Optional[TlsConfig] = None,
+    ):
+        self.host = host
+        self.nvme = nvme
+        self.db = db
+        self.port = port
+        self.tls_config = tls
+        self.gets_served = 0
+        self.misses = 0
+        host.tcp.listen(port, self._accept)
+
+    def _accept(self, conn) -> None:
+        _RofConn(self, conn)
+
+
+class _RofConn:
+    def __init__(self, server: RofServer, conn):
+        self.server = server
+        self.host = server.host
+        self.core = self.host.core_for_flow(conn.flow)
+        self.transport = Transport(self.host, conn, "server", server.tls_config)
+        self.transport.on_data = self._on_data
+        self.transport.on_writable = self._flush
+        self.transport.on_ready = self._flush
+        self._buffer = bytearray()
+        self._outq: deque[bytes] = deque()
+
+    def _on_data(self, data: bytes) -> None:
+        self._buffer += data
+        while True:
+            end = self._buffer.find(b"\r\n")
+            if end < 0:
+                return
+            line = bytes(self._buffer[:end]).decode(errors="replace")
+            del self._buffer[: end + 2]
+            self._handle(line)
+
+    def _handle(self, line: str) -> None:
+        self.core.charge(self.host.model.cycles_kv_req, "app")
+        parts = line.split(" ", 1)
+        if len(parts) != 2 or parts[0] != "GET":
+            self._queue(b"-ERR bad command\r\n")
+            return
+        extent = self.server.db.lookup(parts[1])
+        if extent is None:
+            self.server.misses += 1
+            self._queue(b"$-1\r\n")
+            return
+        offset, length = extent
+        self.server.nvme.read(offset, length, self._read_done)
+
+    def _read_done(self, value: bytes, latency: float) -> None:
+        del latency
+        self.server.gets_served += 1
+        self._queue(f"${len(value)}\r\n".encode() + value + b"\r\n")
+
+    def _queue(self, data: bytes) -> None:
+        self._outq.append(data)
+        self._flush()
+
+    def _flush(self) -> None:
+        if not self.transport.ready:
+            return
+        while self._outq:
+            data = self._outq[0]
+            sent = self.transport.send(data)
+            if sent == len(data):
+                self._outq.popleft()
+                continue
+            self._outq[0] = data[sent:]
+            return
+
+
+@dataclass
+class MemtierStats:
+    gets: int = 0
+    bytes_received: int = 0
+    latencies: list = field(default_factory=list)
+
+
+class MemtierClient:
+    """memtier_benchmark "get" workload: concurrent request loops."""
+
+    def __init__(
+        self,
+        host: Host,
+        server: str,
+        port: int,
+        keys: Sequence[str],
+        connections: int = 8,
+        tls: Optional[TlsConfig] = None,
+        max_requests: Optional[int] = None,
+    ):
+        if not keys:
+            raise ValueError("memtier needs keys to request")
+        self.host = host
+        self.keys = list(keys)
+        self.stats = MemtierStats()
+        self.max_requests = max_requests
+        self._issued = 0
+        self._conns = [_MemtierConn(self, host, server, port, tls, i) for i in range(connections)]
+
+    def next_key(self, index: int) -> Optional[str]:
+        if self.max_requests is not None and self._issued >= self.max_requests:
+            return None
+        key = self.keys[(self._issued + index) % len(self.keys)]
+        self._issued += 1
+        return key
+
+    @property
+    def done(self) -> bool:
+        return self.max_requests is not None and self.stats.gets >= self.max_requests
+
+
+class _MemtierConn:
+    def __init__(self, memtier: MemtierClient, host: Host, server: str, port: int, tls, index: int):
+        self.memtier = memtier
+        self.host = host
+        self.index = index
+        conn = host.tcp.connect(server, port)
+        self.core = host.core_for_flow(conn.flow)
+        self.transport = Transport(host, conn, "client", tls)
+        self.transport.on_data = self._on_data
+        # Stagger loop starts to avoid synchronized request convoys.
+        self.transport.on_ready = lambda: host.sim.schedule((index % 64) * 50e-6, self._next)
+        self._buffer = bytearray()
+        self._value_remaining: Optional[int] = None
+        self._value_len = 0
+        self._sent_at = 0.0
+
+    def _next(self) -> None:
+        key = self.memtier.next_key(self.index)
+        if key is None:
+            return
+        self.core.charge(self.host.model.cycles_syscall, "app")
+        self._sent_at = self.host.sim.now
+        self.transport.send(f"GET {key}\r\n".encode())
+
+    def _on_data(self, data: bytes) -> None:
+        self._buffer += data
+        while True:
+            if self._value_remaining is None:
+                end = self._buffer.find(b"\r\n")
+                if end < 0:
+                    return
+                header = bytes(self._buffer[:end]).decode(errors="replace")
+                del self._buffer[: end + 2]
+                if not header.startswith("$"):
+                    raise RuntimeError(f"unexpected RoF reply {header!r}")
+                length = int(header[1:])
+                if length < 0:
+                    self._finish(0)
+                    continue
+                self._value_len = length
+                self._value_remaining = length + 2  # value + trailing CRLF
+            take = min(self._value_remaining, len(self._buffer))
+            del self._buffer[:take]
+            self._value_remaining -= take
+            if self._value_remaining > 0:
+                return
+            self._value_remaining = None
+            self._finish(self._value_len)
+
+    def _finish(self, nbytes: int) -> None:
+        self.memtier.stats.gets += 1
+        self.memtier.stats.bytes_received += nbytes
+        self.memtier.stats.latencies.append(self.host.sim.now - self._sent_at)
+        self._next()

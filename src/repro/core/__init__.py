@@ -1,0 +1,42 @@
+"""Autonomous NIC offloads — the paper's primary contribution.
+
+This package implements the software/NIC architecture of §3–§4:
+
+- :mod:`repro.core.types` — the L5P adapter contract (what a protocol
+  must provide to be autonomously offloadable; paper Table 3) and the
+  message descriptors exchanged across the interfaces.
+- :mod:`repro.core.walker` — the shared L5P message walker: incremental,
+  packet-by-packet processing of messages that are arbitrarily aligned
+  to TCP segments.
+- :mod:`repro.core.tx` — transmit engine with driver-led context
+  recovery for retransmissions (§4.2).
+- :mod:`repro.core.rx` — receive engine with the hardware-driven
+  resynchronization state machine (offloading → searching → tracking,
+  Figure 7) and software-confirmed magic-pattern speculation (§4.3).
+- :mod:`repro.core.driver` — the NIC driver providing Listing 1's
+  ``l5o_*`` calls to the L5P and invoking Listing 2's upcalls.
+"""
+
+from repro.core.types import (
+    Direction,
+    L5pAdapter,
+    MessageDesc,
+    MsgTransform,
+    ProtocolError,
+    TxMsgState,
+)
+from repro.core.context import HwContext, RxState
+from repro.core.driver import NicDriver, L5pOps
+
+__all__ = [
+    "Direction",
+    "L5pAdapter",
+    "MessageDesc",
+    "MsgTransform",
+    "ProtocolError",
+    "TxMsgState",
+    "HwContext",
+    "RxState",
+    "NicDriver",
+    "L5pOps",
+]

@@ -1,0 +1,168 @@
+"""Per-flow hardware offload contexts (paper §4.1).
+
+A context holds exactly what the paper lists: the next offloadable TCP
+sequence number (``expected_seq``), the position within the current L5P
+message (phase + remaining byte counts), and the L5P state needed to
+perform the operation (static state such as keys, plus the live
+per-message transform).  Receive contexts additionally carry the
+resynchronization state machine of Figure 7.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Any, Optional
+
+from repro.core.types import Direction, L5pAdapter, MessageDesc, MsgTransform
+from repro.net.packet import FlowKey
+from repro.tcp import seq as sq
+
+#: On-NIC footprint of one flow context, from the paper's §6.5.
+CONTEXT_BYTES = 208
+
+
+class Phase(Enum):
+    HEADER = "header"
+    BODY = "body"
+    TRAILER = "trailer"
+
+
+class RxState(Enum):
+    """Figure 7 states."""
+
+    OFFLOADING = "offloading"
+    SEARCHING = "searching"
+    TRACKING = "tracking"
+
+
+class HwContext:
+    """One flow's offload context (and its driver shadow — the driver
+    mirrors ``expected_seq`` in software, which in this simulation is
+    the same object)."""
+
+    def __init__(
+        self,
+        ctx_id: int,
+        flow: FlowKey,
+        direction: Direction,
+        adapter: L5pAdapter,
+        static_state: Any,
+        tcpsn: int,
+        msg_index: int = 0,
+    ):
+        self.ctx_id = ctx_id
+        self.flow = flow
+        self.direction = direction
+        self.adapter = adapter
+        self.static_state = static_state
+        self.expected_seq = tcpsn
+        self.created_seq = tcpsn  # stream bytes before this predate the offload
+        self.msg_index = msg_index
+
+        # Walker position within the current message.
+        self.phase = Phase.HEADER
+        self.header_buf = bytearray()
+        self.desc: Optional[MessageDesc] = None
+        self.body_remaining = 0
+        self.trailer_remaining = 0
+        self.transform: Optional[MsgTransform] = None
+        self._trailer_out = b""  # TX: computed trailer being emitted
+        self._trailer_in = bytearray()  # RX: wire trailer being collected
+
+        # Request/response state for RR protocols (CID -> response state).
+        self.rr_state: dict = {}
+
+        # Receive resynchronization (Figure 7).
+        self.rx_state = RxState.OFFLOADING
+        self.speculation_seq: Optional[int] = None
+        self.track_next: Optional[int] = None
+        self.tracked_msgs = 0
+        self._scan_tail = b""
+        self._scan_tail_end: Optional[int] = None
+
+        # L5P upcall table (Listing 2), installed by the driver.
+        self.l5p_ops = None
+
+        # Statistics for the evaluation.
+        self.pkts_offloaded = 0
+        self.pkts_bypassed = 0
+        self.resync_requests = 0
+        self.resyncs_completed = 0
+        self.boundary_resyncs = 0
+        self.tx_recoveries = 0
+        self.tx_recovery_bytes = 0
+
+    # ------------------------------------------------------------------
+    # message walking helpers
+    # ------------------------------------------------------------------
+    def reset_to_header(self) -> None:
+        """Position the walker at a message boundary."""
+        self.phase = Phase.HEADER
+        self.header_buf = bytearray()
+        self.desc = None
+        self.body_remaining = 0
+        self.trailer_remaining = 0
+        self.transform = None
+        self._trailer_out = b""
+        self._trailer_in = bytearray()
+
+    def start_message(self, desc: MessageDesc) -> None:
+        """A full header was parsed: arm the per-message transform."""
+        self.desc = desc
+        self.body_remaining = desc.body_len
+        self.trailer_remaining = desc.trailer_len
+        self.transform = self.adapter.begin_message(
+            self.direction, self.static_state, desc, self.msg_index, rr_state=self.rr_state
+        )
+        self._trailer_out = b""
+        self._trailer_in = bytearray()
+        self.phase = Phase.BODY if desc.body_len else Phase.TRAILER
+        if desc.body_len == 0 and desc.trailer_len == 0:
+            # Degenerate header-only message.
+            self.finish_message()
+
+    def finish_message(self) -> None:
+        self.msg_index += 1
+        self.reset_to_header()
+
+    def next_boundary_seq(self) -> Optional[int]:
+        """Sequence number where the next message header begins, or None
+        if mid-header (length not yet known) — per §4.3, derived from
+        the current message's length field."""
+        if self.phase == Phase.HEADER:
+            return self.expected_seq if not self.header_buf else None
+        remaining = self.body_remaining + self.trailer_remaining
+        if self.phase == Phase.TRAILER:
+            remaining = self.trailer_remaining
+        return sq.add(self.expected_seq, remaining)
+
+    # ------------------------------------------------------------------
+    # resync bookkeeping
+    # ------------------------------------------------------------------
+    def enter_searching(self) -> None:
+        self.rx_state = RxState.SEARCHING
+        self.speculation_seq = None
+        self.track_next = None
+        self.tracked_msgs = 0
+        self._scan_tail = b""
+        self._scan_tail_end = None
+        self.reset_to_header()
+
+    def scan_buffer_for(self, pkt_seq: int, payload: bytes) -> tuple[int, bytes]:
+        """Join the carried cross-packet tail with this payload if the
+        packet is contiguous with the last scanned bytes; returns
+        ``(base_seq, buffer)``."""
+        if self._scan_tail_end is not None and pkt_seq == self._scan_tail_end and self._scan_tail:
+            return sq.add(pkt_seq, -len(self._scan_tail)), self._scan_tail + payload
+        return pkt_seq, payload
+
+    def save_scan_tail(self, pkt_end: int, buffer: bytes, keep: int) -> None:
+        keep = min(keep, len(buffer))
+        self._scan_tail = bytes(buffer[-keep:]) if keep else b""
+        self._scan_tail_end = pkt_end
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<HwContext #{self.ctx_id} {self.adapter.name}/{self.direction.value} "
+            f"seq={self.expected_seq} phase={self.phase.value} rx={self.rx_state.value}>"
+        )

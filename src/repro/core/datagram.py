@@ -1,0 +1,77 @@
+"""Datagram offload engine (paper §7, "Not restricted to TCP").
+
+For L5Ps whose messages are self-contained datagrams (DTLS over UDP),
+autonomous offloading is trivial: "the NIC never has to worry about
+losing and having to reconstruct its position in the sequence ...
+falling back on L5P software processing is likewise never needed."
+The engine therefore has no walker, no resync machinery, and no
+sequence state — only a per-flow static context (keys) and a
+per-datagram transform.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.net.packet import FlowKey, Packet
+
+
+class DatagramAdapter:
+    """What the NIC knows about a datagram L5P."""
+
+    name = "abstract-datagram"
+
+    def tx_transform(self, static_state: Any, payload: bytes) -> Optional[bytes]:
+        """Transform one outgoing datagram; None = pass through."""
+        raise NotImplementedError
+
+    def rx_transform(self, static_state: Any, payload: bytes) -> Optional[tuple[bytes, bool]]:
+        """Transform one incoming datagram: (new payload, ok), or None
+        if the datagram does not parse as this L5P (pass through)."""
+        raise NotImplementedError
+
+
+class DatagramContext:
+    """Per-flow datagram offload context (static state only)."""
+
+    def __init__(self, ctx_id: int, flow: FlowKey, adapter: DatagramAdapter, static_state: Any):
+        self.ctx_id = ctx_id
+        self.flow = flow
+        self.adapter = adapter
+        self.static_state = static_state
+        self.datagrams_offloaded = 0
+        self.datagrams_passed = 0
+
+
+class DatagramEngine:
+    """TX/RX datagram processing on the NIC."""
+
+    def __init__(self, nic):
+        self.nic = nic
+
+    def process_tx(self, ctx: DatagramContext, pkt: Packet) -> None:
+        out = ctx.adapter.tx_transform(ctx.static_state, pkt.payload)
+        self.nic.cache_datagram(ctx)
+        self.nic.pcie.count("tx-packet", len(pkt.payload))
+        if out is None:
+            ctx.datagrams_passed += 1
+            return
+        if len(out) != len(pkt.payload):
+            raise ValueError(f"{ctx.adapter.name}: datagram transform changed size")
+        pkt.payload = out
+        pkt.meta.offloaded = True
+        ctx.datagrams_offloaded += 1
+
+    def process_rx(self, ctx: DatagramContext, pkt: Packet) -> None:
+        result = ctx.adapter.rx_transform(ctx.static_state, pkt.payload)
+        self.nic.cache_datagram(ctx)
+        self.nic.pcie.count("rx-packet", len(pkt.payload))
+        if result is None:
+            ctx.datagrams_passed += 1
+            return
+        out, ok = result
+        pkt.payload = out
+        pkt.meta.offloaded = True
+        pkt.meta.decrypted = ok
+        pkt.meta.crc_ok = ok
+        ctx.datagrams_offloaded += 1

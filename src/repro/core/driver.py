@@ -1,0 +1,140 @@
+"""The NIC driver: the software half of the autonomous offload.
+
+Implements Listing 1 (operations the driver provides to the L5P) and
+dispatches Listing 2 (upcalls the L5P provides to the driver).  The
+driver shadows each HW context's expected TCP sequence so that
+out-of-sequence transmissions are detected in software, before the
+packet is posted to the NIC (§4.2).
+
+Offload commands ride to the NIC through the flow's send ring as
+special descriptors; we account their PCIe cost but model their
+ordering as exact (the send ring guarantees it in hardware).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Optional, Protocol
+
+from repro.core.context import HwContext
+from repro.core.types import Direction, L5pAdapter, TxMsgState
+from repro.net.packet import FlowKey
+
+
+class L5pOps(Protocol):
+    """Listing 2: operations the L5P provides to the NIC driver."""
+
+    def l5o_get_tx_msgstate(self, tcpsn: int) -> Optional[TxMsgState]:
+        """State of the transmitted message covering ``tcpsn``."""
+        ...
+
+    def l5o_resync_rx_req(self, tcpsn: int) -> None:
+        """The NIC speculates an L5P header starts at ``tcpsn``; confirm
+        or deny later via ``l5o_resync_rx_resp``."""
+        ...
+
+
+class NicDriver:
+    """Per-NIC driver instance (mlx5-equivalent glue)."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, nic):
+        self.nic = nic
+        self.tx_contexts: dict[int, HwContext] = {}
+        self.rx_contexts: dict[FlowKey, HwContext] = {}
+        self.dgram_tx_contexts: dict[FlowKey, object] = {}
+        self.dgram_rx_contexts: dict[FlowKey, object] = {}
+        # Ablation knob: extra delay before the L5P sees a speculation
+        # request (models slower driver/firmware paths).
+        self.resync_delay_s = 0.0
+
+    # ------------------------------------------------------------------
+    # Listing 1: L5P-facing operations
+    # ------------------------------------------------------------------
+    def l5o_create(
+        self,
+        conn,
+        adapter: L5pAdapter,
+        static_state: Any,
+        tcpsn: int,
+        direction: Direction,
+        l5p_ops: L5pOps,
+        msg_index: int = 0,
+    ) -> HwContext:
+        """Install an offload context for ``conn`` starting at ``tcpsn``
+        (the first byte of the next L5P message on the stream)."""
+        ctx_id = next(self._ids)
+        if direction == Direction.TX:
+            flow = conn.flow
+        else:
+            flow = conn.flow.reversed()  # incoming packets carry the peer's view
+        ctx = HwContext(ctx_id, flow, direction, adapter, static_state, tcpsn, msg_index=msg_index)
+        ctx.l5p_ops = l5p_ops
+        if direction == Direction.TX:
+            self.tx_contexts[ctx_id] = ctx
+            conn.tx_ctx_id = ctx_id
+        else:
+            self.rx_contexts[flow] = ctx
+        self.nic.context_installed(ctx)
+        return ctx
+
+    def l5o_destroy(self, ctx: HwContext) -> None:
+        if ctx.direction == Direction.TX:
+            self.tx_contexts.pop(ctx.ctx_id, None)
+        else:
+            self.rx_contexts.pop(ctx.flow, None)
+        self.nic.context_removed(ctx)
+
+    def l5o_add_rr_state(self, ctx: HwContext, key: Any, state: Any) -> Any:
+        """Register request/response state (e.g. an NVMe CID -> the block
+        buffers its response payload must be placed into)."""
+        ctx.rr_state[key] = state
+        self.nic.pcie.count("descriptor", 64)
+        return key
+
+    def l5o_del_rr_state(self, ctx: HwContext, key: Any) -> None:
+        ctx.rr_state.pop(key, None)
+        self.nic.pcie.count("descriptor", 64)
+
+    def l5o_resync_rx_resp(self, ctx: HwContext, tcpsn: int, result: bool, msg_index: int = 0) -> None:
+        """The L5P confirms/denies the NIC's speculated header at
+        ``tcpsn``; on success the NIC resumes offloading from the next
+        message boundary (Figure 7, transition d2)."""
+        self.nic.rx_engine.resync_response(ctx, tcpsn, result, msg_index)
+
+    # ------------------------------------------------------------------
+    # driver-internal helpers used by the engines
+    # ------------------------------------------------------------------
+    def l5o_create_datagram(self, flow: FlowKey, adapter, static_state, direction: Direction):
+        """Install a datagram (UDP) offload context — §7's trivial case:
+        static state only, no sequence tracking, no recovery interface."""
+        from repro.core.datagram import DatagramContext
+
+        ctx = DatagramContext(next(self._ids), flow, adapter, static_state)
+        if direction == Direction.TX:
+            self.dgram_tx_contexts[flow] = ctx
+        else:
+            self.dgram_rx_contexts[flow] = ctx
+        self.nic.pcie.count("descriptor", 64)
+        return ctx
+
+    def l5o_destroy_datagram(self, ctx) -> None:
+        self.dgram_tx_contexts.pop(ctx.flow, None)
+        self.dgram_rx_contexts.pop(ctx.flow, None)
+
+    def lookup_tx(self, ctx_id: Optional[int]) -> Optional[HwContext]:
+        if ctx_id is None:
+            return None
+        return self.tx_contexts.get(ctx_id)
+
+    def lookup_rx(self, flow: FlowKey) -> Optional[HwContext]:
+        return self.rx_contexts.get(flow)
+
+    def request_resync(self, ctx: HwContext, tcpsn: int) -> None:
+        """HW->SW: deliver the speculation request to the L5P (via a
+        completion on the receive ring, then the driver's upcall)."""
+        ctx.resync_requests += 1
+        self.nic.pcie.count("descriptor", 64)
+        if ctx.l5p_ops is not None:
+            self.nic.host.sim.schedule(self.resync_delay_s, ctx.l5p_ops.l5o_resync_rx_req, tcpsn)

@@ -1,0 +1,104 @@
+"""Transmit-side autonomous offload (§4.2).
+
+The L5P "skips" its data-intensive operation and hands TCP the *wrong*
+bytes (plaintext bodies, dummy trailers); the NIC transforms every
+outgoing packet so correct bytes hit the wire.  The driver detects
+out-of-sequence transmissions (retransmits, or new data after a
+retransmit) by comparing against its shadow of the context, asks the
+L5P for the covering message's state (``l5o_get_tx_msgstate``), and the
+NIC re-derives mid-message state by re-reading the message bytes over
+PCIe — the interconnect overhead measured in Figure 16b.
+"""
+
+from __future__ import annotations
+
+from repro.core.context import HwContext
+from repro.core.types import ProtocolError
+from repro.core.walker import replay, walk
+from repro.net.packet import Packet
+from repro.tcp import seq as sq
+
+
+class TxEngine:
+    """Per-NIC transmit offload engine."""
+
+    def __init__(self, nic):
+        self.nic = nic
+
+    def process(self, ctx: HwContext, conn, pkt: Packet) -> None:
+        """Transform one outgoing packet in place."""
+        if not pkt.payload:
+            return
+        self.nic.cache.access(ctx)
+        self.nic.pcie.count("tx-packet", len(pkt.payload))
+        seq, payload = pkt.seq, pkt.payload
+        prefix = b""
+        if sq.lt(seq, ctx.created_seq):
+            # Bytes queued before the offload existed (e.g. a
+            # retransmitted TLS handshake record) pass through raw.
+            split = sq.sub(ctx.created_seq, seq)
+            if split >= len(payload):
+                return
+            prefix, payload = payload[:split], payload[split:]
+            seq = ctx.created_seq
+        if seq != ctx.expected_seq:
+            if not self._recover(ctx, conn, seq, sq.add(seq, len(payload))):
+                # Stale retransmission of fully-acknowledged bytes whose
+                # message state the L5P already released: the receiver
+                # will discard it as a duplicate, so content is moot.
+                ctx.pkts_bypassed += 1
+                pkt.payload = prefix + b"\x00" * len(payload)
+                return
+        result = walk(ctx, payload, emit=True)
+        if result.desynced:
+            raise ProtocolError(
+                f"{ctx.adapter.name}: transmit stream does not parse as L5P "
+                f"messages at seq {seq}"
+            )
+        pkt.payload = prefix + result.out
+        ctx.expected_seq = sq.add(seq, len(payload))
+        ctx.pkts_offloaded += 1
+        pkt.meta.offloaded = True
+
+    # ------------------------------------------------------------------
+    def _recover(self, ctx: HwContext, conn, tcpsn: int, end_seq: int) -> bool:
+        """Reposition the context at ``tcpsn`` (driver-led, §4.2).
+
+        Returns False for a stale retransmission: the covering message
+        was already fully acknowledged and released by the L5P, which can
+        only happen when the ACK raced a queued retransmission — the
+        packet's bytes can never be consumed by the receiver."""
+        if ctx.l5p_ops is None:
+            raise ProtocolError("TX context has no L5P ops for recovery")
+        state = ctx.l5p_ops.l5o_get_tx_msgstate(tcpsn)
+        if state is None:
+            if conn is not None and sq.le(end_seq, conn.snd_una):
+                return False
+            raise ProtocolError(
+                f"{ctx.adapter.name}: L5P has no message state covering "
+                f"seq {tcpsn} (released too early?)"
+            )
+        offset = sq.sub(tcpsn, state.start_seq)
+        if offset < 0 or offset > len(state.wire_bytes):
+            raise ProtocolError(
+                f"{ctx.adapter.name}: message state for seq {tcpsn} covers "
+                f"[{state.start_seq}, +{len(state.wire_bytes)})"
+            )
+        ctx.reset_to_header()
+        ctx.msg_index = state.msg_index
+        ctx.expected_seq = state.start_seq
+        ctx.adapter.prepare_tx_recovery(ctx, state)
+        if offset:
+            replay(ctx, state.wire_bytes[:offset])
+            ctx.expected_seq = tcpsn
+        # The driver passes the replayed bytes to the NIC via DMA; the
+        # driver-side upcall work is charged to the flow's core.
+        ctx.tx_recoveries += 1
+        ctx.tx_recovery_bytes += offset
+        self.nic.pcie.count("recovery", offset)
+        self.nic.pcie.count("descriptor", 64)
+        host = self.nic.host
+        if host is not None:
+            core = host.core_for_flow(conn.flow)
+            core.charge(host.model.cycles_syscall, "offload-mgmt")
+        return True

@@ -1,0 +1,116 @@
+"""The L5P message walker.
+
+Consumes a run of in-order stream bytes and advances a context through
+message headers, bodies, and trailers — the NIC's inner loop.  The same
+walker serves four modes:
+
+- TX offload: transform body bytes, replace the dummy trailer with the
+  computed one.
+- RX offload: transform (e.g. decrypt) body bytes, verify wire trailers.
+- Tracking walk: advance transform state and message position but emit
+  the original bytes (used when the NIC re-locks onto the stream at a
+  message boundary mid-packet; such a packet is *not* marked offloaded
+  but later packets of the same message can be, per Figure 8b).
+- Replay: like TX offload but output is discarded (context recovery for
+  retransmissions re-derives mid-message state from the message start).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.context import HwContext, Phase
+from repro.core.types import Direction, ProtocolError
+
+
+@dataclass
+class WalkResult:
+    out: bytes = b""
+    completed: int = 0  # messages finished within this run
+    all_ok: bool = True  # every trailer completed in this run verified (RX)
+    desynced: bool = False  # header failed to parse: stream position lost
+
+
+def walk(ctx: HwContext, data: bytes, emit: bool = True) -> WalkResult:
+    """Advance ``ctx`` over ``data``.
+
+    ``emit=True`` produces transformed output (offload); ``emit=False``
+    is the tracking walk: state advances, output equals input.
+    ``ctx.expected_seq`` is *not* touched — callers own sequence math.
+    """
+    out = bytearray()
+    result = WalkResult()
+    i = 0
+    n = len(data)
+    while i < n:
+        if ctx.phase == Phase.HEADER:
+            need = ctx.adapter.header_len - len(ctx.header_buf)
+            take = data[i : i + need]
+            ctx.header_buf += take
+            out += take  # headers pass through unmodified
+            i += len(take)
+            if len(ctx.header_buf) == ctx.adapter.header_len:
+                desc = ctx.adapter.parse_header(bytes(ctx.header_buf), ctx.static_state)
+                if desc is None:
+                    # Cannot be a valid message: the context lost the
+                    # stream. Emit the rest untouched and report it.
+                    out += data[i:]
+                    result.desynced = True
+                    result.all_ok = False
+                    break
+                ctx.start_message(desc)
+        elif ctx.phase == Phase.BODY:
+            take = data[i : i + ctx.body_remaining]
+            if emit:
+                transformed = ctx.transform.process(take)
+                if len(transformed) != len(take):
+                    raise ProtocolError(
+                        f"{ctx.adapter.name}: transform is not size-preserving "
+                        f"({len(take)} -> {len(transformed)} bytes)"
+                    )
+                out += transformed
+            else:
+                ctx.transform.track(take)
+                out += take
+            ctx.body_remaining -= len(take)
+            i += len(take)
+            if ctx.body_remaining == 0:
+                if ctx.trailer_remaining:
+                    ctx.phase = Phase.TRAILER
+                else:
+                    result.completed += 1
+                    ctx.finish_message()
+        else:  # Phase.TRAILER
+            take = data[i : i + ctx.trailer_remaining]
+            if ctx.direction == Direction.TX and emit:
+                if not ctx._trailer_out:
+                    ctx._trailer_out = ctx.transform.finalize_tx()
+                    if len(ctx._trailer_out) != ctx.desc.trailer_len:
+                        raise ProtocolError(
+                            f"{ctx.adapter.name}: trailer length mismatch "
+                            f"({len(ctx._trailer_out)} != {ctx.desc.trailer_len})"
+                        )
+                offset = ctx.desc.trailer_len - ctx.trailer_remaining
+                out += ctx._trailer_out[offset : offset + len(take)]
+            else:
+                # RX (or tracking): collect and pass through the wire trailer.
+                ctx._trailer_in += take
+                out += take
+            ctx.trailer_remaining -= len(take)
+            i += len(take)
+            if ctx.trailer_remaining == 0:
+                if ctx.direction == Direction.RX and emit:
+                    if not ctx.transform.verify_rx(bytes(ctx._trailer_in)):
+                        result.all_ok = False
+                result.completed += 1
+                ctx.finish_message()
+    result.out = bytes(out)
+    return result
+
+
+def replay(ctx: HwContext, stored_bytes: bytes) -> None:
+    """Re-derive mid-message state by replaying ``stored_bytes`` from the
+    message start (TX context recovery, §4.2).  Output is discarded."""
+    result = walk(ctx, stored_bytes, emit=True)
+    if result.desynced:
+        raise ProtocolError(f"{ctx.adapter.name}: replay hit an unparseable header")

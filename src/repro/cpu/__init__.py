@@ -1,0 +1,17 @@
+"""CPU modelling: cycle cost constants, per-core accounting, LLC model,
+and the on-CPU vs off-CPU accelerator models used by Table 1."""
+
+from repro.cpu.model import CostModel, DEFAULT_COST_MODEL
+from repro.cpu.core import Core, Cpu
+from repro.cpu.cache import LlcModel
+from repro.cpu.accel import AesNiModel, QatModel
+
+__all__ = [
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "Core",
+    "Cpu",
+    "LlcModel",
+    "AesNiModel",
+    "QatModel",
+]

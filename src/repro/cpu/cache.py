@@ -1,0 +1,49 @@
+"""Last-level-cache footprint model.
+
+The paper's Figure 10 shows copy costs jumping once fio's in-flight
+working set (I/O depth x request size) exceeds the 32 MiB LLC.  We
+model this with a footprint register per host: workloads report the
+bytes they keep in flight, and per-byte costs are blended between
+LLC-resident and DRAM costs by the resident fraction (see
+:meth:`repro.cpu.model.CostModel.copy_cpb`).
+"""
+
+from __future__ import annotations
+
+from repro.cpu.model import CostModel
+
+
+class LlcModel:
+    """Tracks the active working set that competes for the LLC."""
+
+    def __init__(self, model: CostModel):
+        self.model = model
+        self._footprint = 0.0
+
+    # ------------------------------------------------------------------
+    def occupy(self, nbytes: float) -> None:
+        """Add ``nbytes`` to the working set (e.g. an I/O was issued)."""
+        if nbytes < 0:
+            raise ValueError("negative occupancy")
+        self._footprint += nbytes
+
+    def release(self, nbytes: float) -> None:
+        """Remove ``nbytes`` from the working set (e.g. an I/O completed)."""
+        self._footprint = max(0.0, self._footprint - nbytes)
+
+    @property
+    def footprint(self) -> float:
+        return self._footprint
+
+    @property
+    def resident_fraction(self) -> float:
+        if self._footprint <= 0:
+            return 1.0
+        return min(1.0, self.model.llc_bytes / self._footprint)
+
+    # ------------------------------------------------------------------
+    def copy_cpb(self) -> float:
+        return self.model.copy_cpb(self._footprint)
+
+    def touch_cpb(self, base_cpb: float) -> float:
+        return self.model.touch_cpb(base_cpb, self._footprint)

@@ -1,0 +1,111 @@
+"""Per-core cycle accounting integrated with the event loop.
+
+The model is *charge and serialize*: a component requests ``cycles`` of
+work on a core; the work begins when the core frees up and its
+completion callback fires when it ends.  Each charge is attributed to a
+category (``crypto``, ``copy``, ``crc``, ``stack``, ...) so the
+benchmarks can reproduce the paper's cycle-breakdown figures (2, 10,
+11) directly from instrumentation rather than hand-waving.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable, Optional
+
+from repro.cpu.model import CostModel
+from repro.sim import Simulator
+
+
+class Core:
+    """One CPU core: a FIFO resource measured in cycles."""
+
+    def __init__(self, sim: Simulator, model: CostModel, index: int = 0):
+        self.sim = sim
+        self.model = model
+        self.index = index
+        self.busy_until = 0.0
+        self.busy_seconds = 0.0
+        self.cycles_by_category: dict[str, float] = defaultdict(float)
+
+    # ------------------------------------------------------------------
+    def charge(self, cycles: float, category: str) -> float:
+        """Occupy the core for ``cycles``; returns the completion time.
+
+        Work starts when the core is free (or now, whichever is later)
+        and runs without preemption.
+        """
+        if cycles < 0:
+            raise ValueError(f"negative cycle charge {cycles!r}")
+        start = max(self.sim.now, self.busy_until)
+        duration = self.model.seconds(cycles)
+        self.busy_until = start + duration
+        self.busy_seconds += duration
+        self.cycles_by_category[category] += cycles
+        return self.busy_until
+
+    def run(self, cycles: float, category: str, fn: Callable[..., Any], *args: Any) -> None:
+        """Charge ``cycles`` and invoke ``fn(*args)`` when the work ends."""
+        done = self.charge(cycles, category)
+        self.sim.at(done, fn, *args)
+
+    def when_free(self, fn: Callable[..., Any], *args: Any) -> None:
+        """Invoke ``fn(*args)`` as soon as the core is idle."""
+        self.sim.at(max(self.sim.now, self.busy_until), fn, *args)
+
+    # ------------------------------------------------------------------
+    def utilization(self, interval: float) -> float:
+        """Fraction of ``interval`` this core spent busy."""
+        if interval <= 0:
+            return 0.0
+        return min(1.0, self.busy_seconds / interval)
+
+    def reset_stats(self) -> None:
+        self.busy_seconds = 0.0
+        self.cycles_by_category.clear()
+
+    @property
+    def total_cycles(self) -> float:
+        return sum(self.cycles_by_category.values())
+
+
+class Cpu:
+    """A socket's worth of identical cores with RSS-style flow steering."""
+
+    def __init__(self, sim: Simulator, model: CostModel, cores: int = 1):
+        if cores < 1:
+            raise ValueError("need at least one core")
+        self.sim = sim
+        self.model = model
+        self.cores = [Core(sim, model, index=i) for i in range(cores)]
+
+    def core_for_flow(self, flow_hash: int) -> Core:
+        """Deterministic flow→core steering (RSS)."""
+        return self.cores[flow_hash % len(self.cores)]
+
+    def charge(self, cycles: float, category: str, core: Optional[Core] = None) -> float:
+        return (core or self.cores[0]).charge(cycles, category)
+
+    # ------------------------------------------------------------------
+    def busy_cores(self, interval: float) -> float:
+        """Average number of busy cores over ``interval`` (the paper's
+        "busy cores" metric in Figures 12–15 and 19)."""
+        if interval <= 0:
+            return 0.0
+        return sum(c.busy_seconds for c in self.cores) / interval
+
+    def cycles_by_category(self) -> dict[str, float]:
+        """Aggregate cycle attribution across all cores."""
+        total: dict[str, float] = defaultdict(float)
+        for core in self.cores:
+            for category, cycles in core.cycles_by_category.items():
+                total[category] += cycles
+        return dict(total)
+
+    def reset_stats(self) -> None:
+        for core in self.cores:
+            core.reset_stats()
+
+    @property
+    def total_cycles(self) -> float:
+        return sum(c.total_cycles for c in self.cores)

@@ -1,0 +1,43 @@
+"""Cryptographic substrate, implemented from scratch.
+
+The real system relies on AES-GCM (TLS) and CRC32C (NVMe-TCP).  Both are
+implemented here and validated against published test vectors.  Because
+pure-Python AES cannot keep up with simulated 100 Gb/s runs, every
+primitive is also available through a *fast suite* with an identical
+incremental interface (see :mod:`repro.crypto.suite`); macro-benchmarks
+use the fast suites while the CPU cost model charges the cycles the real
+primitive would have cost.
+"""
+
+from repro.crypto.aes import AES
+from repro.crypto.gcm import AesGcm, GcmDecryptor, GcmEncryptor, AuthenticationError
+from repro.crypto.crc import crc32, crc32c, Crc32c, FastCrc
+from repro.crypto.sha1 import hmac_sha1, sha1
+from repro.crypto.suite import (
+    AesGcmSuite,
+    CipherSuite,
+    RecordDecryptor,
+    RecordEncryptor,
+    XorGcmSuite,
+    get_cipher_suite,
+)
+
+__all__ = [
+    "AES",
+    "AesGcm",
+    "AuthenticationError",
+    "GcmEncryptor",
+    "GcmDecryptor",
+    "crc32",
+    "crc32c",
+    "Crc32c",
+    "FastCrc",
+    "sha1",
+    "hmac_sha1",
+    "CipherSuite",
+    "AesGcmSuite",
+    "XorGcmSuite",
+    "RecordEncryptor",
+    "RecordDecryptor",
+    "get_cipher_suite",
+]

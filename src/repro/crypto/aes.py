@@ -1,0 +1,189 @@
+"""AES block cipher (FIPS 197), from scratch.
+
+Supports 128-, 192- and 256-bit keys.  The S-box is derived from the
+GF(2^8) multiplicative inverse rather than pasted in, so the whole
+construction is self-contained and checkable.
+
+Only the forward cipher is needed by GCM (CTR mode), but the inverse
+cipher is provided too and exercised by the test suite.
+"""
+
+from __future__ import annotations
+
+
+def _xtime(a: int) -> int:
+    """Multiply by x in GF(2^8) with the AES polynomial x^8+x^4+x^3+x+1."""
+    a <<= 1
+    if a & 0x100:
+        a ^= 0x11B
+    return a & 0xFF
+
+
+def _gf_mul(a: int, b: int) -> int:
+    """Multiply two elements of GF(2^8)."""
+    out = 0
+    while b:
+        if b & 1:
+            out ^= a
+        a = _xtime(a)
+        b >>= 1
+    return out
+
+
+def _build_sbox() -> tuple[bytes, bytes]:
+    """Compute the AES S-box and its inverse from first principles."""
+    # Multiplicative inverses via exponentiation: a^254 = a^-1 in GF(2^8).
+    inv = [0] * 256
+    for a in range(1, 256):
+        x = a
+        for _ in range(6):  # a^(2^k) chain computing a^254
+            x = _gf_mul(x, x)
+            x = _gf_mul(x, a)
+        inv[a] = _gf_mul(x, x)
+    sbox = bytearray(256)
+    for a in range(256):
+        b = inv[a]
+        # Affine transformation over GF(2).
+        res = 0
+        for i in range(8):
+            bit = (
+                (b >> i)
+                ^ (b >> ((i + 4) % 8))
+                ^ (b >> ((i + 5) % 8))
+                ^ (b >> ((i + 6) % 8))
+                ^ (b >> ((i + 7) % 8))
+                ^ (0x63 >> i)
+            ) & 1
+            res |= bit << i
+        sbox[a] = res
+    inv_sbox = bytearray(256)
+    for a, s in enumerate(sbox):
+        inv_sbox[s] = a
+    return bytes(sbox), bytes(inv_sbox)
+
+
+SBOX, INV_SBOX = _build_sbox()
+
+_RCON = [0x01]
+while len(_RCON) < 14:
+    _RCON.append(_xtime(_RCON[-1]))
+
+# T-tables for the fused SubBytes+ShiftRows+MixColumns round, built once.
+_T0 = []
+for _s in SBOX:
+    _t = (_gf_mul(_s, 2) << 24) | (_s << 16) | (_s << 8) | _gf_mul(_s, 3)
+    _T0.append(_t)
+_T1 = [((t >> 8) | ((t & 0xFF) << 24)) & 0xFFFFFFFF for t in _T0]
+_T2 = [((t >> 16) | ((t & 0xFFFF) << 16)) & 0xFFFFFFFF for t in _T0]
+_T3 = [((t >> 24) | ((t & 0xFFFFFF) << 8)) & 0xFFFFFFFF for t in _T0]
+
+
+class AES:
+    """The AES block cipher for a fixed key."""
+
+    BLOCK_SIZE = 16
+
+    def __init__(self, key: bytes):
+        if len(key) not in (16, 24, 32):
+            raise ValueError(f"invalid AES key length {len(key)}")
+        self.key = bytes(key)
+        self.rounds = {16: 10, 24: 12, 32: 14}[len(key)]
+        self._round_keys = self._expand_key(self.key)
+
+    def _expand_key(self, key: bytes) -> list[int]:
+        """Key schedule, returned as a flat list of 32-bit words."""
+        nk = len(key) // 4
+        words = [int.from_bytes(key[4 * i : 4 * i + 4], "big") for i in range(nk)]
+        total = 4 * (self.rounds + 1)
+        for i in range(nk, total):
+            temp = words[i - 1]
+            if i % nk == 0:
+                temp = ((temp << 8) | (temp >> 24)) & 0xFFFFFFFF  # RotWord
+                temp = (
+                    (SBOX[(temp >> 24) & 0xFF] << 24)
+                    | (SBOX[(temp >> 16) & 0xFF] << 16)
+                    | (SBOX[(temp >> 8) & 0xFF] << 8)
+                    | SBOX[temp & 0xFF]
+                )
+                temp ^= _RCON[i // nk - 1] << 24
+            elif nk > 6 and i % nk == 4:
+                temp = (
+                    (SBOX[(temp >> 24) & 0xFF] << 24)
+                    | (SBOX[(temp >> 16) & 0xFF] << 16)
+                    | (SBOX[(temp >> 8) & 0xFF] << 8)
+                    | SBOX[temp & 0xFF]
+                )
+            words.append(words[i - nk] ^ temp)
+        return words
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt a single 16-byte block."""
+        if len(block) != 16:
+            raise ValueError("AES block must be 16 bytes")
+        rk = self._round_keys
+        s0 = int.from_bytes(block[0:4], "big") ^ rk[0]
+        s1 = int.from_bytes(block[4:8], "big") ^ rk[1]
+        s2 = int.from_bytes(block[8:12], "big") ^ rk[2]
+        s3 = int.from_bytes(block[12:16], "big") ^ rk[3]
+        t0 = t1 = t2 = t3 = 0
+        for rnd in range(1, self.rounds):
+            k = 4 * rnd
+            t0 = _T0[s0 >> 24] ^ _T1[(s1 >> 16) & 0xFF] ^ _T2[(s2 >> 8) & 0xFF] ^ _T3[s3 & 0xFF] ^ rk[k]
+            t1 = _T0[s1 >> 24] ^ _T1[(s2 >> 16) & 0xFF] ^ _T2[(s3 >> 8) & 0xFF] ^ _T3[s0 & 0xFF] ^ rk[k + 1]
+            t2 = _T0[s2 >> 24] ^ _T1[(s3 >> 16) & 0xFF] ^ _T2[(s0 >> 8) & 0xFF] ^ _T3[s1 & 0xFF] ^ rk[k + 2]
+            t3 = _T0[s3 >> 24] ^ _T1[(s0 >> 16) & 0xFF] ^ _T2[(s1 >> 8) & 0xFF] ^ _T3[s2 & 0xFF] ^ rk[k + 3]
+            s0, s1, s2, s3 = t0, t1, t2, t3
+        k = 4 * self.rounds
+        out = bytearray(16)
+        # Final round: SubBytes + ShiftRows + AddRoundKey (no MixColumns).
+        cols = (s0, s1, s2, s3)
+        for c in range(4):
+            word = (
+                (SBOX[cols[c] >> 24] << 24)
+                | (SBOX[(cols[(c + 1) % 4] >> 16) & 0xFF] << 16)
+                | (SBOX[(cols[(c + 2) % 4] >> 8) & 0xFF] << 8)
+                | SBOX[cols[(c + 3) % 4] & 0xFF]
+            ) ^ rk[k + c]
+            out[4 * c : 4 * c + 4] = word.to_bytes(4, "big")
+        return bytes(out)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt a single 16-byte block (straightforward, non-table)."""
+        if len(block) != 16:
+            raise ValueError("AES block must be 16 bytes")
+        state = [[block[r + 4 * c] for c in range(4)] for r in range(4)]
+        rk = self._round_keys
+
+        def add_round_key(rnd: int) -> None:
+            for c in range(4):
+                word = rk[4 * rnd + c]
+                for r in range(4):
+                    state[r][c] ^= (word >> (24 - 8 * r)) & 0xFF
+
+        def inv_shift_rows() -> None:
+            for r in range(1, 4):
+                state[r] = state[r][-r:] + state[r][:-r]
+
+        def inv_sub_bytes() -> None:
+            for r in range(4):
+                for c in range(4):
+                    state[r][c] = INV_SBOX[state[r][c]]
+
+        def inv_mix_columns() -> None:
+            for c in range(4):
+                col = [state[r][c] for r in range(4)]
+                state[0][c] = _gf_mul(col[0], 14) ^ _gf_mul(col[1], 11) ^ _gf_mul(col[2], 13) ^ _gf_mul(col[3], 9)
+                state[1][c] = _gf_mul(col[0], 9) ^ _gf_mul(col[1], 14) ^ _gf_mul(col[2], 11) ^ _gf_mul(col[3], 13)
+                state[2][c] = _gf_mul(col[0], 13) ^ _gf_mul(col[1], 9) ^ _gf_mul(col[2], 14) ^ _gf_mul(col[3], 11)
+                state[3][c] = _gf_mul(col[0], 11) ^ _gf_mul(col[1], 13) ^ _gf_mul(col[2], 9) ^ _gf_mul(col[3], 14)
+
+        add_round_key(self.rounds)
+        for rnd in range(self.rounds - 1, 0, -1):
+            inv_shift_rows()
+            inv_sub_bytes()
+            add_round_key(rnd)
+            inv_mix_columns()
+        inv_shift_rows()
+        inv_sub_bytes()
+        add_round_key(0)
+        return bytes(state[r + 0][c] for c in range(4) for r in range(4))

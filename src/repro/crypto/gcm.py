@@ -1,0 +1,149 @@
+"""AES-GCM authenticated encryption (NIST SP 800-38D), from scratch.
+
+Two interfaces are provided:
+
+- :class:`AesGcm` — one-shot ``encrypt``/``decrypt`` as used by test
+  vectors and small messages.
+- :class:`GcmEncryptor` / :class:`GcmDecryptor` — *incremental* record
+  processing: the NIC model feeds one TCP packet's worth of bytes at a
+  time, exactly as the hardware walks a record spanning several packets.
+  GCM is CTR-based, so the keystream is seekable and the construction is
+  "incrementally computable over any byte range given constant state"
+  (the paper's precondition, §3.2).
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aes import AES
+from repro.crypto.ghash import Ghash
+
+
+class AuthenticationError(Exception):
+    """Raised when a GCM tag (or suite tag) fails verification."""
+
+
+def _inc32(block: int) -> int:
+    """Increment the low 32 bits of a 128-bit counter block."""
+    high = block & ~0xFFFFFFFF
+    low = (block + 1) & 0xFFFFFFFF
+    return high | low
+
+
+class _GcmStream:
+    """Shared CTR + GHASH machinery for the encrypt/decrypt directions."""
+
+    def __init__(self, aes: AES, h: int, nonce: bytes, aad: bytes):
+        if len(nonce) != 12:
+            raise ValueError("GCM nonce must be 96 bits")
+        self._aes = aes
+        self._ghash = Ghash(h)
+        self._ghash.update(aad)
+        self._ghash.pad_to_block()
+        self._aad_len = len(aad)
+        self._data_len = 0
+        self._j0 = int.from_bytes(nonce + b"\x00\x00\x00\x01", "big")
+        self._counter = _inc32(self._j0)
+        self._keystream = b""
+
+    def _take_keystream(self, n: int) -> bytes:
+        """Next ``n`` keystream bytes, generating blocks as needed."""
+        out = bytearray()
+        while n > 0:
+            if not self._keystream:
+                self._keystream = self._aes.encrypt_block(self._counter.to_bytes(16, "big"))
+                self._counter = _inc32(self._counter)
+            chunk = self._keystream[:n]
+            self._keystream = self._keystream[len(chunk) :]
+            out += chunk
+            n -= len(chunk)
+        return bytes(out)
+
+    def _xor_keystream(self, data: bytes) -> bytes:
+        ks = self._take_keystream(len(data))
+        return bytes(a ^ b for a, b in zip(data, ks))
+
+    def skip(self, n: int) -> None:
+        """Advance the keystream by ``n`` bytes without producing output.
+
+        Fallback helper for partially-offloaded records: positions the
+        stream mid-record.  The authenticator is NOT advanced — a
+        skipped stream must not be finalized for tag purposes.
+        """
+        self._take_keystream(n)
+
+    def _tag(self) -> bytes:
+        self._ghash.pad_to_block()
+        lengths = (self._aad_len * 8).to_bytes(8, "big") + (self._data_len * 8).to_bytes(8, "big")
+        self._ghash.update(lengths)
+        s = self._ghash.digest_int()
+        e_j0 = int.from_bytes(self._aes.encrypt_block(self._j0.to_bytes(16, "big")), "big")
+        return (s ^ e_j0).to_bytes(16, "big")
+
+
+class GcmEncryptor(_GcmStream):
+    """Incremental GCM encryption of one record."""
+
+    def update(self, plaintext: bytes) -> bytes:
+        ciphertext = self._xor_keystream(plaintext)
+        self._ghash.update(ciphertext)
+        self._data_len += len(plaintext)
+        return ciphertext
+
+    def absorb_ciphertext(self, ciphertext: bytes) -> None:
+        """Advance the authenticator over bytes that are *already*
+        ciphertext (the software fallback for partially NIC-decrypted
+        records re-encrypts the decrypted runs and absorbs the rest —
+        this is why partial offload costs more than none, §5.2)."""
+        self._ghash.update(ciphertext)
+        self._take_keystream(len(ciphertext))
+        self._data_len += len(ciphertext)
+
+    def finalize(self) -> bytes:
+        """Return the 16-byte authentication tag."""
+        return self._tag()
+
+
+class GcmDecryptor(_GcmStream):
+    """Incremental GCM decryption of one record."""
+
+    def update(self, ciphertext: bytes) -> bytes:
+        self._ghash.update(ciphertext)
+        plaintext = self._xor_keystream(ciphertext)
+        self._data_len += len(ciphertext)
+        return plaintext
+
+    def finalize(self, tag: bytes) -> None:
+        """Verify the tag; raises :class:`AuthenticationError` on mismatch."""
+        expected = self._tag()
+        if expected != tag:
+            raise AuthenticationError("GCM tag mismatch")
+
+
+class AesGcm:
+    """AES-GCM for a fixed key (one-shot interface)."""
+
+    TAG_SIZE = 16
+    NONCE_SIZE = 12
+
+    def __init__(self, key: bytes):
+        self._aes = AES(key)
+        self._h = int.from_bytes(self._aes.encrypt_block(b"\x00" * 16), "big")
+
+    def encryptor(self, nonce: bytes, aad: bytes = b"") -> GcmEncryptor:
+        return GcmEncryptor(self._aes, self._h, nonce, aad)
+
+    def decryptor(self, nonce: bytes, aad: bytes = b"") -> GcmDecryptor:
+        return GcmDecryptor(self._aes, self._h, nonce, aad)
+
+    def encrypt(self, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> tuple[bytes, bytes]:
+        """Return ``(ciphertext, tag)``."""
+        enc = self.encryptor(nonce, aad)
+        ciphertext = enc.update(plaintext)
+        return ciphertext, enc.finalize()
+
+    def decrypt(self, nonce: bytes, ciphertext: bytes, tag: bytes, aad: bytes = b"") -> bytes:
+        """Return the plaintext; raises :class:`AuthenticationError`."""
+        dec = self.decryptor(nonce, aad)
+        plaintext = dec.update(ciphertext)
+        dec.finalize(tag)
+        return plaintext

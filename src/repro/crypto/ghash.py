@@ -1,0 +1,110 @@
+"""GHASH — the GF(2^128) universal hash underlying AES-GCM (NIST SP 800-38D).
+
+Field elements are held as 128-bit Python ints in the NIST byte order:
+``int.from_bytes(block, "big")``, where the *most significant* bit of the
+integer is the coefficient of x^0.
+
+For speed we precompute, per hash key H, a Shoup-style table
+``T[k][b]`` = (byte value ``b`` at byte position ``k``) x H, so a block
+multiplication is 16 table lookups and XORs instead of a 128-step shift
+loop.
+"""
+
+from __future__ import annotations
+
+# x^128 + x^7 + x^2 + x + 1, in the right-shift (reflected) representation.
+_R = 0xE1000000000000000000000000000000
+
+
+def gf128_mul(x: int, y: int) -> int:
+    """Bitwise GF(2^128) multiplication, straight from the spec.
+
+    Slow; used to validate the table-driven path and to build tables.
+    """
+    z = 0
+    v = x
+    for i in range(127, -1, -1):
+        if (y >> i) & 1:
+            z ^= v
+        if v & 1:
+            v = (v >> 1) ^ _R
+        else:
+            v >>= 1
+    return z
+
+
+def _mul_x(v: int) -> int:
+    """Multiply a field element by x (one step of the shift loop)."""
+    if v & 1:
+        return (v >> 1) ^ _R
+    return v >> 1
+
+
+def _build_table(h: int) -> list[list[int]]:
+    """Byte-position tables for multiplication by H.
+
+    ``powers[j]`` is H*x^j.  A set integer bit i of the operand carries
+    coefficient x^(127-i); for byte k (0 = most significant) and bit t
+    (LSB-first within the byte) that exponent is 8k + 7 - t.
+    """
+    powers = [h]
+    for _ in range(127):
+        powers.append(_mul_x(powers[-1]))
+    table: list[list[int]] = []
+    for k in range(16):
+        row = [0] * 256
+        for t in range(8):
+            row[1 << t] = powers[8 * k + 7 - t]
+        for b in range(1, 256):
+            if b & (b - 1):  # not a power of two: combine smaller entries
+                row[b] = row[b & (b - 1)] ^ row[b & -b]
+        table.append(row)
+    return table
+
+
+class Ghash:
+    """Incremental GHASH over a byte stream.
+
+    Input is consumed in 16-byte blocks; a trailing partial block is
+    zero-padded at :meth:`digest` time, matching how GCM pads the AAD
+    and ciphertext segments separately (the caller — GCM — is
+    responsible for segment padding, so :meth:`pad_to_block` is exposed).
+    """
+
+    def __init__(self, h: int):
+        self.h = h
+        self._table = _build_table(h)
+        self._y = 0
+        self._buf = b""
+
+    def _mul_h(self, y: int) -> int:
+        table = self._table
+        z = 0
+        for k, byte in enumerate(y.to_bytes(16, "big")):
+            z ^= table[k][byte]
+        return z
+
+    def update(self, data: bytes) -> None:
+        buf = self._buf + data
+        full = len(buf) - (len(buf) % 16)
+        y = self._y
+        for off in range(0, full, 16):
+            block = int.from_bytes(buf[off : off + 16], "big")
+            y = self._mul_h(y ^ block)
+        self._y = y
+        self._buf = buf[full:]
+
+    def pad_to_block(self) -> None:
+        """Zero-pad the pending partial block, closing a GCM segment."""
+        if self._buf:
+            self.update(b"\x00" * (16 - len(self._buf)))
+
+    def digest_int(self) -> int:
+        """Current hash value; pending partial input is zero-padded."""
+        if self._buf:
+            block = int.from_bytes(self._buf.ljust(16, b"\x00"), "big")
+            return self._mul_h(self._y ^ block)
+        return self._y
+
+    def digest(self) -> bytes:
+        return self.digest_int().to_bytes(16, "big")

@@ -1,0 +1,62 @@
+"""SHA-1 (RFC 3174) and HMAC-SHA1 (RFC 2104), from scratch.
+
+Used by the Table 1 reproduction (AES-CBC-HMAC-SHA1 vs QAT) and by the
+fast cipher suite's key-derivation, and validated against published test
+vectors.
+"""
+
+from __future__ import annotations
+
+import struct
+
+
+def _rotl(value: int, amount: int) -> int:
+    return ((value << amount) | (value >> (32 - amount))) & 0xFFFFFFFF
+
+
+def _compress(state: tuple[int, ...], block: bytes) -> tuple[int, ...]:
+    w = list(struct.unpack(">16I", block))
+    for i in range(16, 80):
+        w.append(_rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1))
+    a, b, c, d, e = state
+    for i in range(80):
+        if i < 20:
+            f, k = (b & c) | (~b & d), 0x5A827999
+        elif i < 40:
+            f, k = b ^ c ^ d, 0x6ED9EBA1
+        elif i < 60:
+            f, k = (b & c) | (b & d) | (c & d), 0x8F1BBCDC
+        else:
+            f, k = b ^ c ^ d, 0xCA62C1D6
+        a, b, c, d, e = (
+            (_rotl(a, 5) + f + e + k + w[i]) & 0xFFFFFFFF,
+            a,
+            _rotl(b, 30),
+            c,
+            d,
+        )
+    return tuple((s + v) & 0xFFFFFFFF for s, v in zip(state, (a, b, c, d, e)))
+
+
+_IV = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0)
+
+
+def sha1(data: bytes) -> bytes:
+    """SHA-1 digest of ``data`` (20 bytes)."""
+    length = len(data)
+    data = data + b"\x80"
+    data += b"\x00" * ((56 - len(data)) % 64)
+    data += struct.pack(">Q", length * 8)
+    state = _IV
+    for off in range(0, len(data), 64):
+        state = _compress(state, data[off : off + 64])
+    return struct.pack(">5I", *state)
+
+
+def hmac_sha1(key: bytes, message: bytes) -> bytes:
+    """HMAC-SHA1 of ``message`` under ``key`` (20 bytes)."""
+    if len(key) > 64:
+        key = sha1(key)
+    key = key.ljust(64, b"\x00")
+    inner = sha1(bytes(k ^ 0x36 for k in key) + message)
+    return sha1(bytes(k ^ 0x5C for k in key) + inner)

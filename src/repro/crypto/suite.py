@@ -1,0 +1,204 @@
+"""Cipher suites: a uniform incremental AEAD interface.
+
+The offload architecture (and kTLS) only require of the cipher what the
+paper's Table 3 requires: size-preserving transformation, incremental
+computability over arbitrary byte ranges given constant-size state, and
+a fixed-size trailer (the tag).  Two suites implement that contract:
+
+- :class:`AesGcmSuite` — the real AES-128-GCM built in this package,
+  used by unit tests and small runs.
+- :class:`XorGcmSuite` — a numpy-accelerated stand-in with a periodic
+  key/nonce-derived keystream and a CRC-based 16-byte tag.  It detects
+  corruption, wrong keys, and wrong nonces, and is seekable like CTR
+  mode; it is obviously not secure.  Macro-benchmarks use it while the
+  CPU model charges true AES-GCM cycle costs (DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Protocol
+
+import numpy as np
+
+from repro.crypto.gcm import AesGcm, AuthenticationError
+from repro.crypto.sha1 import sha1
+
+
+class RecordEncryptor(Protocol):
+    """Incrementally encrypts one record."""
+
+    def update(self, plaintext: bytes) -> bytes: ...
+
+    def finalize(self) -> bytes: ...
+
+
+class RecordDecryptor(Protocol):
+    """Incrementally decrypts one record."""
+
+    def update(self, ciphertext: bytes) -> bytes: ...
+
+    def finalize(self, tag: bytes) -> None: ...
+
+
+class CipherSuite:
+    """Factory for record encryptors/decryptors under a fixed algorithm."""
+
+    name: str = "abstract"
+    key_size: int = 16
+    nonce_size: int = 12
+    tag_size: int = 16
+
+    def encryptor(self, key: bytes, nonce: bytes, aad: bytes = b"") -> RecordEncryptor:
+        raise NotImplementedError
+
+    def decryptor(self, key: bytes, nonce: bytes, aad: bytes = b"") -> RecordDecryptor:
+        raise NotImplementedError
+
+    # One-shot conveniences -------------------------------------------------
+    def seal(self, key: bytes, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> tuple[bytes, bytes]:
+        enc = self.encryptor(key, nonce, aad)
+        ciphertext = enc.update(plaintext)
+        return ciphertext, enc.finalize()
+
+    def open(self, key: bytes, nonce: bytes, ciphertext: bytes, tag: bytes, aad: bytes = b"") -> bytes:
+        dec = self.decryptor(key, nonce, aad)
+        plaintext = dec.update(ciphertext)
+        dec.finalize(tag)
+        return plaintext
+
+
+class AesGcmSuite(CipherSuite):
+    """Real AES-128-GCM.  Contexts are cached per key: the key schedule
+    and GHASH tables are per-connection state, exactly like the static
+    part of the paper's HW context."""
+
+    name = "aes-gcm"
+
+    def __init__(self) -> None:
+        self._contexts: dict[bytes, AesGcm] = {}
+
+    def _context(self, key: bytes) -> AesGcm:
+        ctx = self._contexts.get(key)
+        if ctx is None:
+            ctx = self._contexts[key] = AesGcm(key)
+        return ctx
+
+    def encryptor(self, key: bytes, nonce: bytes, aad: bytes = b"") -> RecordEncryptor:
+        return self._context(key).encryptor(nonce, aad)
+
+    def decryptor(self, key: bytes, nonce: bytes, aad: bytes = b"") -> RecordDecryptor:
+        return self._context(key).decryptor(nonce, aad)
+
+
+_PAD_PERIOD = 256
+
+
+def _derive_pad(key: bytes) -> np.ndarray:
+    """A 256-byte pseudo-random pad derived from the key via SHA-1 chaining."""
+    out = bytearray()
+    state = key
+    while len(out) < _PAD_PERIOD:
+        state = sha1(state + key)
+        out += state
+    return np.frombuffer(bytes(out[:_PAD_PERIOD]), dtype=np.uint8)
+
+
+class _XorStream:
+    """Shared keystream/tag machinery for the fast suite."""
+
+    def __init__(self, pad: np.ndarray, key: bytes, nonce: bytes, aad: bytes):
+        nonce_pat = np.frombuffer((nonce + nonce)[:16] * (_PAD_PERIOD // 16), dtype=np.uint8)
+        self._pad = pad ^ nonce_pat
+        self._offset = 0
+        self._ct_crc = zlib.crc32(aad)
+        self._key_mix = zlib.crc32(key + nonce)
+        self._length = 0
+
+    def _keystream(self, n: int) -> np.ndarray:
+        start = self._offset % _PAD_PERIOD
+        reps = (start + n + _PAD_PERIOD - 1) // _PAD_PERIOD
+        stream = np.tile(self._pad, reps)[start : start + n]
+        self._offset += n
+        return stream
+
+    def _xor(self, data: bytes) -> bytes:
+        arr = np.frombuffer(data, dtype=np.uint8)
+        return (arr ^ self._keystream(len(data))).tobytes()
+
+    def _absorb_ciphertext(self, ciphertext: bytes) -> None:
+        self._ct_crc = zlib.crc32(ciphertext, self._ct_crc)
+        self._length += len(ciphertext)
+
+    def _tag(self) -> bytes:
+        return struct.pack(
+            "<IIII",
+            self._ct_crc & 0xFFFFFFFF,
+            self._key_mix & 0xFFFFFFFF,
+            self._length & 0xFFFFFFFF,
+            (self._ct_crc ^ self._key_mix) & 0xFFFFFFFF,
+        )
+
+
+class _XorEncryptor(_XorStream):
+    def update(self, plaintext: bytes) -> bytes:
+        ciphertext = self._xor(plaintext)
+        self._absorb_ciphertext(ciphertext)
+        return ciphertext
+
+    def absorb_ciphertext(self, ciphertext: bytes) -> None:
+        """Advance the authenticator over already-encrypted bytes (see
+        :meth:`repro.crypto.gcm.GcmEncryptor.absorb_ciphertext`)."""
+        self._offset += len(ciphertext)
+        self._absorb_ciphertext(ciphertext)
+
+    def finalize(self) -> bytes:
+        return self._tag()
+
+
+class _XorDecryptor(_XorStream):
+    def update(self, ciphertext: bytes) -> bytes:
+        self._absorb_ciphertext(ciphertext)
+        return self._xor(ciphertext)
+
+    def skip(self, n: int) -> None:
+        """Advance the keystream without output (fallback positioning);
+        the authenticator is not advanced — do not finalize after."""
+        self._offset += n
+
+    def finalize(self, tag: bytes) -> None:
+        if self._tag() != tag:
+            raise AuthenticationError("fast-suite tag mismatch")
+
+
+class XorGcmSuite(CipherSuite):
+    """Fast GCM-shaped suite (see module docstring)."""
+
+    name = "xor-gcm"
+
+    def __init__(self) -> None:
+        self._pads: dict[bytes, np.ndarray] = {}
+
+    def _pad(self, key: bytes) -> np.ndarray:
+        pad = self._pads.get(key)
+        if pad is None:
+            pad = self._pads[key] = _derive_pad(key)
+        return pad
+
+    def encryptor(self, key: bytes, nonce: bytes, aad: bytes = b"") -> RecordEncryptor:
+        return _XorEncryptor(self._pad(key), key, nonce, aad)
+
+    def decryptor(self, key: bytes, nonce: bytes, aad: bytes = b"") -> RecordDecryptor:
+        return _XorDecryptor(self._pad(key), key, nonce, aad)
+
+
+_SUITES = {"aes-gcm": AesGcmSuite, "xor-gcm": XorGcmSuite}
+
+
+def get_cipher_suite(name: str) -> CipherSuite:
+    """Instantiate a cipher suite by name (``"aes-gcm"`` or ``"xor-gcm"``)."""
+    try:
+        return _SUITES[name]()
+    except KeyError:
+        raise ValueError(f"unknown cipher suite {name!r}; choose from {sorted(_SUITES)}") from None

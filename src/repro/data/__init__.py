@@ -1,0 +1,13 @@
+"""Embedded datasets behind the paper's motivational figures (3, 4 and
+Table 2).  These are data reproductions, not measurements."""
+
+from repro.data.linux_loc import LINUX_TCP_LOC, modified_fraction_range
+from repro.data.nic_prices import CONNECTX_OFFLOADS, CONNECTX_PRICES, price_spread_by_class
+
+__all__ = [
+    "LINUX_TCP_LOC",
+    "modified_fraction_range",
+    "CONNECTX_PRICES",
+    "CONNECTX_OFFLOADS",
+    "price_spread_by_class",
+]

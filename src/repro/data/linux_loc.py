@@ -1,0 +1,66 @@
+"""Figure 3 dataset: lines of code in Linux's TCP/IP processing paths.
+
+The paper counts, per year (2010-2019), total and modified LoC for the
+networking components that a TCP offload engine would have to mirror in
+hardware: net/ipv4, net/ipv4 TCP files, net/ipv6, net/ipv6 TCP files,
+net/core, net/sched, and the Ethernet drivers' common layer.  The point
+being made: 5-25% of each component changes *every year*, so freezing
+it into NIC silicon is untenable.
+
+Values are approximate reconstructions of the figure (thousands of
+lines), suitable for reproducing its shape and the 5-25% claim; they are
+not freshly counted from kernel history.
+"""
+
+from __future__ import annotations
+
+COMPONENTS = ("ipv4", "ipv4/tcp", "ipv6", "ipv6/tcp", "core", "sched", "ethernet")
+
+# {year: {component: total_loc}}
+LINUX_TCP_LOC: dict[int, dict[str, int]] = {
+    2010: {"ipv4": 78000, "ipv4/tcp": 21000, "ipv6": 46000, "ipv6/tcp": 2200, "core": 52000, "sched": 26000, "ethernet": 24000},
+    2011: {"ipv4": 80000, "ipv4/tcp": 21500, "ipv6": 48000, "ipv6/tcp": 2250, "core": 56000, "sched": 27000, "ethernet": 25000},
+    2012: {"ipv4": 83000, "ipv4/tcp": 22500, "ipv6": 51000, "ipv6/tcp": 2300, "core": 60000, "sched": 28500, "ethernet": 26000},
+    2013: {"ipv4": 86000, "ipv4/tcp": 23500, "ipv6": 54000, "ipv6/tcp": 2400, "core": 64000, "sched": 30000, "ethernet": 27000},
+    2014: {"ipv4": 89000, "ipv4/tcp": 24500, "ipv6": 57000, "ipv6/tcp": 2450, "core": 68000, "sched": 31500, "ethernet": 28000},
+    2015: {"ipv4": 92000, "ipv4/tcp": 25500, "ipv6": 60000, "ipv6/tcp": 2500, "core": 73000, "sched": 33500, "ethernet": 29000},
+    2016: {"ipv4": 95000, "ipv4/tcp": 26500, "ipv6": 62000, "ipv6/tcp": 2550, "core": 78000, "sched": 36000, "ethernet": 30000},
+    2017: {"ipv4": 97000, "ipv4/tcp": 27500, "ipv6": 64000, "ipv6/tcp": 2600, "core": 84000, "sched": 39000, "ethernet": 31000},
+    2018: {"ipv4": 99000, "ipv4/tcp": 28500, "ipv6": 66000, "ipv6/tcp": 2650, "core": 90000, "sched": 42000, "ethernet": 32000},
+    2019: {"ipv4": 101000, "ipv4/tcp": 29500, "ipv6": 67000, "ipv6/tcp": 2700, "core": 96000, "sched": 45000, "ethernet": 33000},
+}
+
+# Yearly modified fraction per component, from the figure's upper panel.
+MODIFIED_FRACTION: dict[str, float] = {
+    "ipv4": 0.09,
+    "ipv4/tcp": 0.13,
+    "ipv6": 0.08,
+    "ipv6/tcp": 0.22,
+    "core": 0.16,
+    "sched": 0.24,
+    "ethernet": 0.06,
+}
+
+
+def total_loc(year: int) -> int:
+    return sum(LINUX_TCP_LOC[year].values())
+
+
+def totals_by_year() -> list[tuple[int, int]]:
+    """(year, total LoC) series for the figure's right panel."""
+    return [(year, sum(parts.values())) for year, parts in sorted(LINUX_TCP_LOC.items())]
+
+
+def modified_by_year() -> list[tuple[int, int]]:
+    """(year, modified LoC) series for the figure's left panel."""
+    out = []
+    for year, parts in sorted(LINUX_TCP_LOC.items()):
+        modified = sum(int(loc * MODIFIED_FRACTION[name]) for name, loc in parts.items())
+        out.append((year, modified))
+    return out
+
+
+def modified_fraction_range() -> tuple[float, float]:
+    """The paper's "5-25% LoC modification in each component, each year"."""
+    fractions = MODIFIED_FRACTION.values()
+    return min(fractions), max(fractions)

@@ -1,0 +1,96 @@
+"""Figure 4 / Table 2 dataset: ConnectX generations, offloads, prices.
+
+The paper's §2.5 argument: list prices track throughput and port count,
+not offload capability, so clients get new ASIC offloads "essentially
+for free".  Prices are representative points read off the March 2020
+Mellanox list (Figure 4); offload capabilities are Table 2 verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+CONNECTX_OFFLOADS: dict[int, tuple[int, list[str]]] = {
+    3: (2011, ["stateless checksum", "LSO for TCP over VXLAN and NVGRE"]),
+    4: (
+        2014,
+        [
+            "LRO",
+            "RSS",
+            "VLAN insertion/stripping",
+            "accelerated receive flow steering",
+            "on-demand paging",
+            "T10-DIF signature offload",
+        ],
+    ),
+    5: (
+        2016,
+        [
+            "header rewrite",
+            "adaptive routing for RDMA",
+            "NVMe over fabric",
+            "host chaining",
+            "MPI tag matching and rendezvous",
+            "UDP segmentation offload",
+        ],
+    ),
+    6: (2019, ["block-level AES-XTS 256/512 bit"]),
+}
+
+
+@dataclass(frozen=True)
+class NicPrice:
+    generation: int
+    model: str
+    speed_gbps: int
+    ports: int
+    price_usd: float
+
+
+# Representative points from the March 2020 price list (Figure 4).
+CONNECTX_PRICES: list[NicPrice] = [
+    NicPrice(3, "3EN", 10, 1, 190),
+    NicPrice(3, "3EN", 10, 2, 260),
+    NicPrice(4, "4LX", 10, 1, 180),
+    NicPrice(4, "4LX", 10, 2, 250),
+    NicPrice(4, "4LX", 25, 1, 250),
+    NicPrice(4, "4LX", 25, 2, 320),
+    NicPrice(5, "5EN", 25, 1, 260),
+    NicPrice(5, "5EN", 25, 2, 330),
+    NicPrice(3, "3VPI", 40, 1, 370),
+    NicPrice(3, "3VPI", 40, 2, 450),
+    NicPrice(4, "4VPI", 40, 1, 360),
+    NicPrice(4, "4VPI", 50, 1, 420),
+    NicPrice(4, "4VPI", 50, 2, 530),
+    NicPrice(5, "5VPI", 50, 1, 430),
+    NicPrice(5, "5VPI", 50, 2, 540),
+    NicPrice(4, "4VPI", 100, 1, 630),
+    NicPrice(4, "4VPI", 100, 2, 800),
+    NicPrice(5, "5VPI", 100, 1, 640),
+    NicPrice(5, "5VPI", 100, 2, 810),
+    NicPrice(6, "6VPI", 100, 1, 660),
+    NicPrice(6, "6VPI", 100, 2, 830),
+]
+
+
+def price_spread_by_class() -> dict[tuple[int, int], tuple[float, float]]:
+    """For each (speed, ports) class sold across several generations,
+    return (min, max) price — the spread is small although offload
+    capability differs greatly."""
+    classes: dict[tuple[int, int], list[float]] = {}
+    for nic in CONNECTX_PRICES:
+        classes.setdefault((nic.speed_gbps, nic.ports), []).append(nic.price_usd)
+    return {
+        cls: (min(prices), max(prices))
+        for cls, prices in classes.items()
+        if len(prices) > 1
+    }
+
+
+def price_determinants_hold() -> bool:
+    """True if price grows with speed and ports but not generation."""
+    spread_ok = all(hi <= lo * 1.2 for lo, hi in price_spread_by_class().values())
+    one_port_100g = [n.price_usd for n in CONNECTX_PRICES if n.speed_gbps == 100 and n.ports == 1]
+    one_port_10g = [n.price_usd for n in CONNECTX_PRICES if n.speed_gbps == 10 and n.ports == 1]
+    speed_ok = min(one_port_100g) > max(one_port_10g)
+    return spread_ok and speed_ok

@@ -1,0 +1,27 @@
+"""Experiment runners behind every table and figure of the evaluation.
+
+Each module builds the §6 testbed, drives the matching workload, and
+returns the rows/series the paper reports.  The ``benchmarks/`` tree
+prints them; EXPERIMENTS.md records paper-vs-measured.
+"""
+
+from repro.experiments.iperf_tls import IperfRun, run_iperf
+from repro.experiments.fio_cycles import FioPoint, run_fio_point
+from repro.experiments.nginx_bench import NginxRun, run_nginx
+from repro.experiments.latency import run_latency_table
+from repro.experiments.rof_bench import RofRun, run_rof
+from repro.experiments.scalability import ScalePoint, run_scale_point
+
+__all__ = [
+    "IperfRun",
+    "run_iperf",
+    "FioPoint",
+    "run_fio_point",
+    "NginxRun",
+    "run_nginx",
+    "run_latency_table",
+    "RofRun",
+    "run_rof",
+    "ScalePoint",
+    "run_scale_point",
+]

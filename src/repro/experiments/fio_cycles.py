@@ -1,0 +1,108 @@
+"""fio cycle-breakdown experiments (Figures 2 and 10).
+
+Random reads (or writes) over NVMe-TCP with one DUT core; reports
+per-request cycles split into crc / copy / other / idle, where idle is
+wall-cycles minus busy cycles — exactly Figure 10's stacking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.fio import FioJob
+from repro.harness.testbed import Testbed, TestbedConfig
+from repro.l5p.nvme_tcp import NvmeConfig, NvmeTcpHost, NvmeTcpTarget
+from repro.storage.blockdev import BlockDevice
+
+
+@dataclass
+class FioPoint:
+    block_size: int
+    iodepth: int
+    requests: int
+    cycles_crc: float
+    cycles_copy: float
+    cycles_other: float
+    cycles_idle: float
+    iops: float
+    mean_latency: float
+    offloaded_pdus: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def cycles_total(self) -> float:
+        return self.cycles_crc + self.cycles_copy + self.cycles_other + self.cycles_idle
+
+    @property
+    def offloadable_fraction(self) -> float:
+        """copy+crc out of the total — the figure's "%" right axis."""
+        total = self.cycles_total
+        return (self.cycles_crc + self.cycles_copy) / total if total else 0.0
+
+    @property
+    def busy_fraction(self) -> float:
+        total = self.cycles_total
+        return 1.0 - self.cycles_idle / total if total else 0.0
+
+
+def run_fio_point(
+    block_size: int,
+    iodepth: int,
+    mode: str = "randread",
+    offload: bool = False,
+    warmup: float = 2e-3,
+    measure: float = 10e-3,
+    seed: int = 0,
+    digest_name: str = "fast",
+    queue_depth_margin: int = 2,
+) -> FioPoint:
+    """One (block size, I/O depth) cell of Figure 10."""
+    # Deep queues need a longer ramp: cwnd must grow to cover the whole
+    # in-flight working set before steady state.
+    warmup = max(warmup, 2e-3 + iodepth * 4e-5)
+    tb = Testbed(TestbedConfig(seed=seed, server_cores=1, generator_cores=12))
+    device = BlockDevice(tb.sim)
+    target_cfg = NvmeConfig(digest_name=digest_name, tx_offload=True)
+    NvmeTcpTarget(tb.generator, device, config=target_cfg).start()
+    host_cfg = NvmeConfig(
+        digest_name=digest_name,
+        rx_offload_crc=offload,
+        rx_offload_copy=offload,
+        tx_offload=offload,
+        queue_depth=iodepth * queue_depth_margin,
+    )
+    nvme = NvmeTcpHost(tb.server, config=host_cfg)
+    nvme.connect("generator")
+    job = FioJob(nvme, block_size=block_size, iodepth=iodepth, mode=mode, seed=seed)
+    job.start()
+
+    tb.run(until=warmup)
+    tb.server.cpu.reset_stats()
+    done_before = job.stats.completed
+    placed_before = nvme.stats.pdus_placed
+    latencies_mark = len(job.stats.latencies)
+
+    tb.run(until=warmup + measure)
+    job.stop()
+    requests = job.stats.completed - done_before
+    cats = tb.server.cpu.cycles_by_category()
+    busy = sum(cats.values())
+    wall_cycles = measure * tb.server.model.freq_hz
+    idle = max(0.0, wall_cycles - busy)
+    n = max(1, requests)
+    crc = cats.get("crc", 0.0)
+    copy = cats.get("copy", 0.0)
+    other = busy - crc - copy
+    window_lat = job.stats.latencies[latencies_mark:]
+    return FioPoint(
+        block_size=block_size,
+        iodepth=iodepth,
+        requests=requests,
+        cycles_crc=crc / n,
+        cycles_copy=copy / n,
+        cycles_other=other / n,
+        cycles_idle=idle / n,
+        iops=requests / measure,
+        mean_latency=sum(window_lat) / len(window_lat) if window_lat else 0.0,
+        offloaded_pdus=nvme.stats.pdus_placed - placed_before,
+    )

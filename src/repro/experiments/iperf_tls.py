@@ -1,0 +1,160 @@
+"""iperf-based experiments: Figure 11 (cycle breakdown), the §6.1
+single-core offload gains, and Figures 16-18 (loss/reordering).
+
+``direction`` selects which host is the device under test:
+
+- ``"tx"``: the DUT transmits (its single core saturates); faults are
+  injected on the DUT->generator path (Figure 16).
+- ``"rx"``: the DUT receives; the generator transmits with TX offload so
+  it never bottlenecks; faults hit the generator->DUT path (Fig 17-18).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.apps.iperf import IperfClient, IperfServer
+from repro.harness.testbed import Testbed, TestbedConfig
+from repro.l5p.tls.ktls import TlsConfig
+from repro.util.units import gbps
+
+
+@dataclass
+class IperfRun:
+    mode: str
+    direction: str
+    goodput_gbps: float
+    dut_cycles: dict = field(default_factory=dict)
+    records: dict = field(default_factory=dict)  # full/partial/none deltas
+    bytes_moved: int = 0
+    pcie_recovery_fraction: float = 0.0
+    tx_recoveries: int = 0
+    resyncs: int = 0
+    duration: float = 0.0
+
+    @property
+    def crypto_fraction(self) -> float:
+        total = sum(self.dut_cycles.values())
+        return self.dut_cycles.get("crypto", 0) / total if total else 0.0
+
+    def cycles_per_record(self, record_size: int) -> dict:
+        """Cycle attribution normalized per TLS record processed."""
+        records = max(1, self.bytes_moved // record_size)
+        return {k: v / records for k, v in self.dut_cycles.items()}
+
+
+def _tls_config(mode: str, role: str) -> Optional[TlsConfig]:
+    if mode == "tcp":
+        return None
+    if mode == "tls-sw":
+        return TlsConfig()
+    if mode == "tls-offload":
+        if role == "sender":
+            return TlsConfig(tx_offload=True)
+        return TlsConfig(rx_offload=True)
+    raise ValueError(f"unknown iperf mode {mode!r}")
+
+
+def run_iperf(
+    mode: str = "tls-sw",
+    direction: str = "tx",
+    streams: int = 1,
+    message_size: int = 256 * 1024,
+    record_size: int = 16 * 1024,
+    loss: float = 0.0,
+    reorder: float = 0.0,
+    warmup: float = 6e-3,
+    measure: float = 8e-3,
+    seed: int = 0,
+    generator_cores: int = 12,
+    tune_nic=None,
+) -> IperfRun:
+    """One iperf configuration; returns goodput and DUT cycle accounting
+    measured over the post-warm-up window."""
+    if mode != "tcp":
+        # The DUT's single core performs every TLS handshake serially
+        # before steady state; scale the warm-up to absorb them.
+        handshake_s = streams * 320_000 / 2.0e9
+        warmup = max(warmup, 4e-3 + 1.3 * handshake_s)
+    if direction == "tx":
+        cfg = TestbedConfig(
+            seed=seed,
+            server_cores=1,
+            generator_cores=generator_cores,
+            loss_to_generator=loss,
+            reorder_to_generator=reorder,
+        )
+    elif direction == "rx":
+        cfg = TestbedConfig(
+            seed=seed,
+            server_cores=1,
+            generator_cores=generator_cores,
+            loss_to_server=loss,
+            reorder_to_server=reorder,
+        )
+    else:
+        raise ValueError(f"direction must be tx/rx, got {direction!r}")
+    tb = Testbed(cfg)
+    if tune_nic is not None:
+        tune_nic(tb.server.nic)  # ablation hook for the DUT's NIC
+
+    if direction == "tx":
+        sender_host, receiver_host = tb.server, tb.generator
+    else:
+        sender_host, receiver_host = tb.generator, tb.server
+
+    def sized(tls: Optional[TlsConfig]) -> Optional[TlsConfig]:
+        if tls is None:
+            return None
+        return TlsConfig(
+            suite_name=tls.suite_name,
+            tx_offload=tls.tx_offload,
+            rx_offload=tls.rx_offload,
+            record_size=record_size,
+        )
+
+    sender_tls = sized(_tls_config(mode, "sender"))
+    receiver_tls = sized(_tls_config(mode, "receiver"))
+    if direction == "rx" and mode != "tcp":
+        # Keep the generator cheap: it always offloads its transmit side.
+        sender_tls = TlsConfig(tx_offload=True, record_size=record_size)
+
+    server_app = IperfServer(receiver_host, tls=receiver_tls)
+    IperfClient(sender_host, receiver_host.name, streams=streams, message_size=message_size, tls=sender_tls)
+
+    tb.run(until=warmup)
+    dut = tb.server
+    dut.cpu.reset_stats()
+    dut.nic.pcie.reset_stats()
+    bytes_before = server_app.total_bytes
+    records_before = _record_counts(server_app)
+    stats_before = dut.nic.offload_stats()
+
+    tb.run(until=warmup + measure)
+    moved = server_app.total_bytes - bytes_before
+    records_after = _record_counts(server_app)
+    stats_after = dut.nic.offload_stats()
+
+    recovery_frac = dut.nic.pcie.utilization("recovery", measure)
+    return IperfRun(
+        mode=mode,
+        direction=direction,
+        goodput_gbps=gbps(max(moved, 1), measure),
+        dut_cycles=dut.cpu.cycles_by_category(),
+        records={k: records_after[k] - records_before[k] for k in records_after},
+        bytes_moved=moved,
+        pcie_recovery_fraction=recovery_frac,
+        tx_recoveries=stats_after["tx_recoveries"] - stats_before["tx_recoveries"],
+        resyncs=stats_after["resyncs_completed"] - stats_before["resyncs_completed"],
+        duration=measure,
+    )
+
+
+def _record_counts(server_app: IperfServer) -> dict:
+    counts = {"full": 0, "partial": 0, "none": 0}
+    for tls in server_app.tls_sockets:
+        counts["full"] += tls.stats.records_rx_full
+        counts["partial"] += tls.stats.records_rx_partial
+        counts["none"] += tls.stats.records_rx_none
+    return counts

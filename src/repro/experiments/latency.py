@@ -1,0 +1,49 @@
+"""Table 4: single-connection synchronous GET latency while cumulatively
+adding offloads (base → +TLS → +copy → +CRC), C1 storage."""
+
+from __future__ import annotations
+
+from repro.experiments.nginx_bench import run_nginx
+
+CONFIGS = [
+    # (label, nginx variant, nvme copy offload, nvme crc offload)
+    ("base", "https", False, False),
+    ("+TLS", "offload+zc", False, False),
+    ("+copy", "offload+zc", True, False),
+    ("+CRC", "offload+zc", True, True),
+]
+
+
+def run_latency_table(
+    sizes=(4 * 1024, 16 * 1024, 64 * 1024, 256 * 1024),
+    measure: float = 20e-3,
+    seeds=(0,),
+) -> dict[int, dict[str, "Summary"]]:
+    """Returns {size: {config: Summary of mean latency across seeds}}
+    — the paper reports trimmed means with standard deviations."""
+    from repro.util.stats import Summary
+
+    table: dict[int, dict[str, Summary]] = {}
+    for size in sizes:
+        row: dict[str, Summary] = {}
+        for label, variant, copy_off, crc_off in CONFIGS:
+            samples = []
+            for seed in seeds:
+                run = run_nginx(
+                    variant,
+                    storage="c1",
+                    file_size=size,
+                    server_cores=1,
+                    connections=1,
+                    files=4,
+                    nvme_copy=copy_off,
+                    nvme_crc=crc_off,
+                    warmup=3e-3,
+                    measure=measure,
+                    seed=seed,
+                    record_latencies=True,
+                )
+                samples.append(run.mean_latency)
+            row[label] = Summary.of(samples)
+        table[size] = row
+    return table

@@ -1,0 +1,185 @@
+"""nginx macrobenchmarks (Figures 12, 13, 14).
+
+Variants map to the paper's bars:
+
+- ``http``        plain TCP, no encryption (upper bound)
+- ``https``       software kTLS sendfile (baseline)
+- ``offload``     TLS TX offload, still copying
+- ``offload+zc``  TLS TX offload, zero-copy sendfile
+
+Storage configurations:
+
+- ``c2``  all files resident in the page cache (NIC-line-rate bound)
+- ``c1``  nothing cached; every request reads the remote drive over
+          NVMe-TCP (drive-bandwidth bound), optionally with the
+          NVMe-TCP offloads and/or TLS on the storage hop (NVMe-TLS)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.apps.nginx import NginxServer
+from repro.apps.wrk import WrkClient
+from repro.harness.testbed import Testbed, TestbedConfig
+from repro.l5p.nvme_tcp import NvmeConfig, NvmeTcpHost, NvmeTcpTarget
+from repro.l5p.tls.ktls import TlsConfig
+from repro.storage.blockdev import BlockDevice
+from repro.storage.fs import FlatFs
+from repro.storage.remote import MultiQueueReader
+from repro.util.units import gbps
+
+VARIANTS = ("http", "https", "offload", "offload+zc")
+
+
+def variant_tls(variant: str) -> Optional[TlsConfig]:
+    if variant == "http":
+        return None
+    if variant == "https":
+        return TlsConfig()
+    if variant == "offload":
+        return TlsConfig(tx_offload=True)
+    if variant == "offload+zc":
+        return TlsConfig(tx_offload=True, zerocopy_sendfile=True)
+    raise ValueError(f"unknown nginx variant {variant!r}; choose from {VARIANTS}")
+
+
+@dataclass
+class NginxRun:
+    variant: str
+    storage: str
+    file_size: int
+    cores: int
+    goodput_gbps: float
+    busy_cores: float
+    requests: int
+    mean_latency: float
+    extra: dict = field(default_factory=dict)
+
+
+def run_nginx(
+    variant: str,
+    storage: str = "c2",
+    file_size: int = 256 * 1024,
+    server_cores: int = 1,
+    connections: int = 48,
+    files: int = 16,
+    nvme_offload: bool = False,
+    nvme_copy: Optional[bool] = None,  # override just the copy offload
+    nvme_crc: Optional[bool] = None,  # override just the CRC offloads
+    storage_tls: Optional[str] = None,  # None | "sw" | "offload"  (NVMe-TLS)
+    warmup: float = 12e-3,
+    measure: float = 10e-3,
+    seed: int = 0,
+    nic_cache_bytes: int = 4 * 1024 * 1024,
+    record_latencies: bool = False,
+) -> NginxRun:
+    tb = Testbed(
+        TestbedConfig(
+            seed=seed,
+            server_cores=server_cores,
+            generator_cores=12,
+            nic_cache_bytes=nic_cache_bytes,
+        )
+    )
+    fs = _build_storage(
+        tb,
+        storage,
+        nvme_copy if nvme_copy is not None else nvme_offload,
+        nvme_crc if nvme_crc is not None else nvme_offload,
+        storage_tls,
+        queue_pairs=max(2, 2 * server_cores),
+    )
+    names = [f"f{i:03d}.bin" for i in range(files)]
+    for name in names:
+        fs.create(name, file_size)
+    if storage == "c2":
+        done = {"n": 0}
+        for name in names:
+            fs.warm(name, lambda: done.__setitem__("n", done["n"] + 1))
+        tb.run(until=tb.sim.now + 0.5)
+        if done["n"] != len(names):
+            raise RuntimeError("page-cache warmup did not finish")
+
+    server = NginxServer(tb.server, fs, port=443, tls=variant_tls(variant))
+    client_tls = None if variant == "http" else TlsConfig(rx_offload=True)
+    wrk = WrkClient(
+        tb.generator,
+        "server",
+        443,
+        names,
+        connections=connections,
+        tls=client_tls,
+        record_latencies=record_latencies,
+    )
+
+    start = tb.sim.now
+    tb.run(until=start + warmup)
+    tb.server.cpu.reset_stats()
+    bytes_before = server.bytes_served
+    reqs_before = wrk.stats.requests
+    lat_mark = len(wrk.stats.latencies)
+
+    tb.server.rx_batch_sizes.clear()
+    tb.server.nic.cache.reset_stats()
+    tb.run(until=start + warmup + measure)
+    moved = server.bytes_served - bytes_before
+    window_lat = wrk.stats.latencies[lat_mark:]
+    return NginxRun(
+        variant=variant,
+        storage=storage,
+        file_size=file_size,
+        cores=server_cores,
+        goodput_gbps=gbps(max(moved, 1), measure),
+        busy_cores=tb.server.cpu.busy_cores(measure),
+        requests=wrk.stats.requests - reqs_before,
+        mean_latency=sum(window_lat) / len(window_lat) if window_lat else 0.0,
+        extra={
+            "mean_rx_batch": tb.server.mean_rx_batch,
+            "nic_cache_miss_rate": tb.server.nic.cache.miss_rate,
+            "nic_cache_occupancy": tb.server.nic.cache.occupancy,
+        },
+    )
+
+
+def _build_storage(
+    tb: Testbed,
+    storage: str,
+    nvme_copy: bool,
+    nvme_crc: bool,
+    storage_tls: Optional[str],
+    queue_pairs: int = 4,
+) -> FlatFs:
+    if storage == "c2":
+        device = BlockDevice(tb.sim)
+        return FlatFs(device)
+    if storage != "c1":
+        raise ValueError(f"storage must be c1/c2, got {storage!r}")
+    device = BlockDevice(tb.sim)
+    tls_host = tls_target = None
+    if storage_tls == "sw":
+        tls_host, tls_target = TlsConfig(), TlsConfig()
+    elif storage_tls == "offload":
+        tls_host = TlsConfig(tx_offload=True, rx_offload=True)
+        tls_target = TlsConfig(tx_offload=True, rx_offload=True)
+    elif storage_tls is not None:
+        raise ValueError(f"storage_tls must be None/sw/offload, got {storage_tls!r}")
+    target_cfg = NvmeConfig(digest_name="fast", tx_offload=True)
+    NvmeTcpTarget(tb.generator, device, config=target_cfg, tls=tls_target).start()
+    host_cfg = NvmeConfig(
+        digest_name="fast",
+        rx_offload_crc=nvme_crc,
+        rx_offload_copy=nvme_copy,
+        tx_offload=nvme_crc,
+        queue_depth=128,
+    )
+    # One queue pair (socket) per core pair, like Linux's nvme-tcp.
+    queues = []
+    for _ in range(queue_pairs):
+        nvme = NvmeTcpHost(tb.server, config=host_cfg, tls=tls_host)
+        nvme.connect("generator")
+        queues.append(nvme)
+    # C1: bypass the page cache so every request reaches the drive (the
+    # paper drops caches between runs).
+    return FlatFs(MultiQueueReader(queues), use_cache=False)

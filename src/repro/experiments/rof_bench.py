@@ -1,0 +1,93 @@
+"""Redis-on-Flash macrobenchmark (Figure 15).
+
+One RoF instance per DUT core, each with its own NVMe-TCP queue pair to
+the remote drive (the OffloadDB backend keeps values on clean extents);
+memtier drives 8 concurrent get connections per instance.  The storage
+hop runs NVMe-TLS, software or fully offloaded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.apps.rof import MemtierClient, OffloadDb, RofServer
+from repro.harness.testbed import Testbed, TestbedConfig
+from repro.l5p.nvme_tcp import NvmeConfig, NvmeTcpHost, NvmeTcpTarget
+from repro.l5p.tls.ktls import TlsConfig
+from repro.storage.blockdev import BlockDevice
+from repro.util.units import gbps
+
+
+@dataclass
+class RofRun:
+    variant: str
+    value_size: int
+    cores: int
+    goodput_gbps: float
+    busy_cores: float
+    gets: int
+    extra: dict = field(default_factory=dict)
+
+
+def run_rof(
+    variant: str,  # "baseline" | "offload"
+    value_size: int = 64 * 1024,
+    server_cores: int = 1,
+    keys_per_instance: int = 32,
+    connections_per_instance: int = 8,
+    warmup: float = 10e-3,
+    measure: float = 15e-3,
+    seed: int = 0,
+) -> RofRun:
+    if variant == "baseline":
+        nvme_cfg = NvmeConfig(digest_name="fast")
+        tls_cfg: Optional[TlsConfig] = TlsConfig()
+        target_tls: Optional[TlsConfig] = TlsConfig()
+    elif variant == "offload":
+        nvme_cfg = NvmeConfig(digest_name="fast", tx_offload=True, rx_offload_crc=True, rx_offload_copy=True)
+        tls_cfg = TlsConfig(tx_offload=True, rx_offload=True)
+        target_tls = TlsConfig(tx_offload=True, rx_offload=True)
+    else:
+        raise ValueError(f"variant must be baseline/offload, got {variant!r}")
+
+    tb = Testbed(TestbedConfig(seed=seed, server_cores=server_cores, generator_cores=12))
+    device = BlockDevice(tb.sim)
+    NvmeTcpTarget(
+        tb.generator, device, config=NvmeConfig(digest_name="fast", tx_offload=True), tls=target_tls
+    ).start()
+
+    memtiers = []
+    for instance in range(server_cores):
+        nvme = NvmeTcpHost(tb.server, config=nvme_cfg, tls=tls_cfg)
+        nvme.connect("generator")
+        db = OffloadDb()
+        keys = []
+        for k in range(keys_per_instance):
+            key = f"i{instance}:k{k}"
+            db.allocate(key, value_size)
+            keys.append(key)
+        port = 6379 + instance
+        RofServer(tb.server, nvme, db, port=port)
+        memtiers.append(
+            MemtierClient(
+                tb.generator, "server", port, keys, connections=connections_per_instance
+            )
+        )
+
+    tb.run(until=warmup)
+    tb.server.cpu.reset_stats()
+    gets_before = sum(m.stats.gets for m in memtiers)
+    bytes_before = sum(m.stats.bytes_received for m in memtiers)
+
+    tb.run(until=warmup + measure)
+    gets = sum(m.stats.gets for m in memtiers) - gets_before
+    moved = sum(m.stats.bytes_received for m in memtiers) - bytes_before
+    return RofRun(
+        variant=variant,
+        value_size=value_size,
+        cores=server_cores,
+        goodput_gbps=gbps(max(moved, 1), measure),
+        busy_cores=tb.server.cpu.busy_cores(measure),
+        gets=gets,
+    )

@@ -1,0 +1,67 @@
+"""Scalability experiment (Figure 19): nginx C2 throughput and CPU as
+persistent connections grow past the NIC context cache.
+
+The paper sweeps 64..128 K connections against a 4 MiB context cache
+(~20 K flows).  Pure-Python event simulation cannot carry 128 K live
+TCP connections per point at reasonable cost, so the default sweep
+scales both axes down by 16x: up to 8 K connections against a 256 KiB
+cache (~1.2 K flows).  The crossing point — connections exceeding cache
+capacity — is preserved, which is what the experiment is about; the
+paper-scale sweep is available by passing ``scale=1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.context import CONTEXT_BYTES
+from repro.experiments.nginx_bench import run_nginx
+
+
+@dataclass
+class ScalePoint:
+    connections: int
+    variant: str
+    goodput_gbps: float
+    busy_cores: float
+    mean_rx_batch: float
+    cache_miss_rate: float
+    cache_capacity_flows: int
+
+
+def run_scale_point(
+    connections: int,
+    variant: str = "offload+zc",
+    server_cores: int = 8,
+    file_size: int = 256 * 1024,
+    scale: int = 16,
+    measure: float = 8e-3,
+    seed: int = 0,
+) -> ScalePoint:
+    cache_bytes = 4 * 1024 * 1024 // scale
+    # Warm-up must absorb the TLS handshake burst: every connection pays
+    # the fixed handshake cycles on the server's cores before any
+    # steady-state request flows.
+    handshake_s = connections * 320_000 / (server_cores * 2.0e9)
+    warmup = max(12e-3, 1.5 * handshake_s + 8e-3)
+    run = run_nginx(
+        variant,
+        storage="c2",
+        file_size=file_size,
+        server_cores=server_cores,
+        connections=connections,
+        files=32,
+        warmup=warmup,
+        measure=measure,
+        seed=seed,
+        nic_cache_bytes=cache_bytes,
+    )
+    return ScalePoint(
+        connections=connections,
+        variant=variant,
+        goodput_gbps=run.goodput_gbps,
+        busy_cores=run.busy_cores,
+        mean_rx_batch=run.extra["mean_rx_batch"],
+        cache_miss_rate=run.extra["nic_cache_miss_rate"],
+        cache_capacity_flows=cache_bytes // CONTEXT_BYTES,
+    )

@@ -1,0 +1,6 @@
+"""Evaluation harness: testbed topology builder and result reporting."""
+
+from repro.harness.testbed import Testbed, TestbedConfig
+from repro.harness.report import Table
+
+__all__ = ["Testbed", "TestbedConfig", "Table"]

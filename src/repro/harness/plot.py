@@ -1,0 +1,61 @@
+"""ASCII chart rendering for benchmark output.
+
+The paper's figures are line/bar charts; the benchmarks print their
+numeric rows, and these helpers add a quick visual of the same series
+so shapes (crossovers, cliffs, saturation) are visible in the logs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+_BARS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line bar rendering of a series."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    if span <= 0:
+        return _BARS[4] * len(values)
+    return "".join(_BARS[1 + round((v - lo) / span * (len(_BARS) - 2))] for v in values)
+
+
+def line_chart(
+    series: dict[str, Sequence[float]],
+    x_labels: Sequence,
+    height: int = 10,
+    title: Optional[str] = None,
+    y_max: Optional[float] = None,
+) -> str:
+    """Multi-series ASCII chart; one mark column per x position."""
+    if not series:
+        raise ValueError("no series to plot")
+    widths = {len(v) for v in series.values()}
+    if widths != {len(x_labels)}:
+        raise ValueError("all series must match x_labels in length")
+    marks = "*o+x#@%&"
+    top = y_max if y_max is not None else max(max(v) for v in series.values())
+    top = top or 1.0
+    grid = [[" "] * len(x_labels) for _ in range(height)]
+    for index, values in enumerate(series.values()):
+        mark = marks[index % len(marks)]
+        for x, value in enumerate(values):
+            row = height - 1 - min(height - 1, int(value / top * (height - 1) + 0.5))
+            if grid[row][x] == " ":
+                grid[row][x] = mark
+            else:
+                grid[row][x] = "#"  # overlapping series
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        y_value = top * (height - 1 - i) / (height - 1)
+        lines.append(f"{y_value:10.3g} |" + " ".join(row))
+    lines.append(" " * 10 + "-" * (2 * len(x_labels) + 1))
+    lines.append(" " * 11 + " ".join(str(x)[0] for x in x_labels))
+    legend = "  ".join(f"{marks[i % len(marks)]}={name}" for i, name in enumerate(series))
+    lines.append("legend: " + legend + "  (# = overlap)")
+    return "\n".join(lines)

@@ -1,0 +1,93 @@
+"""The two-machine testbed from the paper's §6.
+
+A Dell R730 "server" (the device under test: 2.0 GHz cores, offload
+NIC) and an R640 "generator" (workload generator and remote-drive
+target) connected back-to-back over 100 Gbps ConnectX-6 Dx ports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cpu.model import CostModel, DEFAULT_COST_MODEL
+from repro.net.host import Host
+from repro.net.link import Link, LinkConfig
+from repro.nic import OffloadNic
+from repro.sim import Simulator
+from repro.util.units import GBPS
+
+
+@dataclass
+class TestbedConfig:
+    __test__ = False  # not a pytest collectable despite the name
+
+    seed: int = 0
+    server_cores: int = 1  # the DUT ("server" in the paper)
+    generator_cores: int = 12  # the workload generator (R640: 12 cores/socket)
+    bandwidth_bps: float = 100 * GBPS
+    latency_s: float = 5e-6
+    # Fault injection, per direction.
+    loss_to_server: float = 0.0
+    reorder_to_server: float = 0.0
+    duplicate_to_server: float = 0.0
+    loss_to_generator: float = 0.0
+    reorder_to_generator: float = 0.0
+    model: CostModel = field(default_factory=lambda: DEFAULT_COST_MODEL)
+    nic_cache_bytes: int = 4 * 1024 * 1024
+
+
+class Testbed:
+    """Two hosts, one link; the server side is 'a', the generator 'b'."""
+
+    __test__ = False  # not a pytest collectable despite the name
+
+    def __init__(self, config: Optional[TestbedConfig] = None):
+        self.config = config or TestbedConfig()
+        cfg = self.config
+        self.sim = Simulator(seed=cfg.seed)
+        self.server = Host(
+            self.sim,
+            "server",
+            model=cfg.model,
+            cores=cfg.server_cores,
+            nic=OffloadNic(cache_bytes=cfg.nic_cache_bytes),
+        )
+        self.generator = Host(
+            self.sim,
+            "generator",
+            model=cfg.model,
+            cores=cfg.generator_cores,
+            nic=OffloadNic(cache_bytes=cfg.nic_cache_bytes),
+        )
+        self.link = Link(
+            self.sim,
+            config_ab=LinkConfig(
+                bandwidth_bps=cfg.bandwidth_bps,
+                latency_s=cfg.latency_s,
+                loss=cfg.loss_to_generator,
+                reorder=cfg.reorder_to_generator,
+            ),
+            config_ba=LinkConfig(
+                bandwidth_bps=cfg.bandwidth_bps,
+                latency_s=cfg.latency_s,
+                loss=cfg.loss_to_server,
+                reorder=cfg.reorder_to_server,
+                duplicate=cfg.duplicate_to_server,
+            ),
+        )
+        self.server.attach_link(self.link, "a")
+        self.generator.attach_link(self.link, "b")
+
+    # ------------------------------------------------------------------
+    def run(self, until: float) -> None:
+        self.sim.run(until=until)
+
+    def reset_measurement(self) -> None:
+        """Clear counters after warm-up so steady state is measured."""
+        self.server.cpu.reset_stats()
+        self.generator.cpu.reset_stats()
+        self.server.nic.pcie.reset_stats()
+        self.generator.nic.pcie.reset_stats()
+        self.server.nic.cache.reset_stats()
+        self.server.rx_batch_sizes.clear()

@@ -1,0 +1,1 @@
+"""Layer-5 protocols: kernel TLS, NVMe-TCP, and their composition."""

@@ -1,0 +1,132 @@
+"""Shared L5P receive machinery.
+
+Both kTLS and NVMe-TCP consume the TCP byte stream "packet-by-packet"
+(§4.3): each delivered run carries the NIC's offload bits, and the L5P
+must know, per message, which byte ranges were offloaded to decide
+between reusing NIC results and software fallback.
+:class:`StreamAssembler` does that bookkeeping once for both protocols.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.net.packet import SkbMeta
+from repro.tcp import seq as sq
+
+
+@dataclass
+class Run:
+    """A byte run with uniform offload metadata."""
+
+    data: bytes
+    meta: SkbMeta
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+
+@dataclass
+class AssembledMessage:
+    """One complete L5P message cut out of the stream."""
+
+    start_seq: int  # TCP sequence of the first header byte
+    runs: list[Run]
+
+    @property
+    def length(self) -> int:
+        return sum(len(r) for r in self.runs)
+
+    @property
+    def wire(self) -> bytes:
+        return b"".join(r.data for r in self.runs)
+
+    def fully(self, predicate: Callable[[SkbMeta], bool]) -> bool:
+        return all(predicate(r.meta) for r in self.runs)
+
+    def partially(self, predicate: Callable[[SkbMeta], bool]) -> bool:
+        hits = [predicate(r.meta) for r in self.runs]
+        return any(hits) and not all(hits)
+
+    def slice_runs(self, offset: int, length: int) -> list[Run]:
+        """Runs covering ``[offset, offset+length)`` of the message."""
+        out: list[Run] = []
+        pos = 0
+        for run in self.runs:
+            run_end = pos + len(run)
+            lo = max(offset, pos)
+            hi = min(offset + length, run_end)
+            if lo < hi:
+                out.append(Run(run.data[lo - pos : hi - pos], run.meta))
+            pos = run_end
+            if pos >= offset + length:
+                break
+        return out
+
+
+class StreamAssembler:
+    """Cuts a metadata-carrying byte stream into length-framed messages.
+
+    ``total_len_fn(header_bytes)`` maps a complete fixed-size header to
+    the message's full on-wire length (header + body + trailer), or
+    raises :class:`ValueError` for an unparseable header.
+    """
+
+    def __init__(self, header_len: int, total_len_fn: Callable[[bytes], int], start_seq: int = 0):
+        self.header_len = header_len
+        self.total_len_fn = total_len_fn
+        self.next_msg_seq = start_seq  # seq of the current message's first byte
+        self._runs: list[Run] = []
+        self._buffered = 0
+        self._msg_total: Optional[int] = None
+
+    def push(self, data: bytes, meta: SkbMeta) -> list[AssembledMessage]:
+        """Feed in-order stream bytes; returns completed messages."""
+        if not data:
+            return []
+        self._runs.append(Run(data, meta))
+        self._buffered += len(data)
+        out: list[AssembledMessage] = []
+        while True:
+            if self._msg_total is None:
+                if self._buffered < self.header_len:
+                    break
+                header = self._peek(self.header_len)
+                self._msg_total = self.total_len_fn(header)
+                if self._msg_total < self.header_len:
+                    raise ValueError(
+                        f"message length {self._msg_total} shorter than header ({self.header_len})"
+                    )
+            if self._buffered < self._msg_total:
+                break
+            out.append(self._cut(self._msg_total))
+            self._msg_total = None
+        return out
+
+    # ------------------------------------------------------------------
+    def _peek(self, n: int) -> bytes:
+        got = bytearray()
+        for run in self._runs:
+            got += run.data[: n - len(got)]
+            if len(got) >= n:
+                break
+        return bytes(got)
+
+    def _cut(self, n: int) -> AssembledMessage:
+        taken: list[Run] = []
+        remaining = n
+        while remaining > 0:
+            run = self._runs[0]
+            if len(run) <= remaining:
+                taken.append(run)
+                remaining -= len(run)
+                self._runs.pop(0)
+            else:
+                taken.append(Run(run.data[:remaining], run.meta))
+                self._runs[0] = Run(run.data[remaining:], run.meta)
+                remaining = 0
+        self._buffered -= n
+        msg = AssembledMessage(self.next_msg_seq, taken)
+        self.next_msg_seq = sq.add(self.next_msg_seq, n)
+        return msg

@@ -1,0 +1,312 @@
+"""Inline decompression offload — the non-size-preserving receive case
+(paper §3.1 and §7, "Decompression and deserialization").
+
+Transmit-side compression is **not** offloadable (it would change the
+byte count under TCP's feet, Figure 5); the adapter enforces that.  On
+receive, the NIC writes the *decompressed output* into pre-allocated
+buffers the L5P registered, while the original compressed bytes still
+flow to the receive ring unmodified — so TCP sees preserved sizes and
+software can always fall back.  Output sizes are predictable because
+the message header carries the plaintext length (the §7 precondition).
+
+Wire format ("CZ" protocol):
+
+    magic(0xC0 0x17) | flags(1) | msg_id(4) | plain_len(4) | comp_len(4)
+    compressed body (comp_len B)
+    CRC32C over the compressed body (4 B)
+
+The 4-byte message id plays the role NVMe's CID plays for the copy
+offload: it correlates the NIC's placed output buffer with the message
+software later consumes (a request/response-style correlation id).
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import deque
+from typing import Callable, Optional
+
+from repro.core.types import Direction, L5pAdapter, MessageDesc, MsgTransform, ProtocolError
+from repro.crypto.crc import get_digest
+from repro.l5p.base import StreamAssembler
+from repro.tcp import seq as sq
+from repro.util.lzss import StreamingDecoder, compress, decompress
+
+MAGIC = b"\xc0\x17"
+_GREETING = b"CZRDY"
+HEADER_LEN = 15
+TRAILER_LEN = 4
+MAX_PLAIN = 1 << 20
+FLAG_COMPRESSED = 0x01
+
+
+def make_message(plain: bytes, digest_cls, msg_id: int = 0) -> bytes:
+    body = compress(plain)
+    header = MAGIC + struct.pack(">BIII", FLAG_COMPRESSED, msg_id, len(plain), len(body))
+    return header + body + digest_cls(body).digest()
+
+
+def parse_header(header: bytes) -> Optional[tuple[int, int, int, int]]:
+    if header[:2] != MAGIC:
+        return None
+    flags, msg_id, plain_len, comp_len = struct.unpack(">BIII", header[2:HEADER_LEN])
+    if plain_len > MAX_PLAIN or comp_len > plain_len + plain_len // 4 + 64:
+        return None
+    return flags, msg_id, plain_len, comp_len
+
+
+class _DecompTransform(MsgTransform):
+    """Digest the compressed bytes; decompress into a placed buffer."""
+
+    def __init__(self, adapter: "DecompAdapter", desc: MessageDesc, rr_state: dict):
+        self.adapter = adapter
+        self.digest = adapter.digest_cls()
+        self.plain_len = desc.info["plain_len"]
+        self.rr_state = rr_state
+        self.decoder = StreamingDecoder()
+        pool = rr_state.get("_pool")
+        self.buffer: Optional[bytearray] = pool.popleft() if pool else None
+        self._failed = self.buffer is None or len(self.buffer) < self.plain_len
+        if self._failed:
+            adapter.note_place_failure()
+        self._msg_id = desc.info["msg_id"]
+
+    def process(self, data: bytes) -> bytes:
+        self.digest.update(data)
+        if not self._failed:
+            try:
+                produced = self.decoder.update(data)
+            except ValueError:
+                self._fail()
+                return data
+            offset = self.decoder.produced - len(produced)
+            if self.decoder.produced > self.plain_len:
+                self._fail()
+            else:
+                self.buffer[offset : offset + len(produced)] = produced
+        return data  # wire bytes pass through unchanged (TCP sees them)
+
+    def _fail(self) -> None:
+        self._failed = True
+        self.adapter.note_place_failure()
+
+    def finalize_tx(self) -> bytes:
+        raise ProtocolError("compression is not offloadable on transmit (§3.1)")
+
+    def verify_rx(self, wire_trailer: bytes) -> bool:
+        ok = wire_trailer == self.digest.digest()
+        complete = (
+            not self._failed
+            and self.decoder.produced == self.plain_len
+            and self.decoder.at_token_boundary
+        )
+        if ok and complete:
+            self.rr_state.setdefault("_results", {})[self._msg_id] = (
+                self.buffer,
+                self.plain_len,
+            )
+        elif self.buffer is not None:
+            if not complete:
+                self.adapter.note_place_failure()
+            self.rr_state["_pool"].append(self.buffer)  # return unused
+        return ok
+
+
+class DecompAdapter(L5pAdapter):
+    """One instance per flow direction (RX only)."""
+
+    name = "decomp"
+    header_len = HEADER_LEN
+    magic_len = HEADER_LEN
+
+    def __init__(self, digest_name: str = "crc32c"):
+        self.digest_cls = get_digest(digest_name)
+        self._pkt_place_ok = True
+        self.place_failures = 0
+
+    def note_place_failure(self) -> None:
+        self._pkt_place_ok = False
+        self.place_failures += 1
+
+    def parse_header(self, header: bytes, static_state) -> Optional[MessageDesc]:
+        parsed = parse_header(header)
+        if parsed is None:
+            return None
+        flags, msg_id, plain_len, comp_len = parsed
+        return MessageDesc(
+            kind="cz",
+            header_len=HEADER_LEN,
+            body_len=comp_len,
+            trailer_len=TRAILER_LEN,
+            raw_header=header,
+            info={"plain_len": plain_len, "flags": flags, "msg_id": msg_id},
+        )
+
+    def check_magic(self, window: bytes, static_state) -> bool:
+        return len(window) >= HEADER_LEN and parse_header(window) is not None
+
+    def begin_message(self, direction: Direction, static_state, desc, msg_index, rr_state=None):
+        if direction == Direction.TX:
+            raise ProtocolError("decompression offload is receive-only (§3.1)")
+        return _DecompTransform(self, desc, rr_state if rr_state is not None else {})
+
+    def apply_packet_meta(self, meta, processed: bool, ok: bool, desc_kinds) -> None:
+        meta.crc_ok = processed and ok
+        meta.placed = processed and ok and self._pkt_place_ok
+        self._pkt_place_ok = True
+
+
+class CompressedStream:
+    """Software endpoint: framed compressed messages over a TcpConnection.
+
+    The receiver pre-registers a pool of max-size output buffers with
+    the NIC; messages the NIC fully handled arrive pre-decompressed in
+    those buffers, everything else is decompressed in software.
+    """
+
+    def __init__(self, host, conn, role: str, offload: bool = False, digest_name: str = "crc32c",
+                 pool_buffers: int = 32, max_plain: int = 256 * 1024):
+        self.host = host
+        self.conn = conn
+        self.offload = offload
+        self.digest_cls = get_digest(digest_name)
+        self.core = host.core_for_flow(conn.flow)
+        self.model = host.model
+        self.max_plain = max_plain
+        self.on_message: Optional[Callable[[bytes], None]] = None
+        self._assembler: Optional[StreamAssembler] = None
+        self._rx_ctx = None
+        self._adapter: Optional[DecompAdapter] = None
+        self._rx_count = 0
+        self._greeting_seen = 0
+        self._tx_id = 0
+        self._pool_buffers = pool_buffers
+        self._pending_resync: list[int] = []
+        self.ready = role == "receiver"
+        self.on_ready: Optional[Callable[[], None]] = None
+        self.stats = {"tx": 0, "rx": 0, "rx_placed": 0, "rx_software": 0, "digest_fail": 0}
+
+        conn.on_data = self._on_skb
+        if role == "receiver":
+            if offload:
+                driver = getattr(host.nic, "driver", None)
+                if driver is None:
+                    raise RuntimeError("decompression offload requires an OffloadNic")
+                self._adapter = DecompAdapter(digest_name)
+                self._rx_ctx = driver.l5o_create(
+                    conn, self._adapter, None, tcpsn=conn.rcv_nxt, direction=Direction.RX, l5p_ops=self
+                )
+                self._rx_ctx.rr_state["_pool"] = deque(
+                    bytearray(max_plain) for _ in range(pool_buffers)
+                )
+            # Greeting: tells the sender the receiver (and its NIC
+            # context) is in place, so no data packet races the install.
+            conn.send(_GREETING)
+        elif offload:
+            raise ValueError("offload applies to the receiver side")
+
+    # ------------------------------------------------------------------
+    def send(self, plain: bytes) -> int:
+        """Compress (software — TX offload is precluded) and queue.
+        Returns 0 until the receiver's greeting arrives."""
+        if not self.ready:
+            return 0
+        if len(plain) > self.max_plain:
+            raise ValueError(f"message exceeds {self.max_plain}B")
+        self.core.charge(len(plain) * self.model.cpb_compress, "compress")
+        wire = make_message(plain, self.digest_cls, msg_id=self._tx_id)
+        self._tx_id = (self._tx_id + 1) & 0xFFFFFFFF
+        if self.conn.send_space < len(wire):
+            return 0
+        accepted = self.conn.send(wire)
+        if accepted != len(wire):
+            raise RuntimeError("message split across send buffer boundary")
+        self.stats["tx"] += 1
+        return len(plain)
+
+    # ------------------------------------------------------------------
+    def _on_skb(self, skb) -> None:
+        data, meta, seq = skb.data, skb.meta, skb.seq
+        if not self.ready:
+            # Sender side: consume the receiver's greeting first.
+            take = min(len(_GREETING) - self._greeting_seen, len(data))
+            self._greeting_seen += take
+            data = data[take:]
+            seq = seq + take
+            if self._greeting_seen < len(_GREETING):
+                return
+            self.ready = True
+            if self.on_ready:
+                self.on_ready()
+            if not data:
+                return
+        if self._assembler is None:
+            self._assembler = StreamAssembler(HEADER_LEN, self._total_len, start_seq=seq)
+        for msg in self._assembler.push(data, meta):
+            self._on_message(msg)
+
+    @staticmethod
+    def _total_len(header: bytes) -> int:
+        parsed = parse_header(header)
+        if parsed is None:
+            raise ValueError("bad CZ header")
+        _flags, _msg_id, _plain_len, comp_len = parsed
+        return HEADER_LEN + comp_len + TRAILER_LEN
+
+    def _on_message(self, msg) -> None:
+        self._rx_count += 1
+        self.stats["rx"] += 1
+        self._answer_resyncs(msg)
+        wire = msg.wire
+        _flags, msg_id, plain_len, comp_len = parse_header(wire[:HEADER_LEN])
+        placed = msg.fully(lambda m: m.placed) and self._rx_ctx is not None
+        result = None
+        if placed and self._rx_ctx is not None:
+            result = self._rx_ctx.rr_state.get("_results", {}).pop(msg_id, None)
+        if result is not None:
+            buffer, length = result
+            plain = bytes(buffer[:length])
+            # Return the buffer to the pool for reuse.
+            self._rx_ctx.rr_state["_pool"].append(buffer)
+            self.stats["rx_placed"] += 1
+        else:
+            body = wire[HEADER_LEN : HEADER_LEN + comp_len]
+            self.core.charge(comp_len * self.host.llc.touch_cpb(self.model.cpb_crc32c), "crc")
+            if self.digest_cls(body).digest() != wire[-TRAILER_LEN:]:
+                self.stats["digest_fail"] += 1
+                return
+            self.core.charge(plain_len * self.model.cpb_decompress, "compress")
+            plain = decompress(body)
+            self.stats["rx_software"] += 1
+        if self._rx_ctx is not None:
+            # Top the placement pool back up (buffers lost to torn
+            # messages never return through verify_rx).
+            pool = self._rx_ctx.rr_state["_pool"]
+            while len(pool) < self._pool_buffers:
+                pool.append(bytearray(self.max_plain))
+        if self.on_message:
+            self.on_message(plain)
+
+    # ------------------------------------------------------------------
+    # Listing 2 upcalls
+    # ------------------------------------------------------------------
+    def l5o_get_tx_msgstate(self, tcpsn: int):
+        return None  # no TX offload exists for this L5P
+
+    def l5o_resync_rx_req(self, tcpsn: int) -> None:
+        self._pending_resync.append(tcpsn)
+
+    def _answer_resyncs(self, msg) -> None:
+        if not self._pending_resync or self._rx_ctx is None:
+            return
+        driver = self.host.nic.driver
+        end = sq.add(msg.start_seq, msg.length)
+        still = []
+        for req in self._pending_resync:
+            if req == msg.start_seq:
+                driver.l5o_resync_rx_resp(self._rx_ctx, req, True, msg_index=self._rx_count - 1)
+            elif sq.lt(req, end):
+                driver.l5o_resync_rx_resp(self._rx_ctx, req, False)
+            else:
+                still.append(req)
+        self._pending_resync = still

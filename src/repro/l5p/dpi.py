@@ -1,0 +1,161 @@
+"""Autonomous DPI offload (paper §7, "Pattern matching").
+
+Deep packet inspection fits the offload preconditions: matching is
+confined to L5P messages (never across them), and a streaming
+multi-pattern matcher needs only constant per-flow state — the
+automaton state — to process any byte range.  The NIC scans each
+in-sequence packet and reports per-packet match metadata; software
+inspects messages in order and falls back to scanning whenever some
+packet bypassed the offload.
+
+The wire format is a minimal inspectable L5P:
+
+    magic(0xD1 0xD9) | kind(1) | length(4, body bytes) | body
+
+The matcher is a from-scratch Aho-Corasick automaton (goto + failure
+links), the textbook constant-state streaming multi-pattern scanner.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import deque
+from typing import Iterable, Optional
+
+from repro.core.types import Direction, L5pAdapter, MessageDesc, MsgTransform
+
+MAGIC = b"\xd1\xd9"
+HEADER_LEN = 7
+MAX_BODY = 1 << 24
+
+
+def make_message(body: bytes, kind: int = 1) -> bytes:
+    if len(body) > MAX_BODY:
+        raise ValueError("DPI message too large")
+    return MAGIC + struct.pack(">BI", kind, len(body)) + body
+
+
+class PatternSet:
+    """Aho-Corasick automaton over byte patterns.
+
+    ``match_stream`` consumes chunks and returns the pattern indices
+    completing inside each chunk; the only carried state is the current
+    node — exactly the paper's constant-size-state requirement.
+    """
+
+    def __init__(self, patterns: Iterable[bytes]):
+        self.patterns = [bytes(p) for p in patterns]
+        if not self.patterns or any(not p for p in self.patterns):
+            raise ValueError("need at least one non-empty pattern")
+        # goto: list of dicts byte -> node; out: set of pattern indices.
+        self._goto: list[dict[int, int]] = [{}]
+        self._out: list[set[int]] = [set()]
+        self._fail: list[int] = [0]
+        for index, pattern in enumerate(self.patterns):
+            node = 0
+            for byte in pattern:
+                node = self._goto[node].setdefault(byte, self._new_node())
+            self._out[node].add(index)
+        self._build_failure_links()
+
+    def _new_node(self) -> int:
+        self._goto.append({})
+        self._out.append(set())
+        self._fail.append(0)
+        return len(self._goto) - 1
+
+    def _build_failure_links(self) -> None:
+        queue = deque()
+        for node in self._goto[0].values():
+            self._fail[node] = 0
+            queue.append(node)
+        while queue:
+            current = queue.popleft()
+            for byte, child in self._goto[current].items():
+                queue.append(child)
+                fallback = self._fail[current]
+                while fallback and byte not in self._goto[fallback]:
+                    fallback = self._fail[fallback]
+                self._fail[child] = self._goto[fallback].get(byte, 0)
+                if self._fail[child] == child:
+                    self._fail[child] = 0
+                self._out[child] |= self._out[self._fail[child]]
+
+    def step(self, state: int, byte: int) -> tuple[int, set[int]]:
+        while state and byte not in self._goto[state]:
+            state = self._fail[state]
+        state = self._goto[state].get(byte, 0)
+        return state, self._out[state]
+
+    def scan(self, data: bytes, state: int = 0) -> tuple[int, set[int]]:
+        """Scan ``data`` from ``state``; returns (new state, matches)."""
+        found: set[int] = set()
+        for byte in data:
+            state, out = self.step(state, byte)
+            found |= out
+        return state, found
+
+
+class _DpiTransform(MsgTransform):
+    """Per-message streaming scan; bytes pass through untouched."""
+
+    def __init__(self, adapter: "DpiAdapter"):
+        self.adapter = adapter
+        self._state = 0
+
+    def process(self, data: bytes) -> bytes:
+        self._state, found = self.adapter.patterns.scan(data, self._state)
+        if found:
+            self.adapter.note_matches(found)
+        return data
+
+    def finalize_tx(self) -> bytes:
+        return b""
+
+    def verify_rx(self, wire_trailer: bytes) -> bool:
+        return True
+
+
+class DpiAdapter(L5pAdapter):
+    """NIC-side DPI: per-flow automaton state, per-packet match report.
+
+    One instance per flow direction; matches found while walking a
+    packet are latched and drained into that packet's metadata.
+    """
+
+    name = "dpi"
+    header_len = HEADER_LEN
+    magic_len = HEADER_LEN
+
+    def __init__(self, patterns: PatternSet):
+        self.patterns = patterns
+        self._pkt_matches: set[int] = set()
+        self.total_matches = 0
+
+    def note_matches(self, found: set[int]) -> None:
+        self._pkt_matches |= found
+        self.total_matches += len(found)
+
+    def parse_header(self, header: bytes, static_state) -> Optional[MessageDesc]:
+        if header[:2] != MAGIC:
+            return None
+        kind, length = struct.unpack(">BI", header[2:HEADER_LEN])
+        if length > MAX_BODY:
+            return None
+        return MessageDesc(
+            kind=str(kind), header_len=HEADER_LEN, body_len=length, trailer_len=0, raw_header=header
+        )
+
+    def check_magic(self, window: bytes, static_state) -> bool:
+        return len(window) >= HEADER_LEN and self.parse_header(window, static_state) is not None
+
+    def begin_message(self, direction: Direction, static_state, desc, msg_index, rr_state=None):
+        del direction, static_state, msg_index, rr_state
+        return _DpiTransform(self)
+
+    def apply_packet_meta(self, meta, processed: bool, ok: bool, desc_kinds) -> None:
+        # Reuse crc_ok as the "scanned by NIC" bit and placed as the
+        # per-packet "a match completed in this packet" report.
+        meta.crc_ok = processed and ok
+        meta.placed = processed and bool(self._pkt_matches)
+        self._pkt_matches = set()

@@ -1,0 +1,240 @@
+"""DTLS over UDP with the trivial datagram offload (paper §7).
+
+Each record is one datagram: ``type(1) | version(2) | epoch_seq(8) |
+length(2) | ciphertext | tag(16)``.  The per-record nonce comes from the
+explicit epoch+sequence field, so every datagram is self-contained —
+the NIC needs no stream position, no resync, and no software fallback;
+loss and reordering simply do not concern the offload.
+
+The handshake is modelled the same way as kTLS's (random exchange +
+deterministic key derivation), over two datagrams with retry.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Optional
+
+from repro.core.datagram import DatagramAdapter
+from repro.core.types import Direction
+from repro.crypto.gcm import AuthenticationError
+from repro.crypto.sha1 import sha1
+from repro.crypto.suite import get_cipher_suite
+from repro.l5p.tls.record import CONTENT_APPDATA, CONTENT_HANDSHAKE, VERSION
+from repro.net.packet import FlowKey
+from repro.udp.stack import MAX_DATAGRAM
+
+HEADER_LEN = 13
+TAG_LEN = 16
+MAX_PAYLOAD = MAX_DATAGRAM - HEADER_LEN - TAG_LEN
+_HELLO_LEN = 32
+_RETRY_S = 20e-3
+
+
+def make_record_header(ctype: int, epoch_seq: int, length: int) -> bytes:
+    return struct.pack(">BHQH", ctype, VERSION, epoch_seq, length)
+
+
+def parse_record(datagram: bytes) -> Optional[tuple[int, int, bytes, bytes]]:
+    """Returns (type, epoch_seq, body, tag) or None if not a record."""
+    if len(datagram) < HEADER_LEN + TAG_LEN:
+        return None
+    ctype, version, epoch_seq, length = struct.unpack(">BHQH", datagram[:HEADER_LEN])
+    if version != VERSION or length != len(datagram) - HEADER_LEN:
+        return None
+    body = datagram[HEADER_LEN : len(datagram) - TAG_LEN]
+    return ctype, epoch_seq, body, datagram[-TAG_LEN:]
+
+
+def record_nonce(iv: bytes, epoch_seq: int) -> bytes:
+    seq_bytes = epoch_seq.to_bytes(12, "big")
+    return bytes(a ^ b for a, b in zip(iv, seq_bytes))
+
+
+class DtlsAdapter(DatagramAdapter):
+    """Per-datagram crypto; no dynamic state whatsoever."""
+
+    name = "dtls"
+
+    def tx_transform(self, state, payload: bytes) -> Optional[bytes]:
+        parsed = parse_record(payload)
+        if parsed is None or parsed[0] != CONTENT_APPDATA:
+            return None
+        ctype, epoch_seq, body, _dummy_tag = parsed
+        header = payload[:HEADER_LEN]
+        nonce = record_nonce(state.iv, epoch_seq)
+        ciphertext, tag = state.suite.seal(state.key, nonce, body, aad=header)
+        return header + ciphertext + tag
+
+    def rx_transform(self, state, payload: bytes) -> Optional[tuple[bytes, bool]]:
+        parsed = parse_record(payload)
+        if parsed is None or parsed[0] != CONTENT_APPDATA:
+            return None
+        ctype, epoch_seq, body, tag = parsed
+        header = payload[:HEADER_LEN]
+        nonce = record_nonce(state.iv, epoch_seq)
+        try:
+            plain = state.suite.open(state.key, nonce, body, tag, aad=header)
+        except AuthenticationError:
+            return payload, False
+        return header + plain + tag, True
+
+
+class DtlsSocket:
+    """Datagram-oriented secure socket over the host's UDP stack."""
+
+    def __init__(self, host, peer: str, peer_port: int, role: str, port: Optional[int] = None,
+                 suite_name: str = "xor-gcm", offload: bool = False):
+        if role not in ("client", "server"):
+            raise ValueError(f"bad role {role!r}")
+        self.host = host
+        self.peer = peer
+        self.peer_port = peer_port
+        self.role = role
+        self.offload = offload
+        self.suite = get_cipher_suite(suite_name)
+        if port is None:
+            self.port = host.udp.bind_ephemeral(self._on_datagram)
+        else:
+            self.port = host.udp.bind(port, self._on_datagram)
+        self.core = host.core_for_flow(FlowKey(host.name, self.port, peer, peer_port))
+        self.ready = False
+        self.tx_seq = 0
+        self.on_ready: Optional[Callable[[], None]] = None
+        self.on_data: Optional[Callable[[bytes], None]] = None
+        self.tx_state = None
+        self.rx_state = None
+        self._my_random = host.sim.substream(f"dtls:{role}:{host.name}:{self.port}").randbytes(_HELLO_LEN)
+        self._peer_random: Optional[bytes] = None
+        self._replay_window: set[int] = set()
+        self._replay_horizon = 0
+        self.stats = {"sent": 0, "received": 0, "offloaded_rx": 0, "sw_rx": 0, "auth_fail": 0, "replays": 0}
+        if role == "client":
+            self._send_hello()
+
+    # ------------------------------------------------------------------
+    # handshake
+    # ------------------------------------------------------------------
+    def _send_hello(self) -> None:
+        body = self._my_random
+        wire = make_record_header(CONTENT_HANDSHAKE, 0, len(body) + TAG_LEN) + body + b"\x00" * TAG_LEN
+        self.host.udp.sendto(self.peer, self.peer_port, wire, sport=self.port)
+        if not self.ready and self.role == "client":
+            self.host.sim.schedule(_RETRY_S, self._retry_hello)
+
+    def _retry_hello(self) -> None:
+        if not self.ready:
+            self._send_hello()
+
+    def _derive(self) -> None:
+        if self.role == "client":
+            cr, sr = self._my_random, self._peer_random
+        else:
+            cr, sr = self._peer_random, self._my_random
+        master = cr + sr
+
+        class _State:
+            pass
+
+        def mk(prefix: bytes):
+            s = _State()
+            s.suite = self.suite
+            s.key = sha1(prefix + b"key" + master)[:16]
+            s.iv = sha1(prefix + b"iv" + master)[:12]
+            return s
+
+        client, server = mk(b"c"), mk(b"s")
+        self.tx_state = client if self.role == "client" else server
+        self.rx_state = server if self.role == "client" else client
+        self.core.charge(self.host.model.cycles_tls_handshake, "crypto")
+        if self.offload:
+            driver = getattr(self.host.nic, "driver", None)
+            if driver is None:
+                raise RuntimeError("DTLS offload requires an OffloadNic")
+            tx_flow = FlowKey(self.host.name, self.port, self.peer, self.peer_port)
+            driver.l5o_create_datagram(tx_flow, DtlsAdapter(), self.tx_state, Direction.TX)
+            driver.l5o_create_datagram(tx_flow.reversed(), DtlsAdapter(), self.rx_state, Direction.RX)
+        self.ready = True
+        if self.on_ready:
+            self.on_ready()
+
+    # ------------------------------------------------------------------
+    # datapath
+    # ------------------------------------------------------------------
+    def send(self, data: bytes) -> None:
+        """Protect and send one datagram (<= MAX_PAYLOAD bytes)."""
+        if not self.ready:
+            raise RuntimeError("DTLS handshake not complete")
+        if len(data) > MAX_PAYLOAD:
+            raise ValueError(f"datagram payload limited to {MAX_PAYLOAD}B")
+        epoch_seq = self.tx_seq
+        self.tx_seq += 1
+        header = make_record_header(CONTENT_APPDATA, epoch_seq, len(data) + TAG_LEN)
+        if self.offload:
+            wire = header + data + b"\x00" * TAG_LEN  # NIC seals it
+        else:
+            nonce = record_nonce(self.tx_state.iv, epoch_seq)
+            ciphertext, tag = self.suite.seal(self.tx_state.key, nonce, data, aad=header)
+            wire = header + ciphertext + tag
+            self.core.charge(
+                self.host.model.cycles_crypto_setup + self.host.model.cpb_aes_gcm * (len(data) + TAG_LEN),
+                "crypto",
+            )
+        self.stats["sent"] += 1
+        self.host.udp.sendto(self.peer, self.peer_port, wire, sport=self.port)
+
+    def _on_datagram(self, payload: bytes, flow: FlowKey, pkt) -> None:
+        parsed = parse_record(payload)
+        if parsed is None:
+            return
+        ctype, epoch_seq, body, tag = parsed
+        if ctype == CONTENT_HANDSHAKE:
+            if self._peer_random is None:
+                self._peer_random = body[:_HELLO_LEN]
+                if self.role == "server":
+                    self._send_hello()
+                self._derive()
+            elif self.role == "server":
+                self._send_hello()  # client retry: re-answer
+            return
+        if not self.ready:
+            return
+        if not self._replay_check(epoch_seq):
+            self.stats["replays"] += 1
+            return
+        if pkt.meta.offloaded:
+            ok = pkt.meta.decrypted
+            plain = body
+            self.stats["offloaded_rx"] += 1
+        else:
+            header = payload[:HEADER_LEN]
+            nonce = record_nonce(self.rx_state.iv, epoch_seq)
+            self.core.charge(
+                self.host.model.cycles_crypto_setup + self.host.model.cpb_aes_gcm * len(payload), "crypto"
+            )
+            try:
+                plain = self.suite.open(self.rx_state.key, nonce, body, tag, aad=header)
+                ok = True
+            except AuthenticationError:
+                ok = False
+                plain = b""
+            self.stats["sw_rx"] += 1
+        if not ok:
+            self.stats["auth_fail"] += 1
+            return
+        self.stats["received"] += 1
+        if self.on_data:
+            self.on_data(plain)
+
+    def _replay_check(self, epoch_seq: int) -> bool:
+        """Sliding anti-replay window (RFC 6347 §4.1.2.6, simplified)."""
+        if epoch_seq < self._replay_horizon or epoch_seq in self._replay_window:
+            return False
+        self._replay_window.add(epoch_seq)
+        if len(self._replay_window) > 128:
+            self._replay_horizon = max(self._replay_window) - 128
+            self._replay_window = {s for s in self._replay_window if s >= self._replay_horizon}
+        return True
+
+    def close(self) -> None:
+        self.host.udp.unbind(self.port)

@@ -1,0 +1,8 @@
+"""NVMe over TCP: PDU layer, offload adapter, initiator (host) and
+target (controller)."""
+
+from repro.l5p.nvme_tcp.pdu import NvmeAdapter, NvmeConfig
+from repro.l5p.nvme_tcp.host import NvmeTcpHost
+from repro.l5p.nvme_tcp.target import NvmeTcpTarget
+
+__all__ = ["NvmeAdapter", "NvmeConfig", "NvmeTcpHost", "NvmeTcpTarget"]

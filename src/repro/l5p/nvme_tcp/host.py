@@ -1,0 +1,394 @@
+"""NVMe-TCP initiator (the paper's "host" / client side, §5.1).
+
+Reads allocate a block-layer buffer, register it under the command's CID
+with the NIC (``l5o_add_rr_state``) so C2HData payloads can be placed
+directly (Figure 9), and fall back to software memcpy + CRC for PDUs the
+NIC did not fully handle.  Writes carry in-capsule data whose data
+digest is either computed in software or left dummy for the NIC to fill.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.types import Direction, TxMsgState
+from repro.l5p.base import StreamAssembler
+from repro.l5p.nvme_tcp import pdu as P
+from repro.l5p.nvme_tcp.pdu import NvmeAdapter, NvmeConfig
+from repro.tcp import seq as sq
+
+
+@dataclass
+class _Request:
+    cid: int
+    opcode: int
+    slba: int
+    length: int
+    buffer: bytearray
+    on_complete: Callable
+    issued_at: float
+    data_failures: int = 0
+    write_data: bytes = b""  # retained for R2T-solicited transfers
+
+
+@dataclass
+class NvmeHostStats:
+    reads: int = 0
+    writes: int = 0
+    pdus_rx: int = 0
+    pdus_placed: int = 0  # C2HData fully placed + CRC-verified by the NIC
+    pdus_software: int = 0
+    digest_failures: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    latencies: list = field(default_factory=list)
+
+
+class NvmeTcpHost:
+    """One NVMe-TCP queue pair mapped to one TCP socket."""
+
+    def __init__(self, host, config: Optional[NvmeConfig] = None, tls=None):
+        self.host = host
+        self.config = config or NvmeConfig()
+        self.tls_config = tls
+        self.model = host.model
+        self.digest_cls = P.get_digest(self.config.digest_name)
+        self.conn = None
+        self.core = None
+        self.ktls = None
+        self.ready = False
+        self.on_ready: Optional[Callable[[], None]] = None
+
+        self._free_cids: deque[int] = deque(range(self.config.queue_depth))
+        self._inflight: dict[int, _Request] = {}
+        self._waiting: deque[tuple] = deque()
+        self._outq: deque[tuple[bytes, bool]] = deque()  # (wire, track)
+        self._assembler: Optional[StreamAssembler] = None
+        self._rx_ctx = None
+        self._tx_ctx = None
+        self._tx_msgs: deque[tuple[int, int, bytes]] = deque()
+        self._tx_msg_count = 0
+        self._pending_resync: list[int] = []
+        self.stats = NvmeHostStats()
+
+    # ------------------------------------------------------------------
+    # connection setup
+    # ------------------------------------------------------------------
+    def connect(self, target: str, port: int = 4420, on_ready: Optional[Callable] = None) -> None:
+        self.on_ready = on_ready
+        self.conn = self.host.tcp.connect(target, port)
+        self.core = self.host.core_for_flow(self.conn.flow)
+        if self.tls_config is not None:
+            self._connect_tls()
+        else:
+            self.conn.on_data = self._on_skb
+            self.conn.on_established = self._go_ready
+            self.conn.on_writable = self._on_writable
+
+    def _connect_tls(self) -> None:
+        from repro.l5p.nvme_tls import NvmeTlsAdapter
+        from repro.l5p.tls.ktls import KtlsSocket
+
+        from repro.l5p.nvme_tls import PlainTxMap
+
+        adapter = None
+        self._tls_tx_map = PlainTxMap()
+        if self.tls_config.tx_offload or self.tls_config.rx_offload:
+            adapter = NvmeTlsAdapter(self.config)
+            adapter.inner_tx_ops = self._tls_tx_map
+        self.ktls = KtlsSocket(self.host, self.conn, "client", self.tls_config, adapter=adapter)
+        self.ktls.on_record = self._on_tls_record
+        self.ktls.on_ready = self._go_ready
+        self.ktls.on_writable = self._on_writable
+
+    def _go_ready(self) -> None:
+        self._install_offloads()
+        self.ready = True
+        if self.on_ready:
+            self.on_ready()
+        self._drain_waiting()
+
+    def _install_offloads(self) -> None:
+        driver = getattr(self.host.nic, "driver", None)
+        if self.tls_config is not None:
+            # Combined NVMe-TLS: the stacked adapter owns the HW contexts;
+            # placement state is registered on the TLS RX context.
+            self._rx_ctx = self.ktls._rx_ctx
+            self._tx_ctx = self.ktls._tx_ctx
+            return
+        if self.config.rx_offload:
+            if driver is None:
+                raise RuntimeError("NVMe RX offload requires an OffloadNic")
+            adapter = NvmeAdapter(self.config, place=self.config.rx_offload_copy)
+            self._rx_ctx = driver.l5o_create(
+                self.conn, adapter, None, tcpsn=self.conn.rcv_nxt, direction=Direction.RX, l5p_ops=self
+            )
+        if self.config.tx_offload:
+            if driver is None:
+                raise RuntimeError("NVMe TX offload requires an OffloadNic")
+            adapter = NvmeAdapter(self.config)
+            self._tx_ctx = driver.l5o_create(
+                self.conn,
+                adapter,
+                None,
+                tcpsn=self.conn.send_buffer.end_seq,
+                direction=Direction.TX,
+                l5p_ops=self,
+            )
+
+    # ------------------------------------------------------------------
+    # block I/O API
+    # ------------------------------------------------------------------
+    def read(self, slba: int, length: int, on_complete: Callable[[bytes, float], None]) -> None:
+        """Read ``length`` bytes at byte address ``slba``; completion gets
+        ``(data, latency_seconds)``."""
+        self._submit(P.OPC_READ, slba, length, b"", on_complete)
+
+    def write(self, slba: int, data: bytes, on_complete: Callable[[float], None]) -> None:
+        self._submit(P.OPC_WRITE, slba, len(data), data, on_complete)
+
+    @property
+    def inflight(self) -> int:
+        return len(self._inflight)
+
+    def _submit(self, opcode, slba, length, data, on_complete) -> None:
+        self._waiting.append((opcode, slba, length, data, on_complete))
+        self._drain_waiting()
+
+    def _drain_waiting(self) -> None:
+        if not self.ready:
+            return
+        while self._waiting and self._free_cids and not self._outq:
+            opcode, slba, length, data, on_complete = self._waiting[0]
+            wire_len = P.CH_LEN + P.PSH_LEN[P.TYPE_CAPSULE_CMD] + len(data) + P.DDGST_LEN
+            if self._send_space() < wire_len:
+                break
+            self._waiting.popleft()
+            self._issue(opcode, slba, length, data, on_complete)
+
+    def _send_space(self) -> int:
+        if self.ktls is not None:
+            return self.ktls.send_space
+        return self.conn.send_space
+
+    def _issue(self, opcode, slba, length, data, on_complete) -> None:
+        cid = self._free_cids.popleft()
+        req = _Request(cid, opcode, slba, length, bytearray(length), on_complete, self.host.sim.now)
+        self._inflight[cid] = req
+        self.host.llc.occupy(length)
+        self.core.charge(self.model.cycles_block_io, "stack")
+
+        if opcode == P.OPC_READ:
+            self.stats.reads += 1
+            if self._rx_ctx is not None and self.config.rx_offload_copy:
+                self.host.nic.driver.l5o_add_rr_state(self._rx_ctx, cid, req.buffer)
+            wire = P.build_pdu(P.TYPE_CAPSULE_CMD, P.make_sqe(opcode, cid, slba, length), b"", self.digest_cls, False)
+            self._send_wire(wire)
+        else:
+            self.stats.writes += 1
+            self.stats.bytes_written += length
+            offloaded_tx = self._tx_ctx is not None
+            if length > self.config.inline_write_limit:
+                # Spec-shaped large write: command first, data follows
+                # in H2CData PDUs once the target sends R2T.
+                req.write_data = bytes(data)
+                wire = P.build_pdu(
+                    P.TYPE_CAPSULE_CMD, P.make_sqe(opcode, cid, slba, length), b"", self.digest_cls, False
+                )
+                self._send_wire(wire, track=offloaded_tx)
+                return
+            wire = P.build_pdu(
+                P.TYPE_CAPSULE_CMD,
+                P.make_sqe(opcode, cid, slba, length),
+                bytes(data),
+                self.digest_cls,
+                self.config.data_digest,
+                dummy_digest=offloaded_tx,
+            )
+            # The user-to-kernel copy happens either way.
+            self.core.charge(length * self.host.llc.copy_cpb(), "copy")
+            if not offloaded_tx and self.config.data_digest:
+                self.core.charge(length * self.host.llc.touch_cpb(self.model.cpb_crc32c), "crc")
+            self._send_wire(wire, track=offloaded_tx)
+
+    def _send_wire(self, wire: bytes, track: bool = False) -> None:
+        """Queue one PDU for transmission with backpressure."""
+        self.core.charge(self.model.cycles_pdu, "l5p")
+        self._outq.append((wire, track))
+        self._flush_out()
+
+    def _flush_out(self) -> None:
+        while self._outq:
+            wire, track = self._outq[0]
+            if self.ktls is not None:
+                if not self.ktls.ready or self.ktls.send_space < len(wire):
+                    return
+                self._outq.popleft()
+                if track:
+                    self._track_tls_tx(wire)
+                sent = self.ktls.send(wire)
+                if track:
+                    oldest = self.ktls._tx_msgs[0][3] if self.ktls._tx_msgs else self.ktls._tx_plain_sent
+                    self._tls_tx_map.prune(oldest)
+            else:
+                if self.conn.send_space < len(wire):
+                    return
+                self._outq.popleft()
+                if track:
+                    start = self.conn.send_buffer.end_seq
+                    self._tx_msgs.append((start, self._tx_msg_count, wire))
+                    self._tx_msg_count += 1
+                sent = self.conn.send(wire)
+            if sent != len(wire):
+                raise RuntimeError("PDU split across send buffer boundary")
+
+    def _track_tls_tx(self, wire: bytes) -> None:
+        # Record the PDU's plaintext-stream start so the stacked adapter
+        # can replay the covering PDU during inner TX recovery (§5.3).
+        self._tls_tx_map.track(self.ktls.stats.bytes_tx, wire)
+
+    def _on_writable(self) -> None:
+        una = self.conn.snd_una
+        while self._tx_msgs and sq.le(sq.add(self._tx_msgs[0][0], len(self._tx_msgs[0][2])), una):
+            self._tx_msgs.popleft()
+        self._flush_out()
+        self._drain_waiting()
+
+    # ------------------------------------------------------------------
+    # Listing 2 upcalls
+    # ------------------------------------------------------------------
+    def l5o_get_tx_msgstate(self, tcpsn: int) -> Optional[TxMsgState]:
+        for start, idx, wire in self._tx_msgs:
+            if sq.between(start, tcpsn, sq.add(start, len(wire))):
+                return TxMsgState(start_seq=start, msg_index=idx, wire_bytes=wire)
+        return None
+
+    def l5o_resync_rx_req(self, tcpsn: int) -> None:
+        self._pending_resync.append(tcpsn)
+
+    # ------------------------------------------------------------------
+    # receive path
+    # ------------------------------------------------------------------
+    def _on_skb(self, skb) -> None:
+        if self._assembler is None:
+            self._assembler = StreamAssembler(P.CH_LEN, P.pdu_total_len, start_seq=skb.seq)
+        self._ingest(skb.data, skb.meta)
+
+    def _on_tls_record(self, runs) -> None:
+        if self._assembler is None:
+            self._assembler = StreamAssembler(P.CH_LEN, P.pdu_total_len, start_seq=0)
+        for run in runs:
+            self._ingest(run.data, run.meta)
+
+    def _ingest(self, data, meta) -> None:
+        try:
+            messages = self._assembler.push(data, meta)
+        except ValueError as exc:
+            raise RuntimeError(f"NVMe-TCP stream framing error: {exc}") from None
+        for msg in messages:
+            self._on_pdu(msg)
+
+    def _on_pdu(self, msg) -> None:
+        self.stats.pdus_rx += 1
+        self.core.charge(self.model.cycles_pdu, "l5p")
+        wire = msg.wire
+        pdu_type = wire[0]
+        has_digest = bool(wire[1] & P.FLAG_DDGST)
+        self._answer_resyncs(msg)
+        if pdu_type == P.TYPE_C2H_DATA:
+            self._on_c2h_data(msg, has_digest)
+        elif pdu_type == P.TYPE_CAPSULE_RESP:
+            self._on_resp(wire)
+        elif pdu_type == P.TYPE_R2T:
+            self._on_r2t(wire)
+        # Other types are ignored by the initiator.
+
+    def _on_c2h_data(self, msg, has_digest: bool) -> None:
+        wire = msg.wire
+        psh = wire[P.CH_LEN : P.CH_LEN + P.PSH_LEN[P.TYPE_C2H_DATA]]
+        cid, data_offset, data_len = P.parse_data_psh(psh)
+        req = self._inflight.get(cid)
+        if req is None or data_offset + data_len > len(req.buffer):
+            return  # stale or corrupt; the CapsuleResp will sort it out
+        data_start = P.CH_LEN + P.PSH_LEN[P.TYPE_C2H_DATA]
+        data_runs = msg.slice_runs(data_start, data_len)
+        placed = all(r.meta.placed for r in data_runs) and self.config.rx_offload_copy
+        crc_done = all(r.meta.crc_ok for r in msg.runs) and self.config.rx_offload_crc
+
+        if placed and (crc_done or not has_digest):
+            # Figure 9: payload already sits in the block-layer buffer and
+            # the digest was checked inline — memcpy src == dst, skip all.
+            self.stats.pdus_placed += 1
+            return
+        self.stats.pdus_software += 1
+        data = wire[data_start : data_start + data_len]
+        copy_bytes = sum(len(r.data) for r in data_runs if not (r.meta.placed and self.config.rx_offload_copy))
+        if copy_bytes:
+            self.core.charge(copy_bytes * self.host.llc.copy_cpb(), "copy")
+        req.buffer[data_offset : data_offset + data_len] = data
+        if has_digest and not crc_done:
+            self.core.charge(data_len * self.host.llc.touch_cpb(self.model.cpb_crc32c), "crc")
+            wire_digest = wire[-P.DDGST_LEN :]
+            if self.digest_cls(data).digest() != wire_digest:
+                self.stats.digest_failures += 1
+                req.data_failures += 1
+
+    def _on_r2t(self, wire: bytes) -> None:
+        """Target solicits write data: answer with H2CData."""
+        psh = wire[P.CH_LEN : P.CH_LEN + P.PSH_LEN[P.TYPE_R2T]]
+        cid, offset, length = P.parse_r2t_psh(psh)
+        req = self._inflight.get(cid)
+        if req is None or offset + length > len(req.write_data):
+            return  # stale R2T
+        chunk = req.write_data[offset : offset + length]
+        offloaded_tx = self._tx_ctx is not None
+        wire_out = P.build_pdu(
+            P.TYPE_H2C_DATA,
+            P.make_data_psh(cid, offset, length),
+            chunk,
+            self.digest_cls,
+            self.config.data_digest,
+            dummy_digest=offloaded_tx,
+        )
+        self.core.charge(length * self.host.llc.copy_cpb(), "copy")
+        if not offloaded_tx and self.config.data_digest:
+            self.core.charge(length * self.host.llc.touch_cpb(self.model.cpb_crc32c), "crc")
+        self._send_wire(wire_out, track=offloaded_tx)
+
+    def _on_resp(self, wire: bytes) -> None:
+        psh = wire[P.CH_LEN : P.CH_LEN + P.PSH_LEN[P.TYPE_CAPSULE_RESP]]
+        cid, status = P.parse_cqe(psh)
+        req = self._inflight.pop(cid, None)
+        if req is None:
+            return
+        self._free_cids.append(cid)
+        self.host.llc.release(req.length)
+        if self._rx_ctx is not None and self.config.rx_offload_copy and req.opcode == P.OPC_READ:
+            self.host.nic.driver.l5o_del_rr_state(self._rx_ctx, cid)
+        latency = self.host.sim.now - req.issued_at
+        self.stats.latencies.append(latency)
+        if status != 0 or req.data_failures:
+            raise RuntimeError(f"NVMe I/O cid={cid} failed (status={status})")
+        if req.opcode == P.OPC_READ:
+            self.stats.bytes_read += req.length
+            req.on_complete(bytes(req.buffer), latency)
+        else:
+            req.on_complete(latency)
+        self._drain_waiting()
+
+    def _answer_resyncs(self, msg) -> None:
+        if not self._pending_resync or self._rx_ctx is None or self.tls_config is not None:
+            return
+        driver = self.host.nic.driver
+        end = sq.add(msg.start_seq, msg.length)
+        still = []
+        for req_seq in self._pending_resync:
+            if req_seq == msg.start_seq:
+                driver.l5o_resync_rx_resp(self._rx_ctx, req_seq, True, msg_index=self.stats.pdus_rx - 1)
+            elif sq.lt(req_seq, end):
+                driver.l5o_resync_rx_resp(self._rx_ctx, req_seq, False)
+            else:
+                still.append(req_seq)
+        self._pending_resync = still

@@ -1,0 +1,266 @@
+"""NVMe-TCP target (controller side) backed by a simulated block device.
+
+The evaluation's target is the workload-generator machine exposing an
+Optane drive; it runs software NVMe-TCP (optionally with its own TX
+offloads so that the generator is never the bottleneck when the paper's
+numbers are drive- or NIC-bound)."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.core.types import Direction, TxMsgState
+from repro.l5p.base import StreamAssembler
+from repro.l5p.nvme_tcp import pdu as P
+from repro.l5p.nvme_tcp.pdu import NvmeAdapter, NvmeConfig
+from repro.storage.blockdev import BlockDevice
+from repro.tcp import seq as sq
+
+MAX_C2H_DATA = 1 << 20  # split read payloads into PDUs of at most 1 MiB
+
+
+class NvmeTcpTarget:
+    """Listens for initiators and services NVMe commands."""
+
+    def __init__(
+        self,
+        host,
+        device: BlockDevice,
+        config: Optional[NvmeConfig] = None,
+        tls=None,
+        port: int = 4420,
+    ):
+        self.host = host
+        self.device = device
+        self.config = config or NvmeConfig()
+        self.tls_config = tls
+        self.port = port
+        self.connections: list[_TargetConn] = []
+
+    def start(self) -> None:
+        self.host.tcp.listen(self.port, self._accept)
+
+    def _accept(self, conn) -> None:
+        self.connections.append(_TargetConn(self, conn))
+
+
+class _TargetConn:
+    """One initiator connection on the target."""
+
+    def __init__(self, target: NvmeTcpTarget, conn):
+        self.target = target
+        self.host = target.host
+        self.model = self.host.model
+        self.config = target.config
+        self.digest_cls = P.get_digest(self.config.digest_name)
+        self.conn = conn
+        self.core = self.host.core_for_flow(conn.flow)
+        self.ktls = None
+        self._assembler: Optional[StreamAssembler] = None
+        self._outq: deque[bytes] = deque()
+        self._tx_ctx = None
+        self._tx_msgs: deque[tuple[int, int, bytes]] = deque()
+        self._tx_msg_count = 0
+        self._pending_writes: dict[int, tuple[int, bytearray, int]] = {}  # cid -> (slba, buf, received)
+        self.commands_served = 0
+
+        if target.tls_config is not None:
+            from repro.l5p.nvme_tls import NvmeTlsAdapter, PlainTxMap
+            from repro.l5p.tls.ktls import KtlsSocket
+
+            adapter = None
+            self._tls_tx_map = PlainTxMap()
+            if target.tls_config.tx_offload or target.tls_config.rx_offload:
+                adapter = NvmeTlsAdapter(self.config)
+                adapter.inner_tx_ops = self._tls_tx_map
+            self.ktls = KtlsSocket(self.host, conn, "server", target.tls_config, adapter=adapter)
+            self.ktls.on_record = self._on_tls_record
+            self.ktls.on_writable = self._flush
+            self.ktls.on_ready = self._install_offloads
+        else:
+            conn.on_data = self._on_skb
+            conn.on_writable = self._on_writable
+            self.host.sim.call_soon(self._install_offloads)
+
+    def _install_offloads(self) -> None:
+        if self.ktls is not None:
+            self._tx_ctx = self.ktls._tx_ctx
+            return
+        if self.config.tx_offload:
+            driver = getattr(self.host.nic, "driver", None)
+            if driver is None:
+                raise RuntimeError("target TX offload requires an OffloadNic")
+            adapter = NvmeAdapter(self.config)
+            self._tx_ctx = driver.l5o_create(
+                self.conn,
+                adapter,
+                None,
+                tcpsn=self.conn.send_buffer.end_seq,
+                direction=Direction.TX,
+                l5p_ops=self,
+            )
+
+    # ------------------------------------------------------------------
+    # receive: commands from the initiator
+    # ------------------------------------------------------------------
+    def _on_skb(self, skb) -> None:
+        if self._assembler is None:
+            self._assembler = StreamAssembler(P.CH_LEN, P.pdu_total_len, start_seq=skb.seq)
+        self._ingest(skb.data, skb.meta)
+
+    def _on_tls_record(self, runs) -> None:
+        if self._assembler is None:
+            self._assembler = StreamAssembler(P.CH_LEN, P.pdu_total_len, start_seq=0)
+        for run in runs:
+            self._ingest(run.data, run.meta)
+
+    def _ingest(self, data, meta) -> None:
+        for msg in self._assembler.push(data, meta):
+            self._on_pdu(msg)
+
+    def _on_pdu(self, msg) -> None:
+        wire = msg.wire
+        if wire[0] == P.TYPE_H2C_DATA:
+            self._on_h2c_data(wire)
+            return
+        if wire[0] != P.TYPE_CAPSULE_CMD:
+            return
+        self.core.charge(self.model.cycles_pdu, "l5p")
+        psh = wire[P.CH_LEN : P.CH_LEN + P.PSH_LEN[P.TYPE_CAPSULE_CMD]]
+        opcode, cid, slba, length = P.parse_sqe(psh)
+        self.core.charge(self.model.cycles_block_io, "stack")
+        if opcode == P.OPC_READ:
+            self.target.device.read(slba, length, lambda data: self._read_done(cid, data))
+        elif opcode == P.OPC_WRITE:
+            data_start = P.CH_LEN + P.PSH_LEN[P.TYPE_CAPSULE_CMD]
+            in_capsule = len(wire) > data_start + P.DDGST_LEN or length == 0
+            body_len = len(wire) - data_start - (P.DDGST_LEN if wire[1] & P.FLAG_DDGST else 0)
+            if body_len < length:
+                # No in-capsule data: solicit it (Ready-to-Transfer).
+                self._pending_writes[cid] = (slba, bytearray(length), 0)
+                r2t = P.build_pdu(
+                    P.TYPE_R2T, P.make_r2t_psh(cid, 0, length), b"", self.digest_cls, False
+                )
+                self._queue(r2t, track=self._tx_ctx is not None)
+                return
+            del in_capsule
+            data = wire[data_start : data_start + length]
+            has_digest = bool(wire[1] & P.FLAG_DDGST) and length > 0
+            status = 0
+            if has_digest:
+                self.core.charge(length * self.host.llc.touch_cpb(self.model.cpb_crc32c), "crc")
+                if self.digest_cls(data).digest() != wire[-P.DDGST_LEN :]:
+                    status = 1
+            if status == 0:
+                self.target.device.write(slba, data, lambda: self._write_done(cid))
+            else:
+                self._respond(cid, status)
+
+    def _on_h2c_data(self, wire: bytes) -> None:
+        """Solicited write data arriving after our R2T."""
+        self.core.charge(self.model.cycles_pdu, "l5p")
+        psh = wire[P.CH_LEN : P.CH_LEN + P.PSH_LEN[P.TYPE_H2C_DATA]]
+        cid, offset, length = P.parse_data_psh(psh)
+        pending = self._pending_writes.get(cid)
+        if pending is None:
+            return
+        slba, buffer, received = pending
+        data_start = P.CH_LEN + P.PSH_LEN[P.TYPE_H2C_DATA]
+        data = wire[data_start : data_start + length]
+        has_digest = bool(wire[1] & P.FLAG_DDGST) and length > 0
+        if has_digest:
+            self.core.charge(length * self.host.llc.touch_cpb(self.model.cpb_crc32c), "crc")
+            if self.digest_cls(data).digest() != wire[-P.DDGST_LEN :]:
+                del self._pending_writes[cid]
+                self._respond(cid, 1)
+                return
+        self.core.charge(length * self.host.llc.copy_cpb(), "copy")
+        buffer[offset : offset + length] = data
+        received += length
+        if received >= len(buffer):
+            del self._pending_writes[cid]
+            self.target.device.write(slba, bytes(buffer), lambda: self._write_done(cid))
+        else:
+            self._pending_writes[cid] = (slba, buffer, received)
+
+    def _read_done(self, cid: int, data: bytes) -> None:
+        self.commands_served += 1
+        offloaded_tx = self._tx_ctx is not None
+        offset = 0
+        while offset < len(data):
+            chunk = data[offset : offset + MAX_C2H_DATA]
+            pdu = P.build_pdu(
+                P.TYPE_C2H_DATA,
+                P.make_data_psh(cid, offset, len(chunk)),
+                chunk,
+                self.digest_cls,
+                self.config.data_digest,
+                dummy_digest=offloaded_tx,
+            )
+            # Response assembly touches the data once (sendpage-style).
+            self.core.charge(len(chunk) * self.host.llc.copy_cpb(), "copy")
+            if not offloaded_tx and self.config.data_digest:
+                self.core.charge(len(chunk) * self.host.llc.touch_cpb(self.model.cpb_crc32c), "crc")
+            self._queue(pdu, track=offloaded_tx)
+            offset += len(chunk)
+        self._respond(cid, 0)
+
+    def _write_done(self, cid: int) -> None:
+        self.commands_served += 1
+        self._respond(cid, 0)
+
+    def _respond(self, cid: int, status: int) -> None:
+        pdu = P.build_pdu(P.TYPE_CAPSULE_RESP, P.make_cqe(cid, status), b"", self.digest_cls, False)
+        self._queue(pdu, track=self._tx_ctx is not None)
+
+    # ------------------------------------------------------------------
+    # transmit with backpressure
+    # ------------------------------------------------------------------
+    def _queue(self, pdu: bytes, track: bool = False) -> None:
+        self.core.charge(self.model.cycles_pdu, "l5p")
+        self._outq.append((pdu, track))
+        self._flush()
+
+    def _flush(self) -> None:
+        while self._outq:
+            pdu, track = self._outq[0]
+            if self.ktls is not None:
+                if not self.ktls.ready or self.ktls.send_space < len(pdu):
+                    return
+                self._outq.popleft()
+                if track:
+                    self._tls_tx_map.track(self.ktls.stats.bytes_tx, pdu)
+                sent = self.ktls.send(pdu)
+                if track:
+                    oldest = self.ktls._tx_msgs[0][3] if self.ktls._tx_msgs else self.ktls._tx_plain_sent
+                    self._tls_tx_map.prune(oldest)
+            else:
+                if self.conn.send_space < len(pdu):
+                    return
+                self._outq.popleft()
+                if track:
+                    start = self.conn.send_buffer.end_seq
+                    self._tx_msgs.append((start, self._tx_msg_count, pdu))
+                    self._tx_msg_count += 1
+                sent = self.conn.send(pdu)
+            if sent != len(pdu):
+                raise RuntimeError("PDU split across send buffer boundary")
+
+    def _on_writable(self) -> None:
+        una = self.conn.snd_una
+        while self._tx_msgs and sq.le(sq.add(self._tx_msgs[0][0], len(self._tx_msgs[0][2])), una):
+            self._tx_msgs.popleft()
+        self._flush()
+
+    # ------------------------------------------------------------------
+    # Listing 2 upcalls (target TX recovery)
+    # ------------------------------------------------------------------
+    def l5o_get_tx_msgstate(self, tcpsn: int) -> Optional[TxMsgState]:
+        for start, idx, wire in self._tx_msgs:
+            if sq.between(start, tcpsn, sq.add(start, len(wire))):
+                return TxMsgState(start_seq=start, msg_index=idx, wire_bytes=wire)
+        return None
+
+    def l5o_resync_rx_req(self, tcpsn: int) -> None:
+        pass  # the target installs no RX contexts

@@ -1,0 +1,17 @@
+"""RPC L5P (paper §1/§3: gRPC-/Thrift-class protocols).
+
+The paper lists RPC protocols among the autonomously offloadable L5Ps
+(their data-intensive operations: copy and deserialization).  This
+package implements a compact RPC system — TLV codec, request/response
+framing, client/server — whose *response copy + CRC* is autonomously
+offloaded exactly like NVMe-TCP's C2HData placement: the client
+registers the response buffer under the call id before issuing the
+request (``l5o_add_rr_state``), and the NIC places the payload while
+verifying the frame digest inline.
+"""
+
+from repro.l5p.rpc.codec import decode, encode
+from repro.l5p.rpc.frame import RpcAdapter, RpcConfig
+from repro.l5p.rpc.endpoint import RpcClient, RpcServer
+
+__all__ = ["encode", "decode", "RpcAdapter", "RpcConfig", "RpcClient", "RpcServer"]

@@ -1,0 +1,153 @@
+"""A compact TLV serializer (mini Thrift-compact-style), from scratch.
+
+Supported values: None, bool, int, float, bytes, str, list, dict.
+Integers use zigzag + varint; containers carry element counts.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+_T_NONE = 0
+_T_FALSE = 1
+_T_TRUE = 2
+_T_INT = 3
+_T_FLOAT = 4
+_T_BYTES = 5
+_T_STR = 6
+_T_LIST = 7
+_T_DICT = 8
+
+
+def _zigzag(n: int) -> int:
+    return (n << 1) if n >= 0 else ((-n) << 1) - 1
+
+
+def _unzigzag(z: int) -> int:
+    return (z >> 1) if (z & 1) == 0 else -((z + 1) >> 1)
+
+
+def _write_varint(out: bytearray, value: int) -> None:
+    if value < 0:
+        raise ValueError("varint must be non-negative")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _read_varint(data: bytes, pos: int) -> tuple[int, int]:
+    shift = 0
+    value = 0
+    while True:
+        if pos >= len(data):
+            raise ValueError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, pos
+        shift += 7
+        if shift > 2048:  # arbitrary-precision ints, but bounded sanity
+            raise ValueError("varint too long")
+
+
+def _encode_into(out: bytearray, value: Any) -> None:
+    if value is None:
+        out.append(_T_NONE)
+    elif value is True:
+        out.append(_T_TRUE)
+    elif value is False:
+        out.append(_T_FALSE)
+    elif isinstance(value, int):
+        out.append(_T_INT)
+        _write_varint(out, _zigzag(value))
+    elif isinstance(value, float):
+        out.append(_T_FLOAT)
+        out += struct.pack(">d", value)
+    elif isinstance(value, (bytes, bytearray, memoryview)):
+        out.append(_T_BYTES)
+        raw = bytes(value)
+        _write_varint(out, len(raw))
+        out += raw
+    elif isinstance(value, str):
+        out.append(_T_STR)
+        raw = value.encode("utf-8")
+        _write_varint(out, len(raw))
+        out += raw
+    elif isinstance(value, (list, tuple)):
+        out.append(_T_LIST)
+        _write_varint(out, len(value))
+        for item in value:
+            _encode_into(out, item)
+    elif isinstance(value, dict):
+        out.append(_T_DICT)
+        _write_varint(out, len(value))
+        for key, item in value.items():
+            _encode_into(out, key)
+            _encode_into(out, item)
+    else:
+        raise TypeError(f"cannot serialize {type(value).__name__}")
+
+
+def encode(value: Any) -> bytes:
+    """Serialize ``value`` to TLV bytes."""
+    out = bytearray()
+    _encode_into(out, value)
+    return bytes(out)
+
+
+def _decode_from(data: bytes, pos: int) -> tuple[Any, int]:
+    if pos >= len(data):
+        raise ValueError("truncated value")
+    tag = data[pos]
+    pos += 1
+    if tag == _T_NONE:
+        return None, pos
+    if tag == _T_TRUE:
+        return True, pos
+    if tag == _T_FALSE:
+        return False, pos
+    if tag == _T_INT:
+        z, pos = _read_varint(data, pos)
+        return _unzigzag(z), pos
+    if tag == _T_FLOAT:
+        if pos + 8 > len(data):
+            raise ValueError("truncated float")
+        return struct.unpack(">d", data[pos : pos + 8])[0], pos + 8
+    if tag in (_T_BYTES, _T_STR):
+        length, pos = _read_varint(data, pos)
+        if pos + length > len(data):
+            raise ValueError("truncated string/bytes")
+        raw = data[pos : pos + length]
+        pos += length
+        return (bytes(raw) if tag == _T_BYTES else raw.decode("utf-8")), pos
+    if tag == _T_LIST:
+        count, pos = _read_varint(data, pos)
+        items = []
+        for _ in range(count):
+            item, pos = _decode_from(data, pos)
+            items.append(item)
+        return items, pos
+    if tag == _T_DICT:
+        count, pos = _read_varint(data, pos)
+        mapping = {}
+        for _ in range(count):
+            key, pos = _decode_from(data, pos)
+            item, pos = _decode_from(data, pos)
+            mapping[key] = item
+        return mapping, pos
+    raise ValueError(f"unknown TLV tag {tag}")
+
+
+def decode(data: bytes) -> Any:
+    """Deserialize one TLV value; rejects trailing garbage."""
+    value, pos = _decode_from(data, 0)
+    if pos != len(data):
+        raise ValueError(f"{len(data) - pos} trailing bytes after value")
+    return value

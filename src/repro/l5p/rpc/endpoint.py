@@ -1,0 +1,241 @@
+"""RPC client and server endpoints over simulated TCP.
+
+The client side carries the autonomous offload: it registers the
+response buffer under the call's rpc_id before issuing the request, so
+the NIC can place the response payload and verify its CRC inline; calls
+whose responses the NIC fully handled skip the software copy+CRC.
+Deserialization itself stays in software (a simplification the paper's
+§7 leaves open; the copy is the dominant per-byte cost for KV/RPC).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Optional
+
+from repro.core.types import Direction, TxMsgState
+from repro.l5p.base import StreamAssembler
+from repro.l5p.rpc import frame as F
+from repro.l5p.rpc.codec import decode, encode
+from repro.l5p.rpc.frame import RpcAdapter, RpcConfig
+from repro.tcp import seq as sq
+
+
+class RpcError(Exception):
+    """Server-side failure surfaced to the caller."""
+
+
+class _RpcPeer:
+    """Shared assembler/backpressure machinery."""
+
+    def __init__(self, host, conn, config: RpcConfig):
+        self.host = host
+        self.conn = conn
+        self.config = config
+        self.model = host.model
+        self.core = host.core_for_flow(conn.flow)
+        self.digest_cls = F.get_digest(config.digest_name)
+        self._assembler: Optional[StreamAssembler] = None
+        self._outq: deque[bytes] = deque()
+        conn.on_data = self._on_skb
+        conn.on_writable = self._flush
+        previous = conn.on_established
+
+        def established():
+            if previous:
+                previous()
+            self._flush()
+
+        conn.on_established = established
+
+    def _on_skb(self, skb) -> None:
+        if self._assembler is None:
+            self._assembler = StreamAssembler(F.HEADER_LEN, self._total_len, start_seq=skb.seq)
+        for msg in self._assembler.push(skb.data, skb.meta):
+            self._on_frame(msg)
+
+    @staticmethod
+    def _total_len(header: bytes) -> int:
+        parsed = F.parse_header(header)
+        if parsed is None:
+            raise ValueError("bad RPC frame header")
+        return F.HEADER_LEN + parsed[3] + F.TRAILER_LEN
+
+    def _on_frame(self, msg) -> None:
+        raise NotImplementedError
+
+    def _queue(self, wire: bytes) -> None:
+        self._outq.append(wire)
+        self._flush()
+
+    def _flush(self) -> None:
+        while self._outq and self.conn.state in ("established", "close-wait"):
+            wire = self._outq[0]
+            if self.conn.send_space < len(wire):
+                return
+            self._outq.popleft()
+            sent = self.conn.send(wire)
+            if sent != len(wire):
+                raise RuntimeError("frame split across send buffer boundary")
+
+
+class RpcServer:
+    """Dispatches registered methods; one _ServerConn per client."""
+
+    def __init__(self, host, port: int = 7000, config: Optional[RpcConfig] = None):
+        self.host = host
+        self.config = config or RpcConfig()
+        self.methods: dict[int, Callable[[Any], Any]] = {}
+        self.requests_served = 0
+        host.tcp.listen(port, self._accept)
+
+    def register(self, method_id: int, fn: Callable[[Any], Any]) -> None:
+        if method_id in self.methods:
+            raise ValueError(f"method {method_id} already registered")
+        self.methods[method_id] = fn
+
+    def _accept(self, conn) -> None:
+        _ServerConn(self, conn)
+
+
+class _ServerConn(_RpcPeer):
+    def __init__(self, server: RpcServer, conn):
+        super().__init__(server.host, conn, server.config)
+        self.server = server
+
+    def _on_frame(self, msg) -> None:
+        wire = msg.wire
+        ftype, rpc_id, method_id, payload_len = F.parse_header(wire[:F.HEADER_LEN])
+        if ftype != F.TYPE_REQUEST:
+            return
+        payload = wire[F.HEADER_LEN : F.HEADER_LEN + payload_len]
+        self.core.charge(payload_len * self.host.llc.touch_cpb(self.model.cpb_crc32c), "crc")
+        if self.digest_cls(payload).digest() != wire[-F.TRAILER_LEN :]:
+            return  # corrupt request: drop (client will time out)
+        self.core.charge(self.model.cycles_kv_req, "app")
+        self.core.charge(payload_len * self.model.cpb_deserialize, "app")
+        fn = self.server.methods.get(method_id)
+        try:
+            if fn is None:
+                raise RpcError(f"no such method {method_id}")
+            result = {"ok": True, "value": fn(decode(payload))}
+        except RpcError as exc:
+            result = {"ok": False, "error": str(exc)}
+        body = encode(result)
+        self.core.charge(len(body) * self.model.cpb_serialize, "app")
+        self.server.requests_served += 1
+        self._queue(F.make_frame(F.TYPE_RESPONSE, rpc_id, method_id, body, self.digest_cls))
+
+
+class RpcClient(_RpcPeer):
+    """Issues calls; offloads response CRC + placement when configured."""
+
+    def __init__(self, host, server: str, port: int = 7000, config: Optional[RpcConfig] = None):
+        config = config or RpcConfig()
+        conn = host.tcp.connect(server, port)
+        super().__init__(host, conn, config)
+        self._next_rpc_id = 1
+        self._pending: dict[int, tuple[Callable, float]] = {}
+        self._rx_ctx = None
+        self._pending_rr: list[tuple[int, bytearray]] = []
+        self._pending_resync: list[int] = []
+        self.stats = {"calls": 0, "responses": 0, "placed": 0, "software": 0, "errors": 0}
+        if config.rx_offload:
+            if getattr(host.nic, "driver", None) is None:
+                raise RuntimeError("RPC offload requires an OffloadNic")
+            # Install once established: only then is the receive sequence
+            # space known (and no response can precede our first request).
+            previous = conn.on_established
+
+            def established():
+                if previous:
+                    previous()
+                self._install_offload()
+
+            conn.on_established = established
+
+    def _install_offload(self) -> None:
+        adapter = RpcAdapter(self.config)
+        self._rx_ctx = self.host.nic.driver.l5o_create(
+            self.conn, adapter, None, tcpsn=self.conn.rcv_nxt, direction=Direction.RX, l5p_ops=self
+        )
+        for rpc_id, buffer in self._pending_rr:
+            self.host.nic.driver.l5o_add_rr_state(self._rx_ctx, rpc_id, buffer)
+        self._pending_rr.clear()
+
+    # ------------------------------------------------------------------
+    def call(self, method_id: int, args: Any, on_result: Callable[[Any, float], None]) -> int:
+        """Invoke ``method_id(args)``; ``on_result(value, latency)``."""
+        rpc_id = self._next_rpc_id
+        self._next_rpc_id += 1
+        payload = encode(args)
+        self.core.charge(len(payload) * self.model.cpb_serialize, "app")
+        if self.config.rx_offload_copy:
+            buffer = bytearray(self.config.max_response)
+            if self._rx_ctx is not None:
+                self.host.nic.driver.l5o_add_rr_state(self._rx_ctx, rpc_id, buffer)
+            else:
+                self._pending_rr.append((rpc_id, buffer))
+        self._pending[rpc_id] = (on_result, self.host.sim.now)
+        self._queue(F.make_frame(F.TYPE_REQUEST, rpc_id, method_id, payload, self.digest_cls))
+        self.stats["calls"] += 1
+        return rpc_id
+
+    def _on_frame(self, msg) -> None:
+        self._answer_resyncs(msg)
+        wire = msg.wire
+        ftype, rpc_id, method_id, payload_len = F.parse_header(wire[:F.HEADER_LEN])
+        if ftype != F.TYPE_RESPONSE:
+            return
+        pending = self._pending.pop(rpc_id, None)
+        if pending is None:
+            return
+        on_result, issued_at = pending
+        payload_runs = msg.slice_runs(F.HEADER_LEN, payload_len)
+        placed = self.config.rx_offload_copy and all(r.meta.placed for r in payload_runs)
+        crc_done = self.config.rx_offload_crc and all(r.meta.crc_ok for r in msg.runs)
+        payload = wire[F.HEADER_LEN : F.HEADER_LEN + payload_len]
+        if placed and crc_done:
+            self.stats["placed"] += 1  # copy+CRC skipped
+        else:
+            self.stats["software"] += 1
+            self.core.charge(payload_len * self.host.llc.copy_cpb(), "copy")
+            self.core.charge(payload_len * self.host.llc.touch_cpb(self.model.cpb_crc32c), "crc")
+            if self.digest_cls(payload).digest() != wire[-F.TRAILER_LEN :]:
+                self.stats["errors"] += 1
+                return
+        if self._rx_ctx is not None and self.config.rx_offload_copy:
+            self.host.nic.driver.l5o_del_rr_state(self._rx_ctx, rpc_id)
+        self.core.charge(payload_len * self.model.cpb_deserialize, "app")
+        result = decode(payload)
+        self.stats["responses"] += 1
+        latency = self.host.sim.now - issued_at
+        if not result.get("ok", False):
+            self.stats["errors"] += 1
+            on_result(RpcError(result.get("error", "unknown")), latency)
+        else:
+            on_result(result["value"], latency)
+
+    # ------------------------------------------------------------------
+    # Listing 2 upcalls
+    # ------------------------------------------------------------------
+    def l5o_get_tx_msgstate(self, tcpsn: int) -> Optional[TxMsgState]:
+        return None  # requests are not TX-offloaded
+
+    def l5o_resync_rx_req(self, tcpsn: int) -> None:
+        self._pending_resync.append(tcpsn)
+
+    def _answer_resyncs(self, msg) -> None:
+        if not self._pending_resync or self._rx_ctx is None:
+            return
+        driver = self.host.nic.driver
+        end = sq.add(msg.start_seq, msg.length)
+        still = []
+        for req in self._pending_resync:
+            if req == msg.start_seq:
+                driver.l5o_resync_rx_resp(self._rx_ctx, req, True, msg_index=0)
+            elif sq.lt(req, end):
+                driver.l5o_resync_rx_resp(self._rx_ctx, req, False)
+            else:
+                still.append(req)
+        self._pending_resync = still

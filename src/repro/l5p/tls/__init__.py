@@ -1,0 +1,22 @@
+"""TLS: record layer, autonomous-offload adapter, and kernel-TLS socket."""
+
+from repro.l5p.tls.record import (
+    HEADER_LEN,
+    MAX_PLAINTEXT,
+    TAG_LEN,
+    TlsAdapter,
+    TlsDirectionState,
+    record_nonce,
+)
+from repro.l5p.tls.ktls import KtlsSocket, TlsConfig
+
+__all__ = [
+    "HEADER_LEN",
+    "MAX_PLAINTEXT",
+    "TAG_LEN",
+    "TlsAdapter",
+    "TlsDirectionState",
+    "record_nonce",
+    "KtlsSocket",
+    "TlsConfig",
+]

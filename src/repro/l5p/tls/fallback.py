@@ -1,0 +1,87 @@
+"""Software fallback for partially-offloaded TLS records (§5.2).
+
+AES-GCM authenticates the *ciphertext*, so when the NIC decrypted only
+some packets of a record, software must re-encrypt those plaintext runs
+to recompute the tag — "handling partial decryption is costlier than
+full decryption".  This module performs the recovery (bit-exact) and
+reports how many bytes had to be re-encrypted so the CPU model can
+charge the extra cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.gcm import AuthenticationError
+from repro.crypto.suite import CipherSuite
+from repro.l5p.base import Run
+
+
+@dataclass
+class RecoveredRecord:
+    plaintext: bytes
+    ok: bool
+    reencrypted_bytes: int  # plaintext runs that had to be re-encrypted
+    decrypted_bytes: int  # ciphertext runs software had to decrypt
+
+
+def recover_partial_record(
+    suite: CipherSuite,
+    key: bytes,
+    nonce: bytes,
+    aad: bytes,
+    body_runs: list[Run],
+    wire_tag: bytes,
+) -> RecoveredRecord:
+    """Authenticate and decrypt a record whose body arrived as a mix of
+    NIC-decrypted (plaintext) and untouched (ciphertext) runs.
+
+    Pass 1 rebuilds the full ciphertext: plaintext runs are re-encrypted,
+    ciphertext runs are absorbed into the authenticator as-is; the tag is
+    then checked.  Pass 2 decrypts the ciphertext runs by seeking a
+    throwaway keystream to each run's offset.
+    """
+    enc = suite.encryptor(key, nonce, aad=aad)
+    reencrypted = 0
+    to_decrypt: list[tuple[int, bytes]] = []  # (offset, ciphertext)
+    offset = 0
+    for run in body_runs:
+        if run.meta.decrypted:
+            enc.update(run.data)  # re-encrypt to recover the ciphertext
+            reencrypted += len(run.data)
+        else:
+            enc.absorb_ciphertext(run.data)
+            to_decrypt.append((offset, run.data))
+        offset += len(run.data)
+    ok = enc.finalize() == wire_tag
+
+    plain = bytearray(b"".join(r.data for r in body_runs))
+    decrypted = 0
+    for run_offset, ciphertext in to_decrypt:
+        dec = suite.decryptor(key, nonce, aad=aad)
+        if run_offset:
+            dec.skip(run_offset)
+        plain[run_offset : run_offset + len(ciphertext)] = dec.update(ciphertext)
+        decrypted += len(ciphertext)
+    return RecoveredRecord(
+        plaintext=bytes(plain),
+        ok=ok,
+        reencrypted_bytes=reencrypted,
+        decrypted_bytes=decrypted,
+    )
+
+
+def decrypt_whole_record(
+    suite: CipherSuite,
+    key: bytes,
+    nonce: bytes,
+    aad: bytes,
+    ciphertext: bytes,
+    wire_tag: bytes,
+) -> tuple[bytes, bool]:
+    """Plain software decryption of an entirely un-offloaded record."""
+    try:
+        return suite.open(key, nonce, ciphertext, wire_tag, aad=aad), True
+    except AuthenticationError:
+        dec = suite.decryptor(key, nonce, aad=aad)
+        return dec.update(ciphertext), False

@@ -1,0 +1,413 @@
+"""Kernel TLS (kTLS) over a simulated TCP connection, with optional
+autonomous NIC offload (§5.2).
+
+Transmit: application bytes are framed into records.  In software mode
+kTLS encrypts them; in offload mode it emits *plaintext* records with
+dummy tags (the "wrong bytes") and keeps a sequence→record map so the
+driver can recover NIC context on retransmission (the paper's ~200 LoC).
+
+Receive: the stream is reassembled into records; per-packet ``decrypted``
+bits decide between reusing NIC results, full software decryption, and
+the costlier partial-record fallback (re-encrypt + authenticate).
+
+The handshake is modelled, not cryptographically real: hello records
+carry randoms, keys are derived deterministically on both sides, and a
+fixed cycle cost is charged — the paper likewise leaves the handshake to
+userspace OpenSSL and offloads only the record path.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.types import Direction, TxMsgState
+from repro.crypto.sha1 import sha1
+from repro.crypto.suite import get_cipher_suite
+from repro.l5p.base import Run, StreamAssembler
+from repro.l5p.tls.fallback import decrypt_whole_record, recover_partial_record
+from repro.l5p.tls.record import (
+    CONTENT_APPDATA,
+    CONTENT_HANDSHAKE,
+    HEADER_LEN,
+    MAX_PLAINTEXT,
+    TAG_LEN,
+    TlsDirectionState,
+    make_header,
+    record_nonce,
+)
+from repro.net.packet import SkbMeta
+from repro.tcp import seq as sq
+
+_HELLO_LEN = 32
+
+
+@dataclass
+class TlsConfig:
+    """kTLS datapath configuration."""
+
+    suite_name: str = "xor-gcm"
+    tx_offload: bool = False
+    rx_offload: bool = False
+    zerocopy_sendfile: bool = False
+    record_size: int = MAX_PLAINTEXT
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.record_size <= MAX_PLAINTEXT:
+            raise ValueError(f"record_size {self.record_size} out of range")
+
+
+@dataclass
+class TlsStats:
+    records_tx: int = 0
+    records_rx_full: int = 0  # entirely NIC-offloaded
+    records_rx_partial: int = 0  # some packets offloaded
+    records_rx_none: int = 0  # pure software
+    bytes_tx: int = 0
+    bytes_rx: int = 0
+    auth_failures: int = 0
+
+    @property
+    def records_rx(self) -> int:
+        return self.records_rx_full + self.records_rx_partial + self.records_rx_none
+
+
+class KtlsSocket:
+    """A TLS-protected byte stream over one TcpConnection."""
+
+    def __init__(self, host, conn, role: str, config: Optional[TlsConfig] = None, adapter=None):
+        if role not in ("client", "server"):
+            raise ValueError(f"role must be client/server, got {role!r}")
+        self.host = host
+        self.conn = conn
+        self.role = role
+        self.config = config or TlsConfig()
+        self.suite = get_cipher_suite(self.config.suite_name)
+        self.adapter = adapter  # injected for NVMe-TLS stacking
+        self.core = host.core_for_flow(conn.flow)
+        self.model = host.model
+        self.ready = False
+
+        # Directional states, set at key derivation.
+        self.tx_state: Optional[TlsDirectionState] = None
+        self.rx_state: Optional[TlsDirectionState] = None
+        self.tx_record_seq = 0
+        self.rx_record_seq = 0
+        self._my_random = host.sim.substream(f"tls:{role}:{conn.flow}").randbytes(_HELLO_LEN)
+        self._peer_random: Optional[bytes] = None
+        self._hello_sent = False
+
+        # Offload plumbing.
+        self._tx_ctx = None
+        self._rx_ctx = None
+        # (start_seq, idx, wire, plaintext_offset) per offloaded record.
+        self._tx_msgs: deque[tuple[int, int, bytes, int]] = deque()
+        self._tx_plain_sent = 0  # cumulative record-body bytes queued
+        self._pending_resync: list[int] = []
+
+        # Receive assembly.
+        self._assembler: Optional[StreamAssembler] = None
+
+        # Application callbacks.
+        self.on_ready: Optional[Callable[[], None]] = None
+        self.on_data: Optional[Callable[[bytes], None]] = None
+        self.on_record: Optional[Callable[[list[Run]], None]] = None
+        self.on_writable: Optional[Callable[[], None]] = None
+        self.on_error: Optional[Callable[[str], None]] = None
+
+        self.stats = TlsStats()
+
+        conn.on_data = self._on_skb
+        self._chain_established(conn)
+        conn.on_writable = self._on_conn_writable
+
+    # ------------------------------------------------------------------
+    # handshake
+    # ------------------------------------------------------------------
+    def _chain_established(self, conn) -> None:
+        previous = conn.on_established
+
+        def established() -> None:
+            if previous:
+                previous()
+            if self.role == "client":
+                self._send_hello()
+
+        conn.on_established = established
+        if conn.state == "established" and self.role == "client":
+            self._send_hello()
+
+    def _send_hello(self) -> None:
+        if self._hello_sent:
+            return
+        self._hello_sent = True
+        wire = make_header(CONTENT_HANDSHAKE, _HELLO_LEN + TAG_LEN) + self._my_random + b"\x00" * TAG_LEN
+        accepted = self.conn.send(wire)
+        if accepted != len(wire):
+            raise RuntimeError("send buffer too small for handshake")
+
+    def _on_hello(self, body: bytes) -> None:
+        self._peer_random = body[:_HELLO_LEN]
+        if self.role == "server":
+            self._derive_keys()
+            self._send_hello()  # answers before any protected record
+            self._go_ready()
+        else:
+            self._derive_keys()
+            self._go_ready()
+
+    def _derive_keys(self) -> None:
+        if self.role == "client":
+            client_random, server_random = self._my_random, self._peer_random
+        else:
+            client_random, server_random = self._peer_random, self._my_random
+        master = client_random + server_random
+        client = TlsDirectionState(
+            suite=self.suite, key=sha1(b"ckey" + master)[:16], iv=sha1(b"civ" + master)[:12]
+        )
+        server = TlsDirectionState(
+            suite=self.suite, key=sha1(b"skey" + master)[:16], iv=sha1(b"siv" + master)[:12]
+        )
+        if self.role == "client":
+            self.tx_state, self.rx_state = client, server
+        else:
+            self.tx_state, self.rx_state = server, client
+        self.core.charge(self.model.cycles_tls_handshake, "crypto")
+
+    def _go_ready(self) -> None:
+        self._install_offloads()
+        self.ready = True
+        if self.on_ready:
+            self.on_ready()
+
+    def _install_offloads(self) -> None:
+        driver = getattr(self.host.nic, "driver", None)
+        adapter = self.adapter
+        if adapter is None:
+            from repro.l5p.tls.record import TlsAdapter
+
+            adapter = TlsAdapter()
+        if self.config.tx_offload:
+            if driver is None:
+                raise RuntimeError("tx_offload requires an OffloadNic")
+            self._tx_ctx = driver.l5o_create(
+                self.conn,
+                adapter,
+                self._tx_static_state(),
+                tcpsn=self.conn.send_buffer.end_seq,
+                direction=Direction.TX,
+                l5p_ops=self,
+            )
+            self._tx_ctx.created_seq = self.conn.send_buffer.end_seq
+        if self.config.rx_offload:
+            if driver is None:
+                raise RuntimeError("rx_offload requires an OffloadNic")
+            tcpsn = self._assembler.next_msg_seq if self._assembler else self.conn.rcv_nxt
+            self._rx_ctx = driver.l5o_create(
+                self.conn,
+                adapter,
+                self._rx_static_state(),
+                tcpsn=tcpsn,
+                direction=Direction.RX,
+                l5p_ops=self,
+            )
+
+    def _tx_static_state(self):
+        return self.tx_state
+
+    def _rx_static_state(self):
+        return self.rx_state
+
+    # ------------------------------------------------------------------
+    # transmit path
+    # ------------------------------------------------------------------
+    def send(self, data: bytes) -> int:
+        """Frame and queue application bytes; returns bytes consumed."""
+        return self._send_common(data, sendfile=False)
+
+    def sendfile(self, data: bytes) -> int:
+        """Transmit page-cache content (nginx's sendfile path)."""
+        return self._send_common(data, sendfile=True)
+
+    def _send_common(self, data: bytes, sendfile: bool) -> int:
+        if not self.ready:
+            raise RuntimeError("TLS handshake not complete")
+        consumed = 0
+        while consumed < len(data):
+            body = data[consumed : consumed + self.config.record_size]
+            if self.conn.send_space < len(body) + HEADER_LEN + TAG_LEN:
+                break
+            self._send_record(body, sendfile=sendfile)
+            consumed += len(body)
+        return consumed
+
+    @property
+    def send_space(self) -> int:
+        """App-visible transmit budget (record overheads excluded)."""
+        per_record = HEADER_LEN + TAG_LEN
+        space = self.conn.send_space
+        records = space // (self.config.record_size + per_record) + 1
+        return max(0, space - records * per_record)
+
+    def _send_record(self, body: bytes, sendfile: bool) -> None:
+        header = make_header(CONTENT_APPDATA, len(body) + TAG_LEN)
+        idx = self.tx_record_seq
+        pages = (len(body) + 4095) // 4096
+        if self._tx_ctx is not None:
+            # Offload: pass the "wrong bytes" down the stack (§3.1).
+            wire = header + body + b"\x00" * TAG_LEN
+            start = self.conn.send_buffer.end_seq
+            self._tx_msgs.append((start, idx, wire, self._tx_plain_sent))
+            if sendfile and self.config.zerocopy_sendfile:
+                # NIC encrypts page-cache bytes on the way out: no copy.
+                self.core.charge(self.model.cycles_sendfile_page * pages, "stack")
+            else:
+                self.core.charge(len(body) * self.host.llc.copy_cpb(), "copy")
+        else:
+            nonce = record_nonce(self.tx_state.iv, idx)
+            ciphertext, tag = self.suite.seal(self.tx_state.key, nonce, body, aad=header)
+            wire = header + ciphertext + tag
+            crypto = self.model.cycles_crypto_setup + self.model.cpb_aes_gcm * (len(body) + TAG_LEN)
+            self.core.charge(crypto, "crypto")
+            if sendfile:
+                # Software kTLS sendfile encrypts into a bounce buffer.
+                self.core.charge(self.model.cycles_page_alloc * pages, "stack")
+            else:
+                self.core.charge(len(body) * self.host.llc.copy_cpb(), "copy")
+        self.core.charge(self.model.cycles_record_tx, "l5p")
+        accepted = self.conn.send(wire)
+        if accepted != len(wire):
+            raise RuntimeError("record split across send buffer boundary")
+        self.tx_record_seq += 1
+        self._tx_plain_sent += len(body)
+        self.stats.records_tx += 1
+        self.stats.bytes_tx += len(body)
+
+    def close(self) -> None:
+        self.conn.close()
+
+    def _on_conn_writable(self) -> None:
+        una = self.conn.snd_una
+        while self._tx_msgs:
+            start, _idx, wire, _plain = self._tx_msgs[0]
+            if sq.le(sq.add(start, len(wire)), una):
+                self._tx_msgs.popleft()
+            else:
+                break
+        if self.ready and self.on_writable:
+            self.on_writable()
+
+    # ------------------------------------------------------------------
+    # Listing 2: upcalls from the NIC driver
+    # ------------------------------------------------------------------
+    def l5o_get_tx_msgstate(self, tcpsn: int) -> Optional[TxMsgState]:
+        for start, idx, wire, plain in self._tx_msgs:
+            if sq.between(start, tcpsn, sq.add(start, len(wire))):
+                return TxMsgState(
+                    start_seq=start,
+                    msg_index=idx,
+                    wire_bytes=wire,
+                    info={"plain_offset": plain},
+                )
+        return None
+
+    def l5o_resync_rx_req(self, tcpsn: int) -> None:
+        self._pending_resync.append(tcpsn)
+
+    # ------------------------------------------------------------------
+    # receive path
+    # ------------------------------------------------------------------
+    def _on_skb(self, skb) -> None:
+        if self._assembler is None:
+            self._assembler = StreamAssembler(HEADER_LEN, self._total_len, start_seq=skb.seq)
+        try:
+            messages = self._assembler.push(skb.data, skb.meta)
+        except ValueError as exc:
+            self._fail(f"record framing error: {exc}")
+            return
+        for msg in messages:
+            self._process_record(msg)
+
+    @staticmethod
+    def _total_len(header: bytes) -> int:
+        ctype, version, length = struct.unpack(">BHH", header)
+        if length > MAX_PLAINTEXT + TAG_LEN or length < TAG_LEN:
+            raise ValueError(f"record length {length} invalid")
+        return HEADER_LEN + length
+
+    def _process_record(self, msg) -> None:
+        wire = msg.wire
+        header = wire[:HEADER_LEN]
+        ctype = header[0]
+        body_len = len(wire) - HEADER_LEN - TAG_LEN
+        record_end = sq.add(msg.start_seq, len(wire))
+
+        if not self.ready and ctype == CONTENT_HANDSHAKE:
+            self._on_hello(wire[HEADER_LEN : HEADER_LEN + body_len])
+            return
+
+        idx = self.rx_record_seq
+        self.rx_record_seq += 1
+        self.core.charge(self.model.cycles_record_rx, "l5p")
+        nonce = record_nonce(self.rx_state.iv, idx)
+        tag = wire[HEADER_LEN + body_len :]
+        decrypted_flags = [run.meta.decrypted for run in msg.runs]
+        plain_runs: list[Run]
+        if all(decrypted_flags):
+            self.stats.records_rx_full += 1
+            plain_runs = msg.slice_runs(HEADER_LEN, body_len)
+            plain = b"".join(r.data for r in plain_runs)
+            ok = True
+        elif not any(decrypted_flags):
+            self.stats.records_rx_none += 1
+            crypto = self.model.cycles_crypto_setup + self.model.cpb_aes_gcm * (body_len + TAG_LEN)
+            self.core.charge(crypto, "crypto")
+            ciphertext = wire[HEADER_LEN : HEADER_LEN + body_len]
+            plain, ok = decrypt_whole_record(self.suite, self.rx_state.key, nonce, header, ciphertext, tag)
+            plain_runs = [Run(plain, SkbMeta())]
+        else:
+            self.stats.records_rx_partial += 1
+            body_runs = msg.slice_runs(HEADER_LEN, body_len)
+            recovered = recover_partial_record(self.suite, self.rx_state.key, nonce, header, body_runs, tag)
+            # Partial fallback re-encrypts NIC-decrypted runs: costlier
+            # than plain decryption (§5.2).
+            work = body_len + TAG_LEN + recovered.reencrypted_bytes
+            self.core.charge(self.model.cycles_crypto_setup + self.model.cpb_aes_gcm * work, "crypto")
+            plain, ok = recovered.plaintext, recovered.ok
+            plain_runs = [Run(plain, SkbMeta())]
+        self._answer_resyncs(msg.start_seq, idx, record_end)
+        if not ok:
+            self.stats.auth_failures += 1
+            self._fail(f"record {idx} failed authentication")
+            return
+        # Copy to the application (recvmsg).
+        self.core.charge(len(plain) * self.host.llc.copy_cpb(), "stack")
+        self.stats.bytes_rx += len(plain)
+        if self.on_record:
+            self.on_record(plain_runs)
+        if self.on_data and plain:
+            self.on_data(plain)
+
+    def _answer_resyncs(self, record_start: int, idx: int, record_end: int) -> None:
+        if not self._pending_resync or self._rx_ctx is None:
+            return
+        driver = self.host.nic.driver
+        still_pending = []
+        for req in self._pending_resync:
+            if req == record_start:
+                driver.l5o_resync_rx_resp(self._rx_ctx, req, True, msg_index=idx)
+            elif sq.lt(req, record_end):
+                # The stream moved past the speculated position without a
+                # record starting there: deny.
+                driver.l5o_resync_rx_resp(self._rx_ctx, req, False)
+            else:
+                still_pending.append(req)
+        self._pending_resync = still_pending
+
+    def _fail(self, reason: str) -> None:
+        if self.on_error:
+            self.on_error(reason)
+        else:
+            raise RuntimeError(f"kTLS: {reason}")

@@ -1,0 +1,6 @@
+"""Network substrate: packets, links, and hosts."""
+
+from repro.net.packet import FlowKey, Packet, SkbMeta, MSS, WIRE_OVERHEAD
+from repro.net.link import Link, LinkConfig
+
+__all__ = ["FlowKey", "Packet", "SkbMeta", "MSS", "WIRE_OVERHEAD", "Link", "LinkConfig"]

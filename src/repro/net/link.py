@@ -1,0 +1,111 @@
+"""Point-to-point link with bandwidth, latency, and netem-style faults.
+
+The evaluation injects packet loss and reordering at given probabilities
+(paper §6.4 uses 0–5%, like Linux ``netem``).  Reordering is modelled by
+holding a selected packet back for an extra delay so later packets
+overtake it — the same mechanism netem uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.net.packet import Packet
+from repro.sim import Simulator
+from repro.util.units import GBPS
+
+
+@dataclass
+class LinkConfig:
+    bandwidth_bps: float = 100 * GBPS
+    latency_s: float = 5e-6  # one-way propagation
+    loss: float = 0.0  # drop probability per packet
+    reorder: float = 0.0  # probability a packet is held back
+    duplicate: float = 0.0  # probability a packet is delivered twice
+    reorder_delay_s: float = 100e-6  # how long a held-back packet lags
+
+
+class _Port:
+    """One direction of the full-duplex link."""
+
+    def __init__(self, sim: Simulator, config: LinkConfig, rng, name: str):
+        self.sim = sim
+        self.config = config
+        self.rng = rng
+        self.name = name
+        self.receiver: Optional[Callable[[Packet], None]] = None
+        self._egress_free_at = 0.0
+        self.sent_packets = 0
+        self.sent_bytes = 0
+        self.dropped_packets = 0
+        self.reordered_packets = 0
+        self.duplicated_packets = 0
+
+    def transmit(self, pkt: Packet) -> None:
+        if self.receiver is None:
+            raise RuntimeError(f"link port {self.name} has no receiver attached")
+        self.sent_packets += 1
+        self.sent_bytes += pkt.wire_bytes
+        cfg = self.config
+        # Serialization: the egress port is a FIFO at line rate.
+        start = max(self.sim.now, self._egress_free_at)
+        self._egress_free_at = start + pkt.wire_bytes * 8 / cfg.bandwidth_bps
+        arrival = self._egress_free_at + cfg.latency_s
+
+        if cfg.loss and self.rng.random() < cfg.loss:
+            self.dropped_packets += 1
+            return
+        if cfg.reorder and self.rng.random() < cfg.reorder:
+            self.reordered_packets += 1
+            arrival += cfg.reorder_delay_s * (0.5 + self.rng.random())
+        self.sim.at(arrival, self.receiver, pkt)
+        if cfg.duplicate and self.rng.random() < cfg.duplicate:
+            # A duplicated frame is an independent copy on the wire.
+            self.duplicated_packets += 1
+            self.sim.at(arrival + 1e-9, self.receiver, pkt.clone())
+
+    @property
+    def utilization_bytes(self) -> int:
+        return self.sent_bytes
+
+
+class Link:
+    """Full-duplex link between two endpoints (``a`` and ``b`` sides).
+
+    Fault injection can be configured per direction: ``config_ab``
+    applies to packets flowing a→b, ``config_ba`` to the reverse
+    direction (the paper injects loss at either the sender or the
+    receiver side of the offloaded host).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config_ab: Optional[LinkConfig] = None,
+        config_ba: Optional[LinkConfig] = None,
+    ):
+        config_ab = config_ab or LinkConfig()
+        config_ba = config_ba or LinkConfig(
+            bandwidth_bps=config_ab.bandwidth_bps, latency_s=config_ab.latency_s
+        )
+        rng = sim.substream("link")
+        self.ab = _Port(sim, config_ab, rng, "a->b")
+        self.ba = _Port(sim, config_ba, rng, "b->a")
+
+    def attach(self, side: str, receiver: Callable[[Packet], None]) -> None:
+        """Attach the receive callback for endpoint ``side`` ("a" or "b")."""
+        if side == "a":
+            self.ba.receiver = receiver  # endpoint a receives the b->a flow
+        elif side == "b":
+            self.ab.receiver = receiver
+        else:
+            raise ValueError(f"side must be 'a' or 'b', got {side!r}")
+
+    def port(self, side: str) -> _Port:
+        """The egress port used by endpoint ``side`` for transmission."""
+        if side == "a":
+            return self.ab
+        if side == "b":
+            return self.ba
+        raise ValueError(f"side must be 'a' or 'b', got {side!r}")

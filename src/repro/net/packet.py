@@ -1,0 +1,121 @@
+"""Packets and per-packet metadata.
+
+A :class:`Packet` stands for one Ethernet frame carrying a TCP segment.
+Headers are modelled as fields (not serialized bytes) — the simulation
+never needs malformed layer-4 headers, only malformed *payload
+placement* (loss/reorder), which is represented faithfully.
+
+``SkbMeta`` is the sidecar the paper threads from the NIC driver up the
+stack: the "offloaded / decrypted / crc_ok" bits that the L5P reads to
+decide whether to fall back to software processing (§4.3, §5.1, §5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import NamedTuple, Optional
+
+MTU = 1500
+MSS = 1448  # MTU - IP/TCP headers with timestamps, as in the paper's setup
+WIRE_OVERHEAD = 90  # eth + ip + tcp + options + preamble/FCS/IFG per frame
+
+
+class FlowKey(NamedTuple):
+    """TCP/IP 4-tuple identifying one direction of a flow."""
+
+    src: str
+    sport: int
+    dst: str
+    dport: int
+
+    def reversed(self) -> "FlowKey":
+        return FlowKey(self.dst, self.dport, self.src, self.sport)
+
+
+@dataclass
+class SkbMeta:
+    """Per-packet offload results passed from driver to L5P.
+
+    ``offloaded``  - the NIC performed the autonomous offload on this
+                     packet's bytes (decrypt for TLS, CRC/copy for NVMe).
+    ``decrypted``  - TLS: payload bytes are already plaintext.
+    ``crc_ok``     - NVMe-TCP: all capsule CRCs within the packet passed.
+    ``placed``     - NVMe-TCP: payload was DMA-written to its block-layer
+                     destination buffer (the copy may be skipped).
+    """
+
+    offloaded: bool = False
+    decrypted: bool = False
+    crc_ok: bool = False
+    placed: bool = False
+
+    def copy(self) -> "SkbMeta":
+        return replace(self)
+
+
+_packet_counter = 0
+
+
+@dataclass
+class Packet:
+    """One TCP/IP packet in flight."""
+
+    flow: FlowKey
+    seq: int = 0
+    ack: int = 0
+    payload: bytes = b""
+    syn: bool = False
+    fin: bool = False
+    ack_flag: bool = True
+    rst: bool = False
+    wnd: int = 1 << 30
+    sack: tuple = ()  # SACK blocks: ((start, end), ...) above the ack
+    ipproto: str = "tcp"  # "tcp" or "udp" (§7's datagram L5Ps)
+    # Driver/NIC sidecar (not on the wire):
+    meta: SkbMeta = field(default_factory=SkbMeta)
+    tx_ctx_id: Optional[int] = None  # offload context tag from the L5P
+    pkt_id: int = 0
+
+    def __post_init__(self) -> None:
+        global _packet_counter
+        _packet_counter += 1
+        self.pkt_id = _packet_counter
+
+    def clone(self) -> "Packet":
+        """An independent copy, as a duplicated wire frame would be."""
+        return Packet(
+            self.flow,
+            seq=self.seq,
+            ack=self.ack,
+            payload=self.payload,
+            syn=self.syn,
+            fin=self.fin,
+            ack_flag=self.ack_flag,
+            rst=self.rst,
+            wnd=self.wnd,
+            sack=self.sack,
+            ipproto=self.ipproto,
+            meta=self.meta.copy(),
+            tx_ctx_id=self.tx_ctx_id,
+        )
+
+    @property
+    def wire_bytes(self) -> int:
+        """Frame size on the wire, for link bandwidth accounting."""
+        return len(self.payload) + WIRE_OVERHEAD
+
+    @property
+    def end_seq(self) -> int:
+        """Sequence number just past this packet's payload (+SYN/FIN)."""
+        length = len(self.payload)
+        if self.syn:
+            length += 1
+        if self.fin:
+            length += 1
+        return (self.seq + length) & 0xFFFFFFFF
+
+    def describe(self) -> str:  # pragma: no cover - debugging aid
+        flags = "".join(
+            name for name, on in (("S", self.syn), ("F", self.fin), ("R", self.rst), (".", self.ack_flag)) if on
+        )
+        return f"{self.flow.src}:{self.flow.sport}>{self.flow.dst}:{self.flow.dport} {flags} seq={self.seq} ack={self.ack} len={len(self.payload)}"

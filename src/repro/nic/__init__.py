@@ -1,0 +1,8 @@
+"""NIC hardware model: context cache, PCIe/DMA accounting, and the
+offload-capable NIC device (a ConnectX-6 Dx stand-in)."""
+
+from repro.nic.cache import ContextCache
+from repro.nic.pcie import PcieModel
+from repro.nic.nic import OffloadNic
+
+__all__ = ["ContextCache", "PcieModel", "OffloadNic"]

@@ -1,0 +1,62 @@
+"""On-NIC flow-context cache (§6.5).
+
+The paper's NIC has ~4 MiB for per-flow state at 208 B per flow (≈20 K
+flows); beyond that, contexts spill to host memory and each reuse costs
+a DMA fetch.  We model an LRU over context IDs; hit/miss statistics and
+the DMA bytes of misses feed the Figure 19 scalability analysis.
+
+Batching is why this scales: packets of one flow arriving back-to-back
+hit the cache after the first access, so the miss rate tracks *batches*,
+not packets — the mechanism §6.5 credits.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.core.context import CONTEXT_BYTES, HwContext
+
+
+class ContextCache:
+    """LRU cache of HW contexts resident on the NIC."""
+
+    def __init__(self, pcie, capacity_bytes: int = 4 * 1024 * 1024, entry_bytes: int = CONTEXT_BYTES):
+        self.pcie = pcie
+        self.capacity_entries = max(1, capacity_bytes // entry_bytes)
+        self.entry_bytes = entry_bytes
+        self._lru: OrderedDict[int, None] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, ctx: HwContext) -> bool:
+        """Touch a context; returns True on hit."""
+        key = ctx.ctx_id
+        if key in self._lru:
+            self._lru.move_to_end(key)
+            self.hits += 1
+            return True
+        self.misses += 1
+        # Fetch from host memory; evict the coldest entry if full
+        # (write-back of the evicted context plus read of the new one).
+        self.pcie.count("context", self.entry_bytes)
+        if len(self._lru) >= self.capacity_entries:
+            self._lru.popitem(last=False)
+            self.pcie.count("context", self.entry_bytes)
+        self._lru[key] = None
+        return False
+
+    def evict(self, ctx: HwContext) -> None:
+        self._lru.pop(ctx.ctx_id, None)
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._lru)
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0

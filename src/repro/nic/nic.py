@@ -1,0 +1,103 @@
+"""The autonomous-offload NIC device.
+
+Interposes on the plain NIC's transmit/receive paths: packets belonging
+to flows with installed contexts are run through the TX/RX offload
+engines; everything else passes through untouched.  The layer-4 stack
+remains entirely in host software — the NIC never acks, retransmits, or
+reorders anything.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.context import HwContext
+from repro.core.driver import NicDriver
+from repro.core.rx import RxEngine
+from repro.core.tx import TxEngine
+from repro.net.device import PassthroughNic
+from repro.net.packet import Packet
+from repro.nic.cache import ContextCache
+from repro.nic.pcie import PcieModel
+
+
+class OffloadNic(PassthroughNic):
+    """A NIC with autonomous L5P offload engines (ConnectX-6 Dx model)."""
+
+    def __init__(self, host=None, cache_bytes: int = 4 * 1024 * 1024):
+        super().__init__(host)
+        self.pcie = PcieModel()
+        self.cache = ContextCache(self.pcie, capacity_bytes=cache_bytes)
+        self.driver = NicDriver(self)
+        self.tx_engine = TxEngine(self)
+        self.rx_engine = RxEngine(self)
+        from repro.core.datagram import DatagramEngine
+
+        self.datagram_engine = DatagramEngine(self)
+        self.contexts_installed = 0
+
+    # ------------------------------------------------------------------
+    # context lifecycle (called by the driver)
+    # ------------------------------------------------------------------
+    def context_installed(self, ctx: HwContext) -> None:
+        self.contexts_installed += 1
+        self.pcie.count("descriptor", 64)
+
+    def context_removed(self, ctx: HwContext) -> None:
+        self.cache.evict(ctx)
+        self.pcie.count("descriptor", 64)
+
+    # ------------------------------------------------------------------
+    # datapath
+    # ------------------------------------------------------------------
+    def transmit(self, conn, pkt: Packet) -> None:
+        ctx = self.driver.lookup_tx(pkt.tx_ctx_id)
+        if ctx is not None:
+            self.tx_engine.process(ctx, conn, pkt)
+        self.output(pkt)
+
+    def transmit_datagram(self, flow, pkt: Packet) -> None:
+        ctx = self.driver.dgram_tx_contexts.get(flow)
+        if ctx is not None:
+            self.datagram_engine.process_tx(ctx, pkt)
+        self.output(pkt)
+
+    def cache_datagram(self, ctx) -> None:
+        self.cache.access(ctx)
+
+    def receive(self, pkt: Packet) -> None:
+        self.rx_packets += 1
+        if pkt.ipproto == "udp":
+            ctx = self.driver.dgram_rx_contexts.get(pkt.flow)
+            if ctx is not None:
+                self.datagram_engine.process_rx(ctx, pkt)
+        else:
+            ctx = self.driver.lookup_rx(pkt.flow)
+            if ctx is not None:
+                self.rx_engine.process(ctx, pkt)
+        if self.host is None:
+            raise RuntimeError("NIC not bound to a host")
+        self.host.deliver(pkt)
+
+    # ------------------------------------------------------------------
+    def offload_stats(self) -> dict:
+        """Aggregate per-context statistics (for the benchmarks)."""
+        stats = {
+            "pkts_offloaded": 0,
+            "pkts_bypassed": 0,
+            "resync_requests": 0,
+            "resyncs_completed": 0,
+            "boundary_resyncs": 0,
+            "tx_recoveries": 0,
+            "tx_recovery_bytes": 0,
+        }
+        contexts = list(self.driver.tx_contexts.values()) + list(self.driver.rx_contexts.values())
+        for ctx in contexts:
+            stats["pkts_offloaded"] += ctx.pkts_offloaded
+            stats["pkts_bypassed"] += ctx.pkts_bypassed
+            stats["resync_requests"] += ctx.resync_requests
+            stats["resyncs_completed"] += ctx.resyncs_completed
+            stats["boundary_resyncs"] += ctx.boundary_resyncs
+            stats["tx_recoveries"] += ctx.tx_recoveries
+            stats["tx_recovery_bytes"] += ctx.tx_recovery_bytes
+        return stats

@@ -1,0 +1,43 @@
+"""PCIe/DMA byte accounting.
+
+Figure 16b reports the interconnect bandwidth the NIC spends re-reading
+message bytes to reconstruct transmit contexts, as a percentage of the
+total PCIe gen3 x16 budget.  We count bytes per category; utilization is
+computed against elapsed simulated time.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.util.units import GBPS
+
+PCIE_GEN3_X16_BPS = 126 * GBPS  # ~15.75 GB/s usable
+
+
+class PcieModel:
+    """Byte counters per traffic category on the NIC's PCIe link."""
+
+    CATEGORIES = ("tx-packet", "rx-packet", "context", "recovery", "descriptor")
+
+    def __init__(self, capacity_bps: float = PCIE_GEN3_X16_BPS):
+        self.capacity_bps = capacity_bps
+        self.bytes_by_category: dict[str, int] = defaultdict(int)
+
+    def count(self, category: str, nbytes: int) -> None:
+        if nbytes < 0:
+            raise ValueError("negative PCIe byte count")
+        self.bytes_by_category[category] += nbytes
+
+    def total_bytes(self) -> int:
+        return sum(self.bytes_by_category.values())
+
+    def utilization(self, category: str, interval_s: float) -> float:
+        """Fraction of PCIe capacity consumed by ``category``."""
+        if interval_s <= 0:
+            return 0.0
+        bps = self.bytes_by_category[category] * 8 / interval_s
+        return bps / self.capacity_bps
+
+    def reset_stats(self) -> None:
+        self.bytes_by_category.clear()

@@ -1,0 +1,105 @@
+"""The simulator: a clock plus an event queue.
+
+The simulator also owns the run's random source so that every stochastic
+decision (loss, reordering, workload think times) is reproducible from a
+single seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Any, Callable, Optional
+
+from repro.sim.event import Event
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the simulation-wide random source.  Sub-components that
+        need their own stream should call :meth:`substream`.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.now: float = 0.0
+        self.seed = seed
+        self.random = random.Random(seed)
+        self._queue: list[Event] = []
+        self._seq = 0
+        self._events_fired = 0
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        return self.at(self.now + delay, fn, *args)
+
+    def at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute simulated ``time``."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
+        self._seq += 1
+        event = Event(time, self._seq, fn, args)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def call_soon(self, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at the current time, after pending events."""
+        return self.at(self.now, fn, *args)
+
+    def substream(self, name: str) -> random.Random:
+        """A named, independent random stream derived from the run seed."""
+        return random.Random(f"{self.seed}:{name}")
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run the next pending event.  Returns False if none remain."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.canceled:
+                continue
+            self.now = event.time
+            self._events_fired += 1
+            event.fire()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run until the queue drains, ``until`` is reached, or the event
+        budget ``max_events`` is exhausted."""
+        fired = 0
+        while self._queue:
+            if max_events is not None and fired >= max_events:
+                return
+            head = self._queue[0]
+            if head.canceled:
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and head.time > until:
+                self.now = until
+                return
+            self.step()
+            fired += 1
+        if until is not None and until > self.now:
+            self.now = until
+
+    @property
+    def pending(self) -> int:
+        """Number of pending (non-canceled) events."""
+        return sum(1 for e in self._queue if not e.canceled)
+
+    @property
+    def events_fired(self) -> int:
+        return self._events_fired
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator now={self.now:.9f} pending={len(self._queue)}>"

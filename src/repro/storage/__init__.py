@@ -1,0 +1,8 @@
+"""Storage substrate: an Optane-class block device model, a page cache,
+and a flat extent filesystem — what nginx/fio/RoF sit on."""
+
+from repro.storage.blockdev import BlockDevice
+from repro.storage.pagecache import PageCache
+from repro.storage.fs import FlatFs
+
+__all__ = ["BlockDevice", "PageCache", "FlatFs"]

@@ -1,0 +1,129 @@
+"""A flat extent filesystem over any block reader.
+
+Files are contiguous extents on the underlying device (local
+:class:`~repro.storage.blockdev.BlockDevice` or a remote NVMe-TCP
+namespace — anything exposing ``read(offset, length, on_complete)``).
+Reads go through the page cache with file-sized read-ahead, matching the
+paper's nginx setup ("we set ext4 read-ahead to the file size").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.storage.pagecache import PAGE_SIZE, PageCache
+
+
+@dataclass
+class FileExtent:
+    name: str
+    offset: int  # byte offset on the device
+    size: int
+
+
+class FlatFs:
+    """Name -> extent mapping plus page-cached reads."""
+
+    def __init__(
+        self,
+        reader,
+        page_cache: Optional[PageCache] = None,
+        base_offset: int = 0,
+        use_cache: bool = True,
+    ):
+        """``reader`` must expose ``read(offset, length, on_complete)``
+        delivering bytes asynchronously.  ``use_cache=False`` models the
+        paper's C1 state: no relevant data ever resides in the page
+        cache, so every read reaches the device."""
+        self.reader = reader
+        self.page_cache = page_cache or PageCache()
+        self.use_cache = use_cache
+        self._files: dict[str, FileExtent] = {}
+        self._next_offset = base_offset
+
+    # ------------------------------------------------------------------
+    def create(self, name: str, size: int) -> FileExtent:
+        """Allocate a file of ``size`` bytes (page-aligned extent)."""
+        if name in self._files:
+            raise ValueError(f"file {name!r} exists")
+        if size < 0:
+            raise ValueError("negative size")
+        extent = FileExtent(name, self._next_offset, size)
+        self._files[name] = extent
+        pages = (size + PAGE_SIZE - 1) // PAGE_SIZE
+        self._next_offset += pages * PAGE_SIZE
+        return extent
+
+    def stat(self, name: str) -> FileExtent:
+        try:
+            return self._files[name]
+        except KeyError:
+            raise FileNotFoundError(name) from None
+
+    # ------------------------------------------------------------------
+    def read(self, name: str, offset: int, length: int, on_complete: Callable[[bytes], None]) -> bool:
+        """Read through the page cache; read-ahead spans the whole
+        request.  Returns True if served entirely from cache (and
+        ``on_complete`` was called synchronously)."""
+        extent = self.stat(name)
+        if offset < 0 or offset + length > extent.size:
+            raise ValueError(f"read [{offset}, +{length}) outside {name} of {extent.size}B")
+        if not self.use_cache:
+            self.page_cache.misses += 1
+            self.reader.read(extent.offset + offset, length, on_complete)
+            return False
+        first_page = offset // PAGE_SIZE
+        last_page = (offset + length - 1) // PAGE_SIZE if length else first_page
+        missing = [
+            p for p in range(first_page, last_page + 1) if not self.page_cache.contains((name, p))
+        ]
+        if not missing:
+            for p in range(first_page, last_page + 1):
+                self.page_cache.lookup((name, p))  # count hits
+            on_complete(self._assemble(name, offset, length))
+            return True
+
+        # Read-ahead: fetch the whole missing span in one device read.
+        span_first, span_last = missing[0], missing[-1]
+        dev_offset = extent.offset + span_first * PAGE_SIZE
+        dev_len = (span_last - span_first + 1) * PAGE_SIZE  # extent is page-aligned
+
+        def fill(data: bytes) -> None:
+            for i, page in enumerate(range(span_first, span_last + 1)):
+                chunk = data[i * PAGE_SIZE : (i + 1) * PAGE_SIZE]
+                self.page_cache.insert((name, page), chunk)
+            on_complete(self._assemble(name, offset, length))
+
+        self.reader.read(dev_offset, dev_len, fill)
+        return False
+
+    def _assemble(self, name: str, offset: int, length: int) -> bytes:
+        out = bytearray()
+        while length > 0:
+            page_idx = offset // PAGE_SIZE
+            skip = offset % PAGE_SIZE
+            page = self.page_cache.lookup((name, page_idx))
+            if page is None:
+                raise RuntimeError(f"page ({name},{page_idx}) vanished mid-read")
+            chunk = page[skip : skip + length]
+            out += chunk
+            offset += len(chunk)
+            length -= len(chunk)
+        return bytes(out)
+
+    # ------------------------------------------------------------------
+    def warm(self, name: str, on_complete: Callable[[], None]) -> None:
+        """Pull an entire file into the page cache (builds the C2 state)."""
+        extent = self.stat(name)
+        if extent.size == 0:
+            on_complete()
+            return
+        self.read(name, 0, extent.size, lambda _data: on_complete())
+
+    def drop_caches(self) -> None:
+        self.page_cache.drop()
+
+    @property
+    def file_names(self) -> list[str]:
+        return sorted(self._files)

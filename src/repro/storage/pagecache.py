@@ -1,0 +1,57 @@
+"""Page cache: 4 KiB pages keyed by (file, page index).
+
+The paper's two nginx configurations are cache states: C1 — no relevant
+data in the page cache (every request reaches the remote drive); C2 —
+everything resident (requests are NIC-bound).  :meth:`warm` and
+:meth:`drop` switch between them.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Optional
+
+PAGE_SIZE = 4096
+
+
+class PageCache:
+    """LRU page cache (unbounded by default, like a big-RAM server)."""
+
+    def __init__(self, capacity_bytes: Optional[int] = None):
+        self.capacity_pages = None if capacity_bytes is None else max(1, capacity_bytes // PAGE_SIZE)
+        self._pages: OrderedDict[Hashable, bytes] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, key: Hashable) -> Optional[bytes]:
+        page = self._pages.get(key)
+        if page is None:
+            self.misses += 1
+            return None
+        self._pages.move_to_end(key)
+        self.hits += 1
+        return page
+
+    def insert(self, key: Hashable, data: bytes) -> None:
+        if len(data) > PAGE_SIZE:
+            raise ValueError(f"page larger than {PAGE_SIZE} bytes")
+        self._pages[key] = data
+        self._pages.move_to_end(key)
+        if self.capacity_pages is not None:
+            while len(self._pages) > self.capacity_pages:
+                self._pages.popitem(last=False)
+
+    def contains(self, key: Hashable) -> bool:
+        return key in self._pages
+
+    def drop(self) -> None:
+        """Drop everything (``echo 3 > drop_caches``; the C1 state)."""
+        self._pages.clear()
+
+    @property
+    def resident_pages(self) -> int:
+        return len(self._pages)
+
+    @property
+    def resident_bytes(self) -> int:
+        return sum(len(p) for p in self._pages.values())

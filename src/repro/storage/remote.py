@@ -1,0 +1,36 @@
+"""Adapter exposing an NVMe-TCP namespace as a FlatFs block reader."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+class RemoteBlockReader:
+    """Wraps :class:`~repro.l5p.nvme_tcp.host.NvmeTcpHost` to the plain
+    ``read(offset, length, on_complete)`` interface FlatFs consumes."""
+
+    def __init__(self, nvme):
+        self.nvme = nvme
+
+    def read(self, offset: int, length: int, on_complete: Callable[[bytes], None]) -> None:
+        self.nvme.read(offset, length, lambda data, _latency: on_complete(data))
+
+
+class MultiQueueReader:
+    """Round-robins reads over several NVMe-TCP queue pairs.
+
+    Linux's nvme-tcp creates one queue pair (one TCP socket) per CPU;
+    a single socket would serialize all block traffic through one core
+    on each machine.  This adapter restores that parallelism.
+    """
+
+    def __init__(self, queues):
+        if not queues:
+            raise ValueError("need at least one queue pair")
+        self.queues = list(queues)
+        self._next = 0
+
+    def read(self, offset: int, length: int, on_complete: Callable[[bytes], None]) -> None:
+        queue = self.queues[self._next % len(self.queues)]
+        self._next += 1
+        queue.read(offset, length, lambda data, _latency: on_complete(data))

@@ -1,0 +1,16 @@
+"""A software TCP implementation (the stack that stays on the CPU).
+
+The paper's whole point is that the NIC does *not* implement TCP; this
+package is the OS stack the autonomous offloads leave intact.  It
+implements connection setup/teardown, cumulative ACKs, Reno congestion
+control with fast retransmit/recovery, RTO with exponential backoff,
+delayed ACKs, and receive-side reassembly that preserves per-packet
+offload metadata on its way to the L5P.
+"""
+
+from repro.tcp.buffer import ReassemblyQueue, SendBuffer, Skb
+from repro.tcp.cc import RenoCc
+from repro.tcp.connection import TcpConnection
+from repro.tcp.stack import TcpStack
+
+__all__ = ["ReassemblyQueue", "SendBuffer", "Skb", "RenoCc", "TcpConnection", "TcpStack"]

@@ -1,0 +1,180 @@
+"""Send buffering and receive-side reassembly.
+
+The reassembly queue is the piece the offload architecture leans on:
+each arriving segment carries :class:`~repro.net.packet.SkbMeta` offload
+bits, and those bits must stay attached to exactly the bytes they
+describe while segments are trimmed and reordered — the stack "takes
+care not to coalesce packets with different offload results" (§4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.packet import SkbMeta
+from repro.tcp import seq as sq
+
+
+@dataclass
+class Skb:
+    """An in-order run of bytes handed to the L5P, with offload results."""
+
+    seq: int
+    data: bytes
+    meta: SkbMeta
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    @property
+    def end_seq(self) -> int:
+        return sq.add(self.seq, len(self.data))
+
+
+class SendBuffer:
+    """Bytes the application has written but TCP has not yet had ACKed.
+
+    Holds the range [snd_una, snd_una + len); supports reading any
+    sub-range for (re)transmission.  Backed by one bytearray with a head
+    offset, compacted opportunistically.
+    """
+
+    def __init__(self, base_seq: int, limit: int = 4 * 1024 * 1024):
+        self.base_seq = base_seq  # sequence number of _data[_head]
+        self.limit = limit
+        self._data = bytearray()
+        self._head = 0
+
+    def __len__(self) -> int:
+        return len(self._data) - self._head
+
+    @property
+    def space(self) -> int:
+        return max(0, self.limit - len(self))
+
+    @property
+    def end_seq(self) -> int:
+        return sq.add(self.base_seq, len(self))
+
+    def append(self, data: bytes) -> int:
+        """Append up to ``space`` bytes; returns how many were accepted."""
+        accepted = min(len(data), self.space)
+        if accepted:
+            self._data += data[:accepted]
+        return accepted
+
+    def peek(self, seq: int, length: int) -> bytes:
+        """Bytes for (re)transmission starting at sequence ``seq``."""
+        offset = sq.sub(seq, self.base_seq)
+        if offset < 0 or offset + length > len(self):
+            raise IndexError(
+                f"range seq={seq} len={length} outside buffered "
+                f"[{self.base_seq}, {self.end_seq})"
+            )
+        start = self._head + offset
+        return bytes(self._data[start : start + length])
+
+    def ack_to(self, seq: int) -> int:
+        """Release bytes up to ``seq`` (new snd_una); returns bytes freed."""
+        advance = sq.sub(seq, self.base_seq)
+        if advance < 0:
+            return 0
+        if advance > len(self):
+            raise ValueError(f"ACK {seq} beyond buffered data (end {self.end_seq})")
+        self._head += advance
+        self.base_seq = seq
+        if self._head > 256 * 1024 and self._head > len(self._data) // 2:
+            del self._data[: self._head]
+            self._head = 0
+        return advance
+
+
+class ReassemblyQueue:
+    """Out-of-order segment store producing in-order SKBs.
+
+    Segments are kept sorted and non-overlapping; inserted data is
+    trimmed against what was already received so each byte keeps the
+    metadata of the *first* packet that delivered it (matching how the
+    kernel drops fully-duplicate retransmissions).
+    """
+
+    def __init__(self, rcv_nxt: int, window: int = 16 * 1024 * 1024):
+        self.rcv_nxt = rcv_nxt
+        self.window = window
+        self._segments: list[Skb] = []  # sorted by seq, non-overlapping
+
+    @property
+    def buffered_bytes(self) -> int:
+        return sum(len(s) for s in self._segments)
+
+    @property
+    def has_gap_data(self) -> bool:
+        """True if out-of-order data is parked waiting for a hole."""
+        return bool(self._segments)
+
+    def sack_blocks(self, limit: int = 4) -> tuple:
+        """Out-of-order byte ranges for SACK options (RFC 2018), merged
+        into maximal runs, lowest-first, at most ``limit`` blocks."""
+        blocks: list[tuple[int, int]] = []
+        for seg in self._segments:
+            if blocks and blocks[-1][1] == seg.seq:
+                blocks[-1] = (blocks[-1][0], seg.end_seq)
+            else:
+                blocks.append((seg.seq, seg.end_seq))
+        return tuple(blocks[:limit])
+
+    def insert(self, seq: int, data: bytes, meta: SkbMeta) -> list[Skb]:
+        """Add a segment; returns newly in-order SKBs to deliver upward."""
+        if not data:
+            return self._pop_ready()
+        # Trim the old-data prefix (full or partial retransmission).
+        behind = sq.sub(self.rcv_nxt, seq)
+        if behind > 0:
+            if behind >= len(data):
+                return []
+            data = data[behind:]
+            seq = self.rcv_nxt
+        # Refuse data beyond our advertised window.
+        if sq.sub(sq.add(seq, len(data)), self.rcv_nxt) > self.window:
+            return []
+        self._insert_trimmed(Skb(seq, data, meta))
+        return self._pop_ready()
+
+    def _insert_trimmed(self, skb: Skb) -> None:
+        """Insert, trimming against existing segments (existing data wins)."""
+        out: list[Skb] = []
+        pending = [skb]
+        for existing in self._segments:
+            next_pending: list[Skb] = []
+            for piece in pending:
+                next_pending.extend(_subtract(piece, existing))
+            pending = next_pending
+            if not pending:
+                break
+        out = self._segments + pending
+        out.sort(key=lambda s: sq.sub(s.seq, self.rcv_nxt))
+        self._segments = [s for s in out if len(s)]
+
+    def _pop_ready(self) -> list[Skb]:
+        ready: list[Skb] = []
+        while self._segments and self._segments[0].seq == self.rcv_nxt:
+            skb = self._segments.pop(0)
+            ready.append(skb)
+            self.rcv_nxt = skb.end_seq
+        return ready
+
+
+def _subtract(piece: Skb, existing: Skb) -> list[Skb]:
+    """Parts of ``piece`` not covered by ``existing`` (0, 1, or 2 pieces)."""
+    p_start, p_end = piece.seq, piece.end_seq
+    e_start, e_end = existing.seq, existing.end_seq
+    if sq.le(p_end, e_start) or sq.ge(p_start, e_end):
+        return [piece]  # disjoint
+    result = []
+    if sq.lt(p_start, e_start):
+        keep = sq.sub(e_start, p_start)
+        result.append(Skb(p_start, piece.data[:keep], piece.meta.copy()))
+    if sq.gt(p_end, e_end):
+        drop = sq.sub(e_end, p_start)
+        result.append(Skb(e_end, piece.data[drop:], piece.meta.copy()))
+    return result

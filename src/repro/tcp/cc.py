@@ -1,0 +1,170 @@
+"""Reno congestion control (RFC 5681) with NewReno-style recovery.
+
+The loss/reorder experiments (§6.4) depend on the sender reacting to
+duplicate ACKs and timeouts the way a real stack does; throughput under
+injected loss emerges from this module rather than being assumed.
+"""
+
+from __future__ import annotations
+
+from repro.net.packet import MSS
+
+
+class RenoCc:
+    """Congestion state for one connection, in bytes."""
+
+    DUP_ACK_THRESHOLD = 3
+
+    def __init__(self, mss: int = MSS, initial_window_packets: int = 10):
+        self.mss = mss
+        self.cwnd = initial_window_packets * mss
+        self.ssthresh = float("inf")
+        self.in_recovery = False
+        self.recovery_point = 0  # snd_nxt when recovery was entered
+        # Stats the benchmarks report:
+        self.fast_retransmits = 0
+        self.timeouts = 0
+
+    # ------------------------------------------------------------------
+    def on_ack(self, acked_bytes: int) -> None:
+        """New data was cumulatively ACKed outside recovery."""
+        if acked_bytes <= 0:
+            return
+        if self.cwnd < self.ssthresh:
+            self.cwnd += min(acked_bytes, self.mss)  # slow start
+        else:
+            # Congestion avoidance: +1 MSS per RTT, per-ACK increments.
+            self.cwnd += max(1, self.mss * self.mss // self.cwnd)
+
+    def enter_recovery(self, flight_bytes: int, snd_nxt: int) -> None:
+        """Triple duplicate ACK: halve and fast-retransmit."""
+        self.ssthresh = max(flight_bytes // 2, 2 * self.mss)
+        self.cwnd = self.ssthresh + self.DUP_ACK_THRESHOLD * self.mss
+        self.in_recovery = True
+        self.recovery_point = snd_nxt
+        self.fast_retransmits += 1
+
+    def on_dup_ack_in_recovery(self) -> None:
+        """Window inflation while duplicate ACKs keep arriving."""
+        self.cwnd += self.mss
+
+    def on_partial_ack(self, acked_bytes: int) -> None:
+        """NewReno partial ACK: deflate by the ACKed amount."""
+        self.cwnd = max(self.cwnd - acked_bytes + self.mss, self.mss)
+
+    def exit_recovery(self) -> None:
+        self.in_recovery = False
+        self.cwnd = self.ssthresh
+
+    def on_timeout(self, flight_bytes: int) -> None:
+        self.ssthresh = max(flight_bytes // 2, 2 * self.mss)
+        self.cwnd = self.mss
+        self.in_recovery = False
+        self.timeouts += 1
+
+
+class CubicCc(RenoCc):
+    """CUBIC congestion control (RFC 8312, simplified) — Linux's default.
+
+    Window growth in congestion avoidance follows the cubic function
+    W(t) = C*(t - K)^3 + W_max anchored at the last loss, giving the
+    fast-reprobe/plateau/probe shape; slow start and recovery inherit
+    the Reno machinery (Linux couples CUBIC with standard recovery).
+    """
+
+    C = 0.4  # scaling constant, segments/sec^3
+    BETA = 0.7  # multiplicative decrease factor
+
+    def __init__(self, mss: int = MSS, initial_window_packets: int = 10, clock=None):
+        super().__init__(mss, initial_window_packets)
+        self._clock = clock or (lambda: 0.0)
+        self._w_max = 0.0  # segments at the last reduction
+        self._epoch_start: float = -1.0
+        self._k = 0.0
+
+    def _segments(self, cwnd_bytes: float) -> float:
+        return cwnd_bytes / self.mss
+
+    def on_ack(self, acked_bytes: int) -> None:
+        if acked_bytes <= 0:
+            return
+        if self.cwnd < self.ssthresh:
+            self.cwnd += min(acked_bytes, self.mss)
+            return
+        now = self._clock()
+        if self._epoch_start < 0:
+            self._epoch_start = now
+            self._w_max = max(self._w_max, self._segments(self.cwnd))
+            self._k = ((self._w_max * (1 - self.BETA)) / self.C) ** (1.0 / 3.0)
+        t = now - self._epoch_start
+        target = self.C * (t - self._k) ** 3 + self._w_max  # segments
+        current = self._segments(self.cwnd)
+        if target > current:
+            # Close a fraction of the gap per ACK (per-RTT in aggregate).
+            self.cwnd += max(1, int((target - current) / max(current, 1) * self.mss))
+        else:
+            # TCP-friendly floor: at least Reno's linear growth.
+            self.cwnd += max(1, self.mss * self.mss // self.cwnd)
+
+    def _reduce(self) -> None:
+        self._w_max = self._segments(self.cwnd)
+        self._epoch_start = -1.0
+
+    def enter_recovery(self, flight_bytes: int, snd_nxt: int) -> None:
+        self._reduce()
+        self.ssthresh = max(int(flight_bytes * self.BETA), 2 * self.mss)
+        self.cwnd = self.ssthresh + self.DUP_ACK_THRESHOLD * self.mss
+        self.in_recovery = True
+        self.recovery_point = snd_nxt
+        self.fast_retransmits += 1
+
+    def on_timeout(self, flight_bytes: int) -> None:
+        self._reduce()
+        super().on_timeout(flight_bytes)
+
+
+CC_ALGORITHMS = {"reno": RenoCc, "cubic": CubicCc}
+
+
+def make_cc(name: str, mss: int = MSS, clock=None):
+    """Congestion-control factory (``reno`` or ``cubic``)."""
+    try:
+        cls = CC_ALGORITHMS[name]
+    except KeyError:
+        raise ValueError(f"unknown congestion control {name!r}; choose from {sorted(CC_ALGORITHMS)}") from None
+    if cls is CubicCc:
+        return cls(mss=mss, clock=clock)
+    return cls(mss=mss)
+
+
+class RttEstimator:
+    """RFC 6298 smoothed RTT and retransmission timeout."""
+
+    def __init__(self, min_rto: float = 5e-3, max_rto: float = 1.0):
+        self.srtt = 0.0
+        self.rttvar = 0.0
+        self.min_rto = min_rto
+        self.max_rto = max_rto
+        self._rto = 0.2  # conservative until the first sample
+        self.samples = 0
+
+    def sample(self, rtt: float) -> None:
+        if rtt < 0:
+            raise ValueError("negative RTT sample")
+        if self.samples == 0:
+            self.srtt = rtt
+            self.rttvar = rtt / 2
+        else:
+            self.rttvar = 0.75 * self.rttvar + 0.25 * abs(self.srtt - rtt)
+            self.srtt = 0.875 * self.srtt + 0.125 * rtt
+        self.samples += 1
+        raw = self.srtt + max(4 * self.rttvar, 1e-6)
+        self._rto = min(max(raw, self.min_rto), self.max_rto)
+
+    @property
+    def rto(self) -> float:
+        return self._rto
+
+    def backoff(self) -> None:
+        """Exponential backoff after a retransmission timeout."""
+        self._rto = min(self._rto * 2, self.max_rto)

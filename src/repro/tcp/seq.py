@@ -1,0 +1,46 @@
+"""32-bit TCP sequence-number arithmetic (RFC 793 comparisons).
+
+Sequence numbers live in a modular space; "before/after" is defined by
+the signed difference, valid as long as compared values are within 2^31
+of each other (true for any real window).
+"""
+
+from __future__ import annotations
+
+MOD = 1 << 32
+_HALF = 1 << 31
+
+
+def add(seq: int, delta: int) -> int:
+    """seq + delta, mod 2^32."""
+    return (seq + delta) % MOD
+
+
+def sub(a: int, b: int) -> int:
+    """Signed distance a - b in the modular space (range ±2^31)."""
+    diff = (a - b) % MOD
+    if diff >= _HALF:
+        diff -= MOD
+    return diff
+
+
+def lt(a: int, b: int) -> bool:
+    """True if a is strictly before b."""
+    return sub(a, b) < 0
+
+
+def le(a: int, b: int) -> bool:
+    return sub(a, b) <= 0
+
+
+def gt(a: int, b: int) -> bool:
+    return sub(a, b) > 0
+
+
+def ge(a: int, b: int) -> bool:
+    return sub(a, b) >= 0
+
+
+def between(low: int, x: int, high: int) -> bool:
+    """True if low <= x < high in modular order."""
+    return le(low, x) and lt(x, high)

@@ -1,0 +1,75 @@
+"""Per-host TCP stack: listeners, connection demux, port allocation."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.net.packet import FlowKey, Packet
+from repro.tcp.connection import TcpConnection
+
+
+class TcpStack:
+    """Owns all TCP connections of one host."""
+
+    def __init__(self, host):
+        self.host = host
+        self.sim = host.sim
+        self.connections: dict[FlowKey, TcpConnection] = {}
+        self.listeners: dict[int, Callable[[TcpConnection], None]] = {}
+        self._next_port = 40000
+
+    # ------------------------------------------------------------------
+    def listen(self, port: int, on_accept: Callable[[TcpConnection], None]) -> None:
+        """Accept connections on ``port``; ``on_accept(conn)`` fires once
+        each new connection is established."""
+        if port in self.listeners:
+            raise ValueError(f"port {port} already listening")
+        self.listeners[port] = on_accept
+
+    def connect(
+        self,
+        dst: str,
+        dport: int,
+        on_established: Optional[Callable[[], None]] = None,
+    ) -> TcpConnection:
+        """Active-open a connection to ``dst:dport``."""
+        sport = self._alloc_port()
+        flow = FlowKey(self.host.name, sport, dst, dport)
+        conn = TcpConnection(self.host, flow, passive=False)
+        conn.on_established = on_established
+        self.connections[flow] = conn
+        conn.open()
+        return conn
+
+    def _alloc_port(self) -> int:
+        port = self._next_port
+        self._next_port += 1
+        return port
+
+    # ------------------------------------------------------------------
+    def handle_packet(self, pkt: Packet) -> None:
+        """Demultiplex one received packet (CPU cycles already charged)."""
+        if pkt.flow.dst != self.host.name:
+            return  # not ours; a real stack would route/drop
+        local_flow = pkt.flow.reversed()
+        conn = self.connections.get(local_flow)
+        if conn is not None:
+            conn.on_segment(pkt)
+            return
+        if pkt.syn and not pkt.ack_flag:
+            on_accept = self.listeners.get(pkt.flow.dport)
+            if on_accept is not None:
+                conn = TcpConnection(self.host, local_flow, passive=True)
+                self.connections[local_flow] = conn
+                conn.on_established = lambda c=conn: on_accept(c)
+                conn._accept_syn(pkt)
+                return
+        # No connection and no listener: silently drop (we do not model RST
+        # storms; nothing in the evaluation depends on them).
+
+    def remove(self, conn: TcpConnection) -> None:
+        self.connections.pop(conn.flow, None)
+
+    @property
+    def connection_count(self) -> int:
+        return len(self.connections)

@@ -1,0 +1,5 @@
+"""UDP substrate (paper §7): datagram transport for DTLS-class L5Ps."""
+
+from repro.udp.stack import UdpStack
+
+__all__ = ["UdpStack"]

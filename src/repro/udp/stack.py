@@ -1,0 +1,63 @@
+"""Per-host UDP: unreliable, unordered datagram delivery.
+
+Exists to demonstrate §7's claim that autonomous offloading is
+orthogonal to the layer-4 protocol — a datagram L5P (DTLS) needs none
+of the TCP-side resynchronization machinery because every datagram is
+self-contained.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.net.packet import FlowKey, Packet
+
+MAX_DATAGRAM = 1452  # fits one MTU frame; no fragmentation modelled
+
+
+class UdpStack:
+    """Sockets are (port -> handler); datagrams carry (payload, peer)."""
+
+    def __init__(self, host):
+        self.host = host
+        self._handlers: dict[int, Callable] = {}
+        self._next_port = 50000
+        self.datagrams_sent = 0
+        self.datagrams_received = 0
+
+    # ------------------------------------------------------------------
+    def bind(self, port: int, on_datagram: Callable[[bytes, FlowKey, "Packet"], None]) -> int:
+        """Receive datagrams on ``port``; the handler gets (payload,
+        sender flow, packet) — the packet carries offload metadata."""
+        if port in self._handlers:
+            raise ValueError(f"UDP port {port} already bound")
+        self._handlers[port] = on_datagram
+        return port
+
+    def bind_ephemeral(self, on_datagram: Callable) -> int:
+        port = self._next_port
+        self._next_port += 1
+        return self.bind(port, on_datagram)
+
+    def unbind(self, port: int) -> None:
+        self._handlers.pop(port, None)
+
+    # ------------------------------------------------------------------
+    def sendto(self, dst: str, dport: int, payload: bytes, sport: int) -> None:
+        """Emit one datagram (charged like a TX packet)."""
+        if len(payload) > MAX_DATAGRAM:
+            raise ValueError(f"datagram of {len(payload)}B exceeds {MAX_DATAGRAM}")
+        flow = FlowKey(self.host.name, sport, dst, dport)
+        pkt = Packet(flow, payload=payload, ack_flag=False, ipproto="udp")
+        self.datagrams_sent += 1
+        core = self.host.core_for_flow(flow)
+        done = core.charge(self.host.model.cycles_tx_pkt, "stack")
+        self.host.sim.at(done, self.host.nic.transmit_datagram, flow, pkt)
+
+    def handle_packet(self, pkt: Packet) -> None:
+        """Called by the host receive path (CPU already charged)."""
+        handler = self._handlers.get(pkt.flow.dport)
+        if handler is None:
+            return  # no socket: drop
+        self.datagrams_received += 1
+        handler(pkt.payload, pkt.flow, pkt)

@@ -1,0 +1,15 @@
+"""Shared utilities: unit constants, statistics, byte-stream helpers."""
+
+from repro.util.units import GBPS, GIB, KIB, MIB, gbps, parse_size
+from repro.util.stats import Summary, trimmed_mean
+
+__all__ = [
+    "GBPS",
+    "GIB",
+    "KIB",
+    "MIB",
+    "gbps",
+    "parse_size",
+    "Summary",
+    "trimmed_mean",
+]

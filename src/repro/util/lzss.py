@@ -1,0 +1,135 @@
+"""LZSS compression, from scratch, with a *streaming* decoder.
+
+Format: tokens grouped under control bytes (one flag bit per token,
+LSB first).  Flag 0 = literal byte; flag 1 = match: two bytes encoding
+a (distance, length) pair against a 4 KiB sliding window —
+``distance`` in [1, 4096], ``length`` in [3, 18]:
+
+    byte0 = (distance - 1) & 0xFF
+    byte1 = ((distance - 1) >> 8) << 4 | (length - 3)
+
+The decoder is incremental with constant-size state (window + partial
+token), which is what makes inline NIC decompression autonomous-
+offloadable (paper §3.2/§7): any byte range of the compressed body can
+be processed given only that state.
+"""
+
+from __future__ import annotations
+
+WINDOW = 4096
+MIN_MATCH = 3
+MAX_MATCH = 18
+
+
+def compress(data: bytes) -> bytes:
+    """One-shot LZSS encode (greedy with a hash-head accelerator)."""
+    n = len(data)
+    out = bytearray()
+    tokens: list[tuple] = []  # ('lit', byte) | ('match', dist, length)
+    heads: dict[bytes, list[int]] = {}
+    i = 0
+    while i < n:
+        best_len = 0
+        best_dist = 0
+        if i + MIN_MATCH <= n:
+            key = data[i : i + MIN_MATCH]
+            for j in reversed(heads.get(key, ())):
+                if i - j > WINDOW:
+                    break
+                length = MIN_MATCH
+                limit = min(MAX_MATCH, n - i)
+                while length < limit and data[j + length] == data[i + length]:
+                    length += 1
+                if length > best_len:
+                    best_len = length
+                    best_dist = i - j
+                    if length == MAX_MATCH:
+                        break
+        if best_len >= MIN_MATCH:
+            tokens.append(("match", best_dist, best_len))
+            for k in range(i, min(i + best_len, n - MIN_MATCH + 1)):
+                heads.setdefault(data[k : k + MIN_MATCH], []).append(k)
+            i += best_len
+        else:
+            tokens.append(("lit", data[i]))
+            if i + MIN_MATCH <= n:
+                heads.setdefault(data[i : i + MIN_MATCH], []).append(i)
+            i += 1
+    # Serialize tokens under control bytes.
+    t = 0
+    while t < len(tokens):
+        group = tokens[t : t + 8]
+        control = 0
+        body = bytearray()
+        for bit, token in enumerate(group):
+            if token[0] == "match":
+                control |= 1 << bit
+                _, dist, length = token
+                d = dist - 1
+                body.append(d & 0xFF)
+                body.append(((d >> 8) << 4) | (length - MIN_MATCH))
+            else:
+                body.append(token[1])
+        out.append(control)
+        out += body
+        t += 8
+    return bytes(out)
+
+
+def decompress(data: bytes) -> bytes:
+    """One-shot decode (convenience over the streaming decoder)."""
+    dec = StreamingDecoder()
+    out = dec.update(data)
+    if not dec.at_token_boundary:
+        raise ValueError("truncated LZSS stream")
+    return out
+
+
+class StreamingDecoder:
+    """Incremental LZSS decoder: constant state (window, partial token)."""
+
+    def __init__(self) -> None:
+        self._window = bytearray()
+        self._control = 0
+        self._bits_left = 0
+        self._pending_first: int | None = None  # first byte of a match
+        self.produced = 0
+
+    @property
+    def at_token_boundary(self) -> bool:
+        return self._pending_first is None
+
+    def update(self, chunk: bytes) -> bytes:
+        out = bytearray()
+        for byte in chunk:
+            if self._pending_first is not None:
+                # Second byte of a match token.
+                first = self._pending_first
+                self._pending_first = None
+                d = first | ((byte >> 4) << 8)
+                length = (byte & 0x0F) + MIN_MATCH
+                dist = d + 1
+                if dist > len(self._window):
+                    raise ValueError("LZSS match reaches before window start")
+                start = len(self._window) - dist
+                for k in range(length):
+                    self._window.append(self._window[start + k])
+                out += self._window[-length:]
+                self._finish_token()
+            elif self._bits_left == 0:
+                self._control = byte
+                self._bits_left = 8
+            elif self._control & 1:
+                self._pending_first = byte  # flag consumed at completion
+            else:
+                self._window.append(byte)
+                out.append(byte)
+                self._finish_token()
+        self.produced += len(out)
+        return bytes(out)
+
+    def _finish_token(self) -> None:
+        self._control >>= 1
+        self._bits_left -= 1
+        if len(self._window) > WINDOW:
+            del self._window[: len(self._window) - WINDOW]

@@ -1,0 +1,107 @@
+"""Small statistics helpers for the evaluation harness.
+
+The paper reports trimmed means of ten runs (drop min and max) with
+standard deviations; :func:`trimmed_mean` and :class:`Summary` implement
+exactly that convention.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def stdev(values: Sequence[float]) -> float:
+    """Sample standard deviation; 0 for fewer than two values."""
+    if len(values) < 2:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / (len(values) - 1))
+
+
+def trimmed_mean(values: Sequence[float]) -> float:
+    """Mean after discarding one minimum and one maximum value.
+
+    With fewer than three values this degrades to the plain mean, which
+    keeps small smoke-test runs meaningful.
+    """
+    if not values:
+        raise ValueError("trimmed_mean of empty sequence")
+    if len(values) < 3:
+        return mean(values)
+    ordered = sorted(values)
+    return mean(ordered[1:-1])
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile, ``pct`` in [0, 100]."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= pct <= 100:
+        raise ValueError(f"percentile {pct!r} out of range")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(pct / 100 * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass
+class Summary:
+    """Trimmed-mean summary of repeated measurements."""
+
+    mean: float
+    stdev: float
+    n: int
+    minimum: float
+    maximum: float
+
+    @classmethod
+    def of(cls, values: Iterable[float]) -> "Summary":
+        seq = list(values)
+        if not seq:
+            raise ValueError("Summary of empty sequence")
+        return cls(
+            mean=trimmed_mean(seq),
+            stdev=stdev(seq),
+            n=len(seq),
+            minimum=min(seq),
+            maximum=max(seq),
+        )
+
+    @property
+    def rel_stdev(self) -> float:
+        """Standard deviation relative to the mean (fraction)."""
+        if self.mean == 0:
+            return 0.0
+        return self.stdev / abs(self.mean)
+
+    def __format__(self, spec: str) -> str:
+        spec = spec or ".3g"
+        return f"{self.mean:{spec}} ±{100 * self.rel_stdev:.1f}%"
+
+
+class Counter:
+    """Accumulates a value and an event count (e.g. bytes and packets)."""
+
+    __slots__ = ("total", "events")
+
+    def __init__(self) -> None:
+        self.total = 0.0
+        self.events = 0
+
+    def add(self, value: float, events: int = 1) -> None:
+        self.total += value
+        self.events += events
+
+    @property
+    def per_event(self) -> float:
+        return self.total / self.events if self.events else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Counter total={self.total} events={self.events}>"

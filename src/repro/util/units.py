@@ -1,0 +1,77 @@
+"""Unit constants and conversions used throughout the reproduction.
+
+Sizes are in bytes, rates in bits/second unless a name says otherwise.
+"""
+
+from __future__ import annotations
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+KB = 1000
+MB = 1000 * KB
+GB = 1000 * MB
+
+GBPS = 1_000_000_000  # bits per second
+MBPS = 1_000_000
+
+USEC = 1e-6
+MSEC = 1e-3
+
+_SUFFIXES = {
+    "": 1,
+    "b": 1,
+    "k": KIB,
+    "kb": KB,
+    "kib": KIB,
+    "m": MIB,
+    "mb": MB,
+    "mib": MIB,
+    "g": GIB,
+    "gb": GB,
+    "gib": GIB,
+}
+
+
+def gbps(num_bytes: float, seconds: float) -> float:
+    """Throughput in Gbit/s for ``num_bytes`` moved in ``seconds``."""
+    if seconds <= 0:
+        raise ValueError(f"non-positive duration {seconds!r}")
+    return num_bytes * 8 / seconds / GBPS
+
+
+def mbs(num_bytes: float, seconds: float) -> float:
+    """Throughput in MB/s (decimal) for ``num_bytes`` moved in ``seconds``."""
+    if seconds <= 0:
+        raise ValueError(f"non-positive duration {seconds!r}")
+    return num_bytes / seconds / MB
+
+
+def parse_size(text: str) -> int:
+    """Parse a human size string such as ``"256K"``, ``"4KiB"`` or ``"1g"``.
+
+    Bare ``K``/``M``/``G`` mean binary units, matching how the paper
+    writes request sizes (4 KiB files, 16 KiB records, ...).
+    """
+    text = text.strip().lower()
+    idx = len(text)
+    while idx > 0 and not text[idx - 1].isdigit():
+        idx -= 1
+    number, suffix = text[:idx], text[idx:].strip()
+    if not number:
+        raise ValueError(f"no number in size string {text!r}")
+    if suffix not in _SUFFIXES:
+        raise ValueError(f"unknown size suffix {suffix!r} in {text!r}")
+    return int(number) * _SUFFIXES[suffix]
+
+
+def fmt_size(num_bytes: int) -> str:
+    """Render a byte count with a binary suffix (``4KiB``, ``256KiB``)."""
+    if num_bytes % GIB == 0 and num_bytes >= GIB:
+        return f"{num_bytes // GIB}GiB"
+    if num_bytes % MIB == 0 and num_bytes >= MIB:
+        return f"{num_bytes // MIB}MiB"
+    if num_bytes % KIB == 0 and num_bytes >= KIB:
+        return f"{num_bytes // KIB}KiB"
+    return f"{num_bytes}B"

@@ -1,0 +1,6 @@
+"""Test configuration: make the tests directory importable for helpers."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

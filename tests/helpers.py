@@ -1,0 +1,62 @@
+"""Shared test helpers: a minimal two-host testbed."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.host import Host
+from repro.net.link import Link, LinkConfig
+from repro.sim import Simulator
+from repro.util.units import GBPS
+
+
+@dataclass
+class Pair:
+    sim: Simulator
+    client: Host
+    server: Host
+    link: Link
+
+
+def make_pair(
+    seed: int = 0,
+    client_cores: int = 1,
+    server_cores: int = 1,
+    bandwidth_bps: float = 100 * GBPS,
+    latency_s: float = 5e-6,
+    loss_to_server: float = 0.0,
+    reorder_to_server: float = 0.0,
+    dup_to_server: float = 0.0,
+    loss_to_client: float = 0.0,
+    reorder_to_client: float = 0.0,
+    client_nic=None,
+    server_nic=None,
+    model=None,
+) -> Pair:
+    """Two hosts, client('a' side) <-> server('b' side), one link."""
+    from repro.cpu.model import DEFAULT_COST_MODEL
+
+    sim = Simulator(seed=seed)
+    model = model or DEFAULT_COST_MODEL
+    kwargs = {}
+    client = Host(sim, "client", model=model, cores=client_cores, nic=client_nic, **kwargs)
+    server = Host(sim, "server", model=model, cores=server_cores, nic=server_nic, **kwargs)
+    link = Link(
+        sim,
+        config_ab=LinkConfig(
+            bandwidth_bps=bandwidth_bps,
+            latency_s=latency_s,
+            loss=loss_to_server,
+            reorder=reorder_to_server,
+            duplicate=dup_to_server,
+        ),
+        config_ba=LinkConfig(
+            bandwidth_bps=bandwidth_bps,
+            latency_s=latency_s,
+            loss=loss_to_client,
+            reorder=reorder_to_client,
+        ),
+    )
+    client.attach_link(link, "a")
+    server.attach_link(link, "b")
+    return Pair(sim, client, server, link)

@@ -1,0 +1,66 @@
+"""Smoke tests for the CLI entry point and the runnable examples."""
+
+import runpy
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def run_cli(*args):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        timeout=240,
+        cwd=REPO,
+    )
+
+
+class TestCli:
+    def test_list(self):
+        out = run_cli("list")
+        assert out.returncode == 0
+        assert "experiments:" in out.stdout
+
+    def test_table1(self):
+        out = run_cli("table1")
+        assert out.returncode == 0
+        assert "aes-128-gcm" in out.stdout
+
+    def test_fio(self):
+        out = run_cli("fio", "--block-size", "64K", "--iodepth", "8")
+        assert out.returncode == 0
+        assert "IOPS" in out.stdout
+
+    def test_iperf(self):
+        out = run_cli("iperf", "--mode", "tls-offload", "--direction", "rx", "--streams", "4")
+        assert out.returncode == 0
+        assert "goodput" in out.stdout
+
+    def test_bad_variant_rejected(self):
+        out = run_cli("nginx", "--variant", "spdy")
+        assert out.returncode != 0
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        runpy.run_path(str(REPO / "examples" / "quickstart.py"), run_name="__main__")
+        out = capsys.readouterr().out
+        assert "packets encrypted inline" in out
+        assert "transferred" in out
+
+    def test_remote_block_storage(self, capsys):
+        runpy.run_path(str(REPO / "examples" / "remote_block_storage.py"), run_name="__main__")
+        out = capsys.readouterr().out
+        assert "offload" in out
+        assert "NIC-placed" in out
+
+    @pytest.mark.slow
+    def test_https_file_server(self, capsys):
+        runpy.run_path(str(REPO / "examples" / "https_file_server.py"), run_name="__main__")
+        out = capsys.readouterr().out
+        assert "offload+zc" in out

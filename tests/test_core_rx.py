@@ -1,0 +1,259 @@
+"""Receive-engine unit tests: in-sequence offload, Figure 8's OoS cases,
+and the Figure 7 resynchronization state machine."""
+
+import struct
+
+from repro.core.context import RxState
+from repro.core.types import Direction
+from repro.net.host import Host
+from repro.net.packet import FlowKey, Packet
+from repro.nic import OffloadNic
+from repro.sim import Simulator
+from toy_l5p import MAGIC, ToyAdapter, ToyL5pOps, encode_message
+
+FLOW = FlowKey("server", 2000, "client", 1000)  # packets as seen on the wire
+
+
+class _FakeConn:
+    """Stands in for the local connection the L5P installed RX offload on
+    (its flow is the local view; the context is keyed by the reverse)."""
+
+    def __init__(self):
+        self.flow = FLOW.reversed()
+        self.tx_ctx_id = None
+
+
+class RxHarness:
+    def __init__(self, start_seq=0):
+        self.sim = Simulator()
+        self.nic = OffloadNic()
+        self.host = Host(self.sim, "client", nic=self.nic)
+        self.delivered = []
+        self.host.deliver = self.delivered.append  # capture post-NIC packets
+        self.ops = ToyL5pOps()
+        self.ctx = self.nic.driver.l5o_create(
+            _FakeConn(), ToyAdapter(), None, tcpsn=start_seq, direction=Direction.RX, l5p_ops=self.ops
+        )
+
+    def rx(self, seq, payload):
+        pkt = Packet(FLOW, seq=seq, payload=payload)
+        self.nic.receive(pkt)
+        return self.delivered[-1]
+
+    def confirm(self, tcpsn, ok=True, msg_index=0):
+        self.nic.driver.l5o_resync_rx_resp(self.ctx, tcpsn, ok, msg_index)
+
+
+def wire_stream(bodies, start_index=0):
+    return b"".join(encode_message(b, start_index + i) for i, b in enumerate(bodies))
+
+
+def plain_stream(bodies, start_index=0):
+    out = b""
+    for i, b in enumerate(bodies):
+        msg = encode_message(b, start_index + i)
+        # RX-offloaded output: header + decrypted body + wire trailer.
+        out += msg[:4] + b + msg[4 + len(b) :]
+    return out
+
+
+def segments(data, size):
+    return [(i, data[i : i + size]) for i in range(0, len(data), size)]
+
+
+class TestInSequenceRx:
+    def test_single_message_decrypted_and_verified(self):
+        h = RxHarness()
+        body = b"secret payload bytes"
+        out = h.rx(0, wire_stream([body]))
+        assert out.meta.offloaded and out.meta.decrypted and out.meta.crc_ok
+        assert out.payload == plain_stream([body])
+
+    def test_message_across_packets_all_offloaded(self):
+        h = RxHarness()
+        bodies = [bytes(range(256)) * 3, b"tail" * 10]
+        wire = wire_stream(bodies)
+        outs = [h.rx(seg_seq, chunk) for seg_seq, chunk in segments(wire, 111)]
+        assert all(o.meta.offloaded for o in outs)
+        assert b"".join(o.payload for o in outs) == plain_stream(bodies)
+
+    def test_corrupt_trailer_clears_ok_bit(self):
+        h = RxHarness()
+        wire = bytearray(wire_stream([b"x" * 40]))
+        wire[-1] ^= 0xFF  # corrupt the checksum
+        out = h.rx(0, bytes(wire))
+        assert out.meta.offloaded
+        assert not out.meta.crc_ok
+
+    def test_flow_without_context_untouched(self):
+        h = RxHarness()
+        other = Packet(FlowKey("x", 1, "client", 9), seq=0, payload=b"\xee" * 32)
+        h.nic.receive(other)
+        assert h.delivered[-1].payload == b"\xee" * 32
+
+
+class TestFigure8aRetransmission:
+    def test_past_packet_bypassed(self):
+        h = RxHarness()
+        wire = wire_stream([b"a" * 300])
+        for seg_seq, chunk in segments(wire, 100):
+            h.rx(seg_seq, chunk)
+        out = h.rx(100, wire[100:200])  # retransmission of the "past"
+        assert not out.meta.offloaded
+        assert out.payload == wire[100:200]  # NOT decrypted again
+        assert h.ctx.rx_state == RxState.OFFLOADING
+        # And the context is still in sync for what follows.
+        nxt = h.rx(len(wire), wire_stream([b"b" * 10], start_index=1))
+        assert nxt.meta.offloaded
+
+
+class TestFigure8bBoundaryResync:
+    def test_lost_packet_resumes_at_next_header(self):
+        h = RxHarness()
+        bodies = [b"m" * 250, b"n" * 250]
+        wire = wire_stream(bodies)
+        segs = segments(wire, 100)
+        h.rx(*segs[0])  # P1: message 1 start
+        # P2 (100..200) lost. P3 contains the tail of msg1 + msg2 header.
+        out3 = h.rx(*segs[2])
+        assert not out3.meta.offloaded  # packet with the header: bypassed
+        assert h.ctx.boundary_resyncs == 1
+        assert h.ctx.rx_state == RxState.OFFLOADING
+        # P4, P5... continue message 2 and must be offloaded again.
+        out4 = h.rx(*segs[3])
+        assert out4.meta.offloaded
+        body2_plain = plain_stream(bodies)[segs[3][0] : segs[3][0] + 100]
+        assert out4.payload == body2_plain
+
+    def test_hole_within_message_keeps_waiting(self):
+        h = RxHarness()
+        bodies = [b"long" * 200, b"next" * 10]
+        wire = wire_stream(bodies)
+        h.rx(0, wire[:100])
+        # Packet from the middle of message 1, hole at 100..300: ignored.
+        out = h.rx(300, wire[300:400])
+        assert not out.meta.offloaded
+        assert h.ctx.rx_state == RxState.OFFLOADING
+        # The message-2 header is at 808; a packet containing it re-locks.
+        boundary = 4 + 800 + 4
+        out = h.rx(boundary - 8, wire[boundary - 8 : boundary + 40])
+        assert h.ctx.rx_state == RxState.OFFLOADING
+        assert h.ctx.boundary_resyncs == 1
+        after = h.rx(boundary + 40, wire[boundary + 40 :])
+        assert after.meta.offloaded
+
+
+class TestFigure8cSpeculativeRecovery:
+    def build(self, n_msgs=6, body=b"payload!" * 30):
+        bodies = [body for _ in range(n_msgs)]
+        return bodies, wire_stream(bodies)
+
+    def test_header_reorder_triggers_search_then_resume(self):
+        h = RxHarness()
+        bodies, wire = self.build()
+        msg_len = 4 + len(bodies[0]) + 4
+        # Deliver message 0 fully, in sequence.
+        h.rx(0, wire[:msg_len])
+        # The packet with message 1's header is reordered away; packets
+        # from message 2 onward arrive. 'Jumped past boundary' -> search.
+        m2 = 2 * msg_len
+        out = h.rx(m2 + 10, wire[m2 + 10 : m2 + 10 + 150])
+        assert not out.meta.offloaded
+        # Message 3's header lies within what follows; the NIC finds the
+        # magic and speculates.
+        m3 = 3 * msg_len
+        h.rx(m2 + 160, wire[m2 + 160 : m3 + 60])
+        h.sim.run()  # deliver the driver upcall
+        assert h.ctx.rx_state == RxState.TRACKING
+        assert h.ops.resync_requests == [m3]
+        # Software confirms: message at m3 is message #3.
+        h.confirm(m3, ok=True, msg_index=3)
+        assert h.ctx.rx_state == RxState.OFFLOADING
+        # Tracking consumed msg 3's header; offload resumes at message 4.
+        assert h.ctx.expected_seq == 4 * msg_len
+        out = h.rx(4 * msg_len, wire[4 * msg_len : 5 * msg_len])
+        assert out.meta.offloaded
+        assert out.payload == plain_stream([bodies[4]], start_index=4)
+
+    def test_denied_speculation_returns_to_searching(self):
+        h = RxHarness()
+        bodies, wire = self.build()
+        msg_len = 4 + len(bodies[0]) + 4
+        h.rx(0, wire[:msg_len])
+        m2, m3 = 2 * msg_len, 3 * msg_len
+        h.rx(m2 + 10, wire[m2 + 10 : m3 + 60])
+        h.sim.run()
+        assert h.ctx.rx_state == RxState.TRACKING
+        h.confirm(h.ops.resync_requests[0], ok=False)
+        assert h.ctx.rx_state == RxState.SEARCHING
+
+    def test_stale_confirmation_ignored(self):
+        h = RxHarness()
+        bodies, wire = self.build()
+        msg_len = 4 + len(bodies[0]) + 4
+        h.rx(0, wire[:msg_len])
+        h.rx(2 * msg_len + 10, wire[2 * msg_len + 10 : 3 * msg_len + 60])
+        h.sim.run()
+        h.confirm(12345, ok=True, msg_index=9)  # wrong tcpsn
+        assert h.ctx.rx_state == RxState.TRACKING
+
+    def test_tracking_verifies_subsequent_headers(self):
+        h = RxHarness()
+        bodies, wire = self.build()
+        msg_len = 4 + len(bodies[0]) + 4
+        h.rx(0, wire[:msg_len])
+        m2, m3 = 2 * msg_len, 3 * msg_len
+        h.rx(m2 + 10, wire[m2 + 10 : m3 + 60])  # speculate at m3
+        h.sim.run()
+        tracked_before = h.ctx.tracked_msgs
+        # Messages 4 and 5 arrive; their headers are verified by length.
+        h.rx(m3 + 60, wire[m3 + 60 : 6 * msg_len])
+        assert h.ctx.tracked_msgs >= tracked_before + 2
+        h.confirm(m3, ok=True, msg_index=3)
+        assert h.ctx.expected_seq == 6 * msg_len
+
+    def test_magic_pattern_split_across_packets(self):
+        h = RxHarness()
+        bodies, wire = self.build()
+        msg_len = 4 + len(bodies[0]) + 4
+        h.rx(0, wire[:msg_len])
+        m3 = 3 * msg_len
+        # Desync, then deliver bytes so message 3's header straddles two
+        # contiguous packets (cut one byte into the header).
+        h.rx(2 * msg_len + 10, wire[2 * msg_len + 10 : m3 + 1])
+        h.rx(m3 + 1, wire[m3 + 1 : m3 + 80])
+        h.sim.run()
+        assert h.ops.resync_requests == [m3]
+
+    def test_false_magic_in_body_rejected_by_tracking(self):
+        h = RxHarness()
+        # Craft a body containing a fake magic pattern with a bogus
+        # length so tracking detects the misprediction.
+        fake_header = struct.pack(">BBH", MAGIC, 1, 7)  # claims 7-byte body
+        body = b"x" * 20 + fake_header + b"y" * 200
+        bodies = [body, body, body, body]
+        wire = wire_stream(bodies)
+        msg_len = 4 + len(body) + 4
+        h.rx(0, wire[:msg_len])
+        # Lose msg1's header region; arrive mid-message-1 so searching
+        # starts scanning inside the body and may find the fake magic.
+        h.rx(msg_len + 50, wire[msg_len + 50 : 3 * msg_len])
+        h.sim.run()
+        # Whatever was speculated, the machine must not be stuck: it is
+        # either tracking a consistent chain or searching again.
+        assert h.ctx.rx_state in (RxState.TRACKING, RxState.SEARCHING)
+        if h.ctx.rx_state == RxState.TRACKING:
+            # Confirmations only come for true headers; a fake one would
+            # be denied by software. Deny it and ensure we recover.
+            h.confirm(h.ops.resync_requests[-1], ok=False)
+            assert h.ctx.rx_state == RxState.SEARCHING
+
+
+class TestRxStats:
+    def test_stats_aggregate(self):
+        h = RxHarness()
+        wire = wire_stream([b"s" * 100])
+        h.rx(0, wire)
+        stats = h.nic.offload_stats()
+        assert stats["pkts_offloaded"] == 1
+        assert stats["pkts_bypassed"] == 0

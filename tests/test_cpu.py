@@ -1,0 +1,171 @@
+"""CPU model tests: core accounting, LLC model, accelerator models."""
+
+import pytest
+
+from repro.cpu import Cpu, CostModel, DEFAULT_COST_MODEL, LlcModel
+from repro.cpu.accel import AesNiModel, QatModel, table1
+from repro.sim import Simulator
+
+
+def make_cpu(cores=1, **overrides):
+    sim = Simulator()
+    model = DEFAULT_COST_MODEL.scaled(**overrides) if overrides else DEFAULT_COST_MODEL
+    return sim, Cpu(sim, model, cores=cores)
+
+
+class TestCore:
+    def test_charge_advances_busy_until(self):
+        sim, cpu = make_cpu(freq_hz=1e9)
+        core = cpu.cores[0]
+        done = core.charge(1000, "stack")
+        assert done == pytest.approx(1e-6)
+        assert core.cycles_by_category["stack"] == 1000
+
+    def test_charges_serialize_fifo(self):
+        sim, cpu = make_cpu(freq_hz=1e9)
+        core = cpu.cores[0]
+        core.charge(1000, "a")
+        done = core.charge(500, "b")
+        assert done == pytest.approx(1.5e-6)
+
+    def test_run_fires_callback_at_completion(self):
+        sim, cpu = make_cpu(freq_hz=1e9)
+        core = cpu.cores[0]
+        times = []
+        core.run(2000, "crypto", lambda: times.append(sim.now))
+        sim.run()
+        assert times == [pytest.approx(2e-6)]
+
+    def test_work_after_idle_starts_now(self):
+        sim, cpu = make_cpu(freq_hz=1e9)
+        core = cpu.cores[0]
+        core.charge(1000, "a")
+        sim.run(until=1.0)  # long idle gap
+        core.charge(1000, "b")
+        assert core.busy_until == pytest.approx(1.0 + 1e-6)
+        # busy time does not include the idle gap
+        assert core.busy_seconds == pytest.approx(2e-6)
+
+    def test_negative_charge_rejected(self):
+        _, cpu = make_cpu()
+        with pytest.raises(ValueError):
+            cpu.cores[0].charge(-1, "x")
+
+    def test_utilization(self):
+        sim, cpu = make_cpu(freq_hz=1e9)
+        cpu.cores[0].charge(5e8, "x")  # 0.5 s of work
+        assert cpu.cores[0].utilization(1.0) == pytest.approx(0.5)
+
+
+class TestCpu:
+    def test_flow_steering_is_deterministic(self):
+        _, cpu = make_cpu(cores=4)
+        assert cpu.core_for_flow(13) is cpu.core_for_flow(13)
+        assert cpu.core_for_flow(13).index == 13 % 4
+
+    def test_busy_cores_aggregates(self):
+        sim, cpu = make_cpu(cores=2, freq_hz=1e9)
+        cpu.cores[0].charge(1e9, "x")  # 1 s
+        cpu.cores[1].charge(5e8, "y")  # 0.5 s
+        assert cpu.busy_cores(1.0) == pytest.approx(1.5)
+
+    def test_category_aggregation_and_reset(self):
+        _, cpu = make_cpu(cores=2)
+        cpu.cores[0].charge(10, "crypto")
+        cpu.cores[1].charge(5, "crypto")
+        cpu.cores[1].charge(7, "copy")
+        assert cpu.cycles_by_category() == {"crypto": 15.0, "copy": 7.0}
+        cpu.reset_stats()
+        assert cpu.total_cycles == 0
+
+    def test_needs_at_least_one_core(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Cpu(sim, DEFAULT_COST_MODEL, cores=0)
+
+
+class TestLlcModel:
+    def test_small_working_set_is_resident(self):
+        model = CostModel()
+        llc = LlcModel(model)
+        llc.occupy(1024 * 1024)
+        assert llc.copy_cpb() == pytest.approx(model.cpb_copy)
+        assert llc.resident_fraction == 1.0
+
+    def test_large_working_set_spills(self):
+        model = CostModel()
+        llc = LlcModel(model)
+        llc.occupy(model.llc_bytes * 4)  # 25% resident
+        expected = 0.25 * model.cpb_copy + 0.75 * model.cpb_copy_dram
+        assert llc.copy_cpb() == pytest.approx(expected)
+
+    def test_release_restores(self):
+        model = CostModel()
+        llc = LlcModel(model)
+        llc.occupy(model.llc_bytes * 4)
+        llc.release(model.llc_bytes * 4)
+        assert llc.copy_cpb() == pytest.approx(model.cpb_copy)
+
+    def test_cannot_release_below_zero(self):
+        llc = LlcModel(CostModel())
+        llc.release(100)
+        assert llc.footprint == 0
+
+    def test_touch_cpb_adds_dram_penalty(self):
+        model = CostModel()
+        llc = LlcModel(model)
+        llc.occupy(model.llc_bytes * 2)  # 50% resident
+        penalty = 0.5 * (model.cpb_copy_dram - model.cpb_copy)
+        assert llc.touch_cpb(model.cpb_crc32c) == pytest.approx(model.cpb_crc32c + penalty)
+
+
+class TestAcceleratorModels:
+    """Table 1 reproduction: who wins and by what factor."""
+
+    def test_aesni_cbc_sha1_throughput(self):
+        # Paper: 695 MB/s.
+        assert AesNiModel().throughput_mbs("aes-128-cbc-hmac-sha1") == pytest.approx(695, rel=0.05)
+
+    def test_aesni_gcm_throughput(self):
+        # Paper: 3150 MB/s.
+        assert AesNiModel().throughput_mbs("aes-128-gcm") == pytest.approx(3150, rel=0.05)
+
+    def test_qat_single_thread_loses_badly(self):
+        qat = QatModel()
+        one = qat.throughput_mbs("aes-128-gcm", 16 * 1024, threads=1)
+        # Paper: 249 MB/s; 12.5x slower than AES-NI GCM.
+        assert one == pytest.approx(249, rel=0.15)
+        assert AesNiModel().throughput_mbs("aes-128-gcm") / one > 10
+
+    def test_qat_many_threads_overlap_latency(self):
+        qat = QatModel()
+        many = qat.throughput_mbs("aes-128-cbc-hmac-sha1", 16 * 1024, threads=128)
+        one = qat.throughput_mbs("aes-128-cbc-hmac-sha1", 16 * 1024, threads=1)
+        # Paper: 3144 vs 249 MB/s.
+        assert many == pytest.approx(3144, rel=0.1)
+        assert many / one > 10
+
+    def test_table1_shape(self):
+        rows = table1()
+        cbc, gcm = rows["aes-128-cbc-hmac-sha1"], rows["aes-128-gcm"]
+        # CBC-HMAC: threaded QAT beats AES-NI by ~4.5x.
+        assert cbc["qat_128"] / cbc["aesni_1"] == pytest.approx(4.5, rel=0.15)
+        # GCM: threaded QAT only comparable to single-threaded AES-NI.
+        assert gcm["qat_128"] / gcm["aesni_1"] == pytest.approx(1.0, rel=0.15)
+
+
+class TestCostModel:
+    def test_scaled_overrides(self):
+        model = DEFAULT_COST_MODEL.scaled(cpb_copy=9.0)
+        assert model.cpb_copy == 9.0
+        assert model.cpb_crc32c == DEFAULT_COST_MODEL.cpb_crc32c
+
+    def test_seconds(self):
+        model = CostModel(freq_hz=2e9)
+        assert model.seconds(2e9) == pytest.approx(1.0)
+
+    def test_copy_cpb_monotonic_in_footprint(self):
+        model = CostModel()
+        costs = [model.copy_cpb(ws) for ws in (0, 1, model.llc_bytes, 2 * model.llc_bytes, 10 * model.llc_bytes)]
+        assert costs == sorted(costs)
+        assert costs[-1] < model.cpb_copy_dram

@@ -1,0 +1,80 @@
+"""AES validated against FIPS 197 / NIST vectors and round-trip properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.aes import AES, INV_SBOX, SBOX
+
+
+class TestSbox:
+    def test_known_entries(self):
+        # FIPS 197 Figure 7.
+        assert SBOX[0x00] == 0x63
+        assert SBOX[0x01] == 0x7C
+        assert SBOX[0x53] == 0xED
+        assert SBOX[0xFF] == 0x16
+
+    def test_inverse_sbox(self):
+        for value in range(256):
+            assert INV_SBOX[SBOX[value]] == value
+
+    def test_sbox_is_permutation(self):
+        assert sorted(SBOX) == list(range(256))
+
+
+class TestKnownVectors:
+    def test_fips197_aes128(self):
+        # FIPS 197 Appendix B.
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        plain = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+        expect = bytes.fromhex("3925841d02dc09fbdc118597196a0b32")
+        assert AES(key).encrypt_block(plain) == expect
+
+    def test_fips197_appendix_c1_aes128(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        plain = bytes.fromhex("00112233445566778899aabbccddeeff")
+        expect = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        assert AES(key).encrypt_block(plain) == expect
+
+    def test_fips197_appendix_c2_aes192(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f1011121314151617")
+        plain = bytes.fromhex("00112233445566778899aabbccddeeff")
+        expect = bytes.fromhex("dda97ca4864cdfe06eaf70a0ec0d7191")
+        assert AES(key).encrypt_block(plain) == expect
+
+    def test_fips197_appendix_c3_aes256(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+        plain = bytes.fromhex("00112233445566778899aabbccddeeff")
+        expect = bytes.fromhex("8ea2b7ca516745bfeafc49904b496089")
+        assert AES(key).encrypt_block(plain) == expect
+
+
+class TestRoundTrip:
+    @given(
+        key=st.binary(min_size=16, max_size=16),
+        block=st.binary(min_size=16, max_size=16),
+    )
+    def test_decrypt_inverts_encrypt_128(self, key, block):
+        aes = AES(key)
+        assert aes.decrypt_block(aes.encrypt_block(block)) == block
+
+    @given(
+        key=st.binary(min_size=32, max_size=32),
+        block=st.binary(min_size=16, max_size=16),
+    )
+    def test_decrypt_inverts_encrypt_256(self, key, block):
+        aes = AES(key)
+        assert aes.decrypt_block(aes.encrypt_block(block)) == block
+
+
+class TestValidation:
+    def test_bad_key_length(self):
+        with pytest.raises(ValueError):
+            AES(b"short")
+
+    def test_bad_block_length(self):
+        aes = AES(b"\x00" * 16)
+        with pytest.raises(ValueError):
+            aes.encrypt_block(b"\x00" * 15)
+        with pytest.raises(ValueError):
+            aes.decrypt_block(b"\x00" * 17)

@@ -1,0 +1,116 @@
+"""Tests for the partial-fallback crypto helpers: keystream skip and
+ciphertext absorption — the primitives behind §5.2's costlier partial
+decryption — plus the TLS fallback functions themselves."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.gcm import AesGcm, AuthenticationError
+from repro.crypto.suite import AesGcmSuite, XorGcmSuite
+from repro.l5p.base import Run
+from repro.l5p.tls.fallback import decrypt_whole_record, recover_partial_record
+from repro.net.packet import SkbMeta
+
+KEY = b"\x0a" * 16
+NONCE = b"\x0b" * 12
+
+
+@pytest.fixture(params=[AesGcmSuite, XorGcmSuite], ids=lambda c: c.name)
+def suite(request):
+    return request.param()
+
+
+class TestSkip:
+    def test_decryptor_skip_positions_keystream(self, suite):
+        data = bytes(range(256)) * 2
+        ct, _tag = suite.seal(KEY, NONCE, data)
+        for offset in (0, 1, 15, 16, 17, 100, 511):
+            dec = suite.decryptor(KEY, NONCE)
+            dec.skip(offset)
+            assert dec.update(ct[offset:]) == data[offset:]
+
+    def test_gcm_skip_is_pure_keystream(self):
+        gcm = AesGcm(KEY)
+        data = b"0123456789" * 30
+        ct, _ = gcm.encrypt(NONCE, data)
+        dec = gcm.decryptor(NONCE)
+        dec.skip(33)
+        assert dec.update(ct[33:]) == data[33:]
+
+
+class TestAbsorbCiphertext:
+    def test_reencrypt_plus_absorb_reproduces_tag(self, suite):
+        data = b"mixed record body " * 40
+        ct, tag = suite.seal(KEY, NONCE, data, aad=b"hdr")
+        # Simulate: first half NIC-decrypted (we hold plaintext), second
+        # half untouched ciphertext.
+        cut = 333
+        enc = suite.encryptor(KEY, NONCE, aad=b"hdr")
+        rebuilt_first = enc.update(data[:cut])
+        enc.absorb_ciphertext(ct[cut:])
+        assert rebuilt_first == ct[:cut]
+        assert enc.finalize() == tag
+
+
+class TestFallbackFunctions:
+    def _runs(self, data, ct, pattern):
+        """Build body runs: pattern like [(length, decrypted?), ...]."""
+        runs = []
+        pos = 0
+        for length, decrypted in pattern:
+            chunk = data[pos : pos + length] if decrypted else ct[pos : pos + length]
+            runs.append(Run(chunk, SkbMeta(decrypted=decrypted)))
+            pos += length
+        return runs
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        data=st.binary(min_size=10, max_size=600),
+        cuts=st.lists(st.integers(1, 120), min_size=1, max_size=5),
+        start_plain=st.booleans(),
+    )
+    def test_recover_any_interleaving(self, data, cuts, start_plain):
+        suite = XorGcmSuite()
+        ct, tag = suite.seal(KEY, NONCE, data, aad=b"a")
+        pattern = []
+        pos = 0
+        flag = start_plain
+        for cut in cuts:
+            take = min(cut, len(data) - pos)
+            if take <= 0:
+                break
+            pattern.append((take, flag))
+            pos += take
+            flag = not flag
+        if pos < len(data):
+            pattern.append((len(data) - pos, flag))
+        runs = self._runs(data, ct, pattern)
+        rec = recover_partial_record(suite, KEY, NONCE, b"a", runs, tag)
+        assert rec.ok
+        assert rec.plaintext == data
+        assert rec.reencrypted_bytes + rec.decrypted_bytes == len(data)
+
+    def test_recover_detects_tampering(self, suite):
+        data = b"contents" * 50
+        ct, tag = suite.seal(KEY, NONCE, data)
+        runs = [
+            Run(data[:100], SkbMeta(decrypted=True)),
+            Run(bytes([ct[100] ^ 1]) + ct[101:], SkbMeta(decrypted=False)),
+        ]
+        rec = recover_partial_record(suite, KEY, NONCE, b"", runs, tag)
+        assert not rec.ok
+
+    def test_decrypt_whole_record_happy_and_sad(self, suite):
+        data = b"whole record" * 20
+        ct, tag = suite.seal(KEY, NONCE, data)
+        plain, ok = decrypt_whole_record(suite, KEY, NONCE, b"", ct, tag)
+        assert ok and plain == data
+        plain, ok = decrypt_whole_record(suite, KEY, NONCE, b"", ct, b"\x00" * 16)
+        assert not ok
+
+
+class TestAes192:
+    def test_gcm_with_192_bit_key(self):
+        gcm = AesGcm(b"\x21" * 24)
+        ct, tag = gcm.encrypt(NONCE, b"with a 192-bit key")
+        assert gcm.decrypt(NONCE, ct, tag) == b"with a 192-bit key"

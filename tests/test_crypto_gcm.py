@@ -1,0 +1,167 @@
+"""AES-GCM and GHASH validated against NIST SP 800-38D test vectors."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.gcm import AesGcm, AuthenticationError
+from repro.crypto.ghash import Ghash, gf128_mul
+
+
+class TestGhash:
+    def test_table_mul_matches_bitwise_mul(self):
+        h = int.from_bytes(bytes(range(16)), "big")
+        ghash = Ghash(h)
+        for seed in (1, 0xDEADBEEF, (1 << 128) - 1, 0x80 << 120):
+            assert ghash._mul_h(seed) == gf128_mul(h, seed)
+
+    def test_mul_identity(self):
+        # The GCM multiplicative identity is the x^0 element: MSB set.
+        one = 0x80 << 120
+        h = 0x123456789ABCDEF0123456789ABCDEF0
+        assert gf128_mul(h, one) == h
+
+    def test_incremental_equals_one_shot(self):
+        h = int.from_bytes(b"\x42" * 16, "big")
+        data = bytes(range(256)) * 3
+        whole = Ghash(h)
+        whole.update(data)
+        pieces = Ghash(h)
+        for off in range(0, len(data), 7):
+            pieces.update(data[off : off + 7])
+        assert whole.digest() == pieces.digest()
+
+
+# NIST SP 800-38D / original GCM spec test cases.
+NIST_CASES = [
+    # (key, iv, plaintext, aad, ciphertext, tag) - all hex
+    (  # Test Case 1: empty plaintext
+        "00000000000000000000000000000000",
+        "000000000000000000000000",
+        "",
+        "",
+        "",
+        "58e2fccefa7e3061367f1d57a4e7455a",
+    ),
+    (  # Test Case 2: single zero block
+        "00000000000000000000000000000000",
+        "000000000000000000000000",
+        "00000000000000000000000000000000",
+        "",
+        "0388dace60b6a392f328c2b971b2fe78",
+        "ab6e47d42cec13bdf53a67b21257bddf",
+    ),
+    (  # Test Case 3: four blocks
+        "feffe9928665731c6d6a8f9467308308",
+        "cafebabefacedbaddecaf888",
+        "d9313225f88406e5a55909c5aff5269a"
+        "86a7a9531534f7da2e4c303d8a318a72"
+        "1c3c0c95956809532fcf0e2449a6b525"
+        "b16aedf5aa0de657ba637b391aafd255",
+        "",
+        "42831ec2217774244b7221b784d0d49c"
+        "e3aa212f2c02a4e035c17e2329aca12e"
+        "21d514b25466931c7d8f6a5aac84aa05"
+        "1ba30b396a0aac973d58e091473f5985",
+        "4d5c2af327cd64a62cf35abd2ba6fab4",
+    ),
+    (  # Test Case 4: with AAD, partial final block
+        "feffe9928665731c6d6a8f9467308308",
+        "cafebabefacedbaddecaf888",
+        "d9313225f88406e5a55909c5aff5269a"
+        "86a7a9531534f7da2e4c303d8a318a72"
+        "1c3c0c95956809532fcf0e2449a6b525"
+        "b16aedf5aa0de657ba637b39",
+        "feedfacedeadbeeffeedfacedeadbeefabaddad2",
+        "42831ec2217774244b7221b784d0d49c"
+        "e3aa212f2c02a4e035c17e2329aca12e"
+        "21d514b25466931c7d8f6a5aac84aa05"
+        "1ba30b396a0aac973d58e091",
+        "5bc94fbc3221a5db94fae95ae7121a47",
+    ),
+]
+
+
+class TestNistVectors:
+    @pytest.mark.parametrize("case", NIST_CASES, ids=lambda c: f"len{len(c[2]) // 2}")
+    def test_encrypt(self, case):
+        key, iv, pt, aad, ct, tag = (bytes.fromhex(x) for x in case)
+        got_ct, got_tag = AesGcm(key).encrypt(iv, pt, aad)
+        assert got_ct == ct
+        assert got_tag == tag
+
+    @pytest.mark.parametrize("case", NIST_CASES, ids=lambda c: f"len{len(c[2]) // 2}")
+    def test_decrypt(self, case):
+        key, iv, pt, aad, ct, tag = (bytes.fromhex(x) for x in case)
+        assert AesGcm(key).decrypt(iv, ct, tag, aad) == pt
+
+
+class TestIncremental:
+    def test_chunked_encrypt_matches_one_shot(self):
+        gcm = AesGcm(b"k" * 16)
+        nonce = b"n" * 12
+        data = bytes(range(256)) * 5
+        one_ct, one_tag = gcm.encrypt(nonce, data)
+        enc = gcm.encryptor(nonce)
+        chunks = [data[:100], data[100:101], data[101:1000], data[1000:]]
+        ct = b"".join(enc.update(c) for c in chunks)
+        assert ct == one_ct
+        assert enc.finalize() == one_tag
+
+    def test_chunked_decrypt_matches_one_shot(self):
+        gcm = AesGcm(b"k" * 16)
+        nonce = b"n" * 12
+        data = b"payload bytes" * 99
+        ct, tag = gcm.encrypt(nonce, data)
+        dec = gcm.decryptor(nonce)
+        pt = b"".join(dec.update(ct[i : i + 37]) for i in range(0, len(ct), 37))
+        dec.finalize(tag)  # must not raise
+        assert pt == data
+
+    def test_tampered_ciphertext_fails_auth(self):
+        gcm = AesGcm(b"k" * 16)
+        ct, tag = gcm.encrypt(b"n" * 12, b"secret data here")
+        bad = bytes([ct[0] ^ 1]) + ct[1:]
+        with pytest.raises(AuthenticationError):
+            gcm.decrypt(b"n" * 12, bad, tag)
+
+    def test_wrong_nonce_fails_auth(self):
+        gcm = AesGcm(b"k" * 16)
+        ct, tag = gcm.encrypt(b"n" * 12, b"secret data here")
+        with pytest.raises(AuthenticationError):
+            gcm.decrypt(b"m" * 12, ct, tag)
+
+    def test_wrong_aad_fails_auth(self):
+        gcm = AesGcm(b"k" * 16)
+        ct, tag = gcm.encrypt(b"n" * 12, b"secret data here", aad=b"header")
+        with pytest.raises(AuthenticationError):
+            gcm.decrypt(b"n" * 12, ct, tag, aad=b"HEADER")
+
+    def test_bad_nonce_size(self):
+        with pytest.raises(ValueError):
+            AesGcm(b"k" * 16).encryptor(b"short")
+
+
+class TestProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        key=st.binary(min_size=16, max_size=16),
+        nonce=st.binary(min_size=12, max_size=12),
+        data=st.binary(min_size=0, max_size=300),
+        aad=st.binary(min_size=0, max_size=40),
+    )
+    def test_round_trip(self, key, nonce, data, aad):
+        gcm = AesGcm(key)
+        ct, tag = gcm.encrypt(nonce, data, aad)
+        assert len(ct) == len(data)  # size-preserving (paper Table 3)
+        assert gcm.decrypt(nonce, ct, tag, aad) == data
+
+    @settings(max_examples=10, deadline=None)
+    @given(data=st.binary(min_size=1, max_size=200), cut=st.integers(min_value=0, max_value=200))
+    def test_any_split_point_matches(self, data, cut):
+        cut = min(cut, len(data))
+        gcm = AesGcm(b"\x01" * 16)
+        whole_ct, whole_tag = gcm.encrypt(b"\x02" * 12, data)
+        enc = gcm.encryptor(b"\x02" * 12)
+        ct = enc.update(data[:cut]) + enc.update(data[cut:])
+        assert ct == whole_ct
+        assert enc.finalize() == whole_tag

@@ -1,0 +1,91 @@
+"""CUBIC congestion control tests."""
+
+import pytest
+
+from helpers import make_pair
+from repro.net.host import Host
+from repro.net.link import Link, LinkConfig
+from repro.sim import Simulator
+from repro.tcp.cc import CC_ALGORITHMS, CubicCc, RenoCc, make_cc
+
+
+class TestCubicUnit:
+    def test_slow_start_like_reno(self):
+        clock = [0.0]
+        cc = CubicCc(mss=1000, clock=lambda: clock[0])
+        start = cc.cwnd
+        cc.on_ack(1000)
+        assert cc.cwnd == start + 1000
+
+    def test_beta_reduction_on_loss(self):
+        cc = CubicCc(mss=1000, clock=lambda: 0.0)
+        cc.enter_recovery(flight_bytes=100_000, snd_nxt=1)
+        assert cc.ssthresh == 70_000  # beta = 0.7 vs Reno's 0.5
+        assert cc.in_recovery
+
+    def test_cubic_growth_accelerates_past_k(self):
+        clock = [0.0]
+        cc = CubicCc(mss=1000, clock=lambda: clock[0])
+        cc.enter_recovery(100_000, 1)
+        cc.exit_recovery()
+        # Congestion avoidance: sample growth right after the reduction
+        # (concave, slow) vs far past K (convex, fast).
+        growth = []
+        for t in (0.05, 20.0):
+            clock[0] = t
+            before = cc.cwnd
+            for _ in range(20):
+                cc.on_ack(1000)
+            growth.append(cc.cwnd - before)
+        assert growth[1] > growth[0]
+
+    def test_timeout_resets_epoch(self):
+        cc = CubicCc(mss=1000, clock=lambda: 1.0)
+        cc.on_timeout(50_000)
+        assert cc.cwnd == 1000
+        assert cc._epoch_start < 0
+
+    def test_factory(self):
+        assert isinstance(make_cc("reno"), RenoCc)
+        assert isinstance(make_cc("cubic", clock=lambda: 0.0), CubicCc)
+        assert not isinstance(make_cc("reno"), CubicCc)
+        with pytest.raises(ValueError):
+            make_cc("bbr")
+        assert set(CC_ALGORITHMS) == {"reno", "cubic"}
+
+
+class TestCubicEndToEnd:
+    def _transfer(self, cc_name, loss=0.0, seed=2):
+        sim = Simulator(seed=seed)
+        client = Host(sim, "client", tcp_congestion_control=cc_name)
+        server = Host(sim, "server", tcp_congestion_control=cc_name)
+        link = Link(sim, config_ab=LinkConfig(loss=loss), config_ba=LinkConfig())
+        client.attach_link(link, "a")
+        server.attach_link(link, "b")
+        received = bytearray()
+        server.tcp.listen(80, lambda conn: setattr(conn, "on_data", lambda skb: received.extend(skb.data)))
+        conn = client.tcp.connect("server", 80)
+        payload = bytes(i % 256 for i in range(400_000))
+        sent = {"n": 0}
+
+        def feed():
+            while sent["n"] < len(payload):
+                n = conn.send(payload[sent["n"] : sent["n"] + 65536])
+                if n == 0:
+                    return
+                sent["n"] += n
+
+        conn.on_established = feed
+        conn.on_writable = feed
+        sim.run(until=10.0)
+        return bytes(received), payload, conn
+
+    def test_cubic_transfers_correctly(self):
+        received, payload, conn = self._transfer("cubic")
+        assert received == payload
+        assert isinstance(conn.cc, CubicCc)
+
+    def test_cubic_survives_loss(self):
+        received, payload, conn = self._transfer("cubic", loss=0.03, seed=5)
+        assert received == payload
+        assert conn.retransmitted_packets > 0

@@ -1,0 +1,176 @@
+"""Tests for the LZSS codec and the inline decompression offload (§7)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from helpers import make_pair
+from repro.core.context import HwContext
+from repro.core.types import Direction, ProtocolError
+from repro.core.walker import walk
+from repro.crypto.crc import Crc32c
+from repro.l5p.decomp import CompressedStream, DecompAdapter, make_message
+from repro.net.packet import FlowKey
+from repro.nic import OffloadNic
+from repro.util.lzss import StreamingDecoder, compress, decompress
+
+
+class TestLzss:
+    def test_round_trip_basics(self):
+        for data in (b"", b"a", b"ab" * 2000, b"the quick brown fox " * 100):
+            assert decompress(compress(data)) == data
+
+    def test_compresses_redundancy(self):
+        data = b"redundant-block!" * 500
+        assert len(compress(data)) < len(data) // 4
+
+    def test_incompressible_grows_bounded(self):
+        import random
+
+        data = bytes(random.Random(3).randrange(256) for _ in range(4096))
+        assert len(compress(data)) <= len(data) + len(data) // 8 + 16
+
+    def test_streaming_matches_one_shot(self):
+        data = b"abcdefg" * 700
+        comp = compress(data)
+        dec = StreamingDecoder()
+        out = b"".join(dec.update(comp[i : i + 5]) for i in range(0, len(comp), 5))
+        assert out == data
+        assert dec.at_token_boundary
+
+    def test_far_match_beyond_window_rejected(self):
+        dec = StreamingDecoder()
+        with pytest.raises(ValueError):
+            dec.update(bytes([0b00000001, 0xFF, 0xFF]))  # match with empty window
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.binary(max_size=2000), chop=st.integers(min_value=1, max_value=64))
+    def test_round_trip_property(self, data, chop):
+        comp = compress(data)
+        dec = StreamingDecoder()
+        out = b"".join(dec.update(comp[i : i + chop]) for i in range(0, len(comp), chop))
+        assert out == data
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_repetitive_data_property(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        words = [bytes([rng.randrange(97, 123)]) * rng.randrange(1, 9) for _ in range(8)]
+        data = b"".join(rng.choice(words) for _ in range(400))
+        assert decompress(compress(data)) == data
+
+
+FLOW = FlowKey("a", 1, "b", 2)
+
+
+class TestDecompAdapter:
+    def test_tx_offload_rejected(self):
+        """Table 3: non-size-preserving operations cannot offload on TX."""
+        adapter = DecompAdapter()
+        ctx = HwContext(1, FLOW, Direction.TX, adapter, None, tcpsn=0)
+        with pytest.raises(ProtocolError):
+            walk(ctx, make_message(b"data" * 100, Crc32c))
+
+    def test_rx_places_decompressed_output(self):
+        from collections import deque
+
+        adapter = DecompAdapter()
+        ctx = HwContext(2, FLOW, Direction.RX, adapter, None, tcpsn=0)
+        ctx.rr_state["_pool"] = deque([bytearray(1 << 16)])
+        plain = b"compress me! " * 300
+        wire = make_message(plain, Crc32c, msg_id=7)
+        result = walk(ctx, wire)
+        assert result.all_ok
+        buffer, length = ctx.rr_state["_results"][7]
+        assert bytes(buffer[:length]) == plain
+        # And the wire bytes were passed through unmodified (TCP sees
+        # preserved sizes — the §3.1 receive-side trick).
+        assert result.out == wire
+
+    def test_no_pool_buffer_flags_failure(self):
+        adapter = DecompAdapter()
+        ctx = HwContext(3, FLOW, Direction.RX, adapter, None, tcpsn=0)
+        wire = make_message(b"x" * 500, Crc32c)
+        result = walk(ctx, wire)
+        assert result.all_ok  # digest still verified
+        assert adapter.place_failures > 0
+        assert "_results" not in ctx.rr_state
+
+
+def stream_pair(offload, **kwargs):
+    kwargs.setdefault("client_nic", OffloadNic())
+    kwargs.setdefault("server_nic", OffloadNic())
+    pair = make_pair(**kwargs)
+    out = []
+    streams = {}
+
+    def on_accept(conn):
+        rx = CompressedStream(pair.server, conn, "receiver", offload=offload)
+        rx.on_message = out.append
+        streams["rx"] = rx
+
+    pair.server.tcp.listen(1234, on_accept)
+    conn = pair.client.tcp.connect("server", 1234)
+    tx = CompressedStream(pair.client, conn, "sender")
+    return pair, tx, streams, out, conn
+
+
+class TestCompressedStreamE2E:
+    MESSAGES = [b"hello compression world! " * 200, b"\x00" * 5000, b"abc" * 1000]
+
+    def _send_all(self, pair, tx, conn):
+        def feed():
+            while self.MESSAGES and tx.stats["tx"] < len(self.MESSAGES):
+                if tx.send(self.MESSAGES[tx.stats["tx"]]) == 0:
+                    return
+
+        tx.on_ready = feed
+        conn.on_writable = feed
+
+    def test_software_round_trip(self):
+        pair, tx, streams, out, conn = stream_pair(offload=False)
+        self._send_all(pair, tx, conn)
+        pair.sim.run(until=1.0)
+        assert out == self.MESSAGES
+        assert streams["rx"].stats["rx_software"] == len(self.MESSAGES)
+
+    def test_offloaded_round_trip_skips_software_decompress(self):
+        pair, tx, streams, out, conn = stream_pair(offload=True)
+        self._send_all(pair, tx, conn)
+        pair.sim.run(until=1.0)
+        assert out == self.MESSAGES
+        assert streams["rx"].stats["rx_placed"] == len(self.MESSAGES)
+        assert streams["rx"].stats["rx_software"] == 0
+        cats = pair.server.cpu.cycles_by_category()
+        assert cats.get("compress", 0) == 0  # no decompression cycles
+
+    def test_offload_survives_loss_with_fallback(self):
+        import random
+
+        pair, tx, streams, out, conn = stream_pair(offload=True, seed=13, loss_to_server=0.03)
+        rng = random.Random(99)
+        # Barely-compressible content: each message spans many packets,
+        # so losses tear messages and force software fallback.
+        messages = [rng.randbytes(20_000) for i in range(20)]
+        sent = {"n": 0}
+
+        def feed():
+            while sent["n"] < len(messages):
+                if tx.send(messages[sent["n"]]) == 0:
+                    return
+                sent["n"] += 1
+
+        tx.on_ready = feed
+        conn.on_writable = feed
+        pair.sim.run(until=10.0)
+        assert out == messages
+        rx = streams["rx"]
+        assert rx.stats["rx_software"] > 0  # some messages fell back
+        assert rx.stats["rx_placed"] + rx.stats["rx_software"] == len(messages)
+
+    def test_oversized_message_rejected(self):
+        pair, tx, streams, out, conn = stream_pair(offload=False)
+        pair.sim.run(until=0.1)
+        with pytest.raises(ValueError):
+            tx.send(b"x" * (tx.max_plain + 1))

@@ -1,0 +1,135 @@
+"""DPI offload tests (§7): Aho-Corasick correctness, streaming across
+packets, and NIC-side scanning with per-packet match metadata."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.context import HwContext
+from repro.core.types import Direction
+from repro.core.walker import walk
+from repro.l5p.dpi import DpiAdapter, PatternSet, make_message
+from repro.net.host import Host
+from repro.net.packet import FlowKey, Packet
+from repro.nic import OffloadNic
+from repro.sim import Simulator
+
+FLOW = FlowKey("src", 1, "dst", 2)
+
+
+def naive_matches(patterns, data):
+    found = set()
+    for i, p in enumerate(patterns):
+        if p in data:
+            found.add(i)
+    return found
+
+
+class TestPatternSet:
+    def test_single_pattern(self):
+        ps = PatternSet([b"needle"])
+        _, found = ps.scan(b"hay needle hay")
+        assert found == {0}
+        _, found = ps.scan(b"hay hay hay")
+        assert found == set()
+
+    def test_overlapping_patterns(self):
+        ps = PatternSet([b"he", b"she", b"hers", b"his"])
+        _, found = ps.scan(b"ushers")
+        assert found == {0, 1, 2}  # classic Aho-Corasick example
+
+    def test_streaming_equals_one_shot(self):
+        ps = PatternSet([b"abcabd", b"cab"])
+        data = b"xxabcabdyycabzz"
+        state = 0
+        found = set()
+        for i in range(0, len(data), 3):
+            state, out = ps.scan(data[i : i + 3], state)
+            found |= out
+        assert found == {0, 1}
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            PatternSet([b""])
+        with pytest.raises(ValueError):
+            PatternSet([])
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        patterns=st.lists(st.binary(min_size=1, max_size=6), min_size=1, max_size=5, unique=True),
+        data=st.binary(max_size=300),
+        chop=st.integers(min_value=1, max_value=32),
+    )
+    def test_matches_naive_search(self, patterns, data, chop):
+        ps = PatternSet(patterns)
+        state = 0
+        found = set()
+        for i in range(0, len(data), chop):
+            state, out = ps.scan(data[i : i + chop], state)
+            found |= out
+        assert found == naive_matches(patterns, data)
+
+
+class DpiRxHarness:
+    def __init__(self, patterns):
+        self.sim = Simulator()
+        self.nic = OffloadNic()
+        self.host = Host(self.sim, "dst", nic=self.nic)
+        self.delivered = []
+        self.host.deliver = self.delivered.append
+        self.adapter = DpiAdapter(PatternSet(patterns))
+        self.ctx = self.nic.driver.l5o_create(
+            _FakeConn(), self.adapter, None, tcpsn=0, direction=Direction.RX, l5p_ops=None
+        )
+
+    def rx(self, seq, payload):
+        pkt = Packet(FLOW, seq=seq, payload=payload)
+        self.nic.receive(pkt)
+        return self.delivered[-1]
+
+
+class _FakeConn:
+    flow = FLOW.reversed()
+    tx_ctx_id = None
+
+
+class TestDpiOffload:
+    def test_match_reported_in_packet_metadata(self):
+        h = DpiRxHarness([b"malware-sig"])
+        stream = make_message(b"clean " * 20) + make_message(b"... malware-sig ...")
+        out1 = h.rx(0, stream[:100])
+        out2 = h.rx(100, stream[100:])
+        assert out1.meta.crc_ok and not out1.meta.placed  # scanned, no hit
+        assert out2.meta.crc_ok and out2.meta.placed  # the hit packet
+
+    def test_pattern_split_across_packets(self):
+        h = DpiRxHarness([b"SPLITPATTERN"])
+        msg = make_message(b"x" * 50 + b"SPLITPATTERN" + b"y" * 50)
+        cut = 7 + 50 + 5  # mid-pattern
+        first = h.rx(0, msg[:cut])
+        second = h.rx(cut, msg[cut:])
+        assert not first.meta.placed
+        assert second.meta.placed  # completion packet reports the match
+
+    def test_no_match_across_message_boundary(self):
+        """Patterns never match across messages (§7): 'AB' ending one
+        message and starting the next must not fire."""
+        h = DpiRxHarness([b"ABAB"])
+        stream = make_message(b"xxAB") + make_message(b"ABxx")
+        out = h.rx(0, stream)
+        assert not out.meta.placed
+
+    def test_oos_packet_not_scanned(self):
+        h = DpiRxHarness([b"evil"])
+        stream = make_message(b"a" * 300 + b"evil" + b"b" * 300)
+        h.rx(0, stream[:100])
+        out = h.rx(200, stream[200:300])  # hole at 100..200
+        assert not out.meta.crc_ok  # bypassed: software must scan
+        assert not out.meta.offloaded
+
+    def test_walker_counts_matches(self):
+        adapter = DpiAdapter(PatternSet([b"hit"]))
+        ctx = HwContext(1, FLOW, Direction.RX, adapter, None, tcpsn=0)
+        stream = b"".join(make_message(b"hit me " * 3) for _ in range(4))
+        result = walk(ctx, stream)
+        assert result.completed == 4
+        assert adapter.total_matches >= 4

@@ -1,0 +1,117 @@
+"""Failure injection across the stack: corrupted wire bytes must be
+detected by every L5P, offloaded or not, and errors must surface."""
+
+import pytest
+
+from helpers import make_pair
+from repro.l5p.nvme_tcp import NvmeConfig, NvmeTcpHost, NvmeTcpTarget
+from repro.l5p.rpc import RpcClient, RpcConfig, RpcServer
+from repro.l5p.tls import KtlsSocket, TlsConfig
+from repro.nic import OffloadNic
+from repro.storage.blockdev import BlockDevice
+
+
+def corrupting_link(pair, side, predicate, mutate):
+    """Wrap one link direction: packets matching predicate get mutated."""
+    port = pair.link.ab if side == "b" else pair.link.ba
+    original = port.receiver
+    state = {"hits": 0}
+
+    def wrapped(pkt):
+        if predicate(pkt, state):
+            mutate(pkt)
+            state["hits"] += 1
+        original(pkt)
+
+    pair.link.attach(side, wrapped)
+    return state
+
+
+def flip_payload_byte(offset=50):
+    def mutate(pkt):
+        data = bytearray(pkt.payload)
+        data[offset % len(data)] ^= 0xFF
+        pkt.payload = bytes(data)
+
+    return mutate
+
+
+class TestTlsCorruption:
+    @pytest.mark.parametrize("rx_offload", [False, True], ids=["software", "offloaded"])
+    def test_corrupted_record_detected(self, rx_offload):
+        pair = make_pair(client_nic=OffloadNic(), server_nic=OffloadNic())
+        errors = []
+        received = bytearray()
+
+        def on_accept(conn):
+            tls = KtlsSocket(pair.server, conn, "server", TlsConfig(rx_offload=rx_offload))
+            tls.on_data = received.extend
+            tls.on_error = errors.append
+
+        pair.server.tcp.listen(443, on_accept)
+        conn = pair.client.tcp.connect("server", 443)
+        client = KtlsSocket(pair.client, conn, "client", TlsConfig(tx_offload=True))
+        payload = b"sensitive!" * 2000
+        client.on_ready = lambda: client.send(payload)
+
+        # Corrupt the first full-size record-bearing packet.
+        def first_big(pkt, state):
+            if len(pkt.payload) > 900 and not state.get("hit"):
+                state["hit"] = True
+                return True
+            return False
+
+        state = corrupting_link(pair, "b", first_big, flip_payload_byte())
+        pair.sim.run(until=1.0)
+        assert state["hits"] == 1
+        assert errors, "authentication failure must surface"
+        assert bytes(received) != payload
+
+
+class TestNvmeCorruption:
+    def test_corrupted_read_payload_fails_request(self):
+        pair = make_pair(client_nic=OffloadNic(), server_nic=OffloadNic())
+        device = BlockDevice(pair.sim)
+        NvmeTcpTarget(pair.server, device, config=NvmeConfig()).start()
+        nvme = NvmeTcpHost(pair.client, config=NvmeConfig())
+        nvme.connect("server")
+        outcome = {}
+
+        def go():
+            nvme.read(0, 65536, lambda data, lat: outcome.setdefault("data", data))
+
+        nvme.on_ready = go
+
+        def first_big(pkt, state):
+            if len(pkt.payload) > 1000 and not state.get("hit"):
+                state["hit"] = True
+                return True
+            return False
+
+        # Corrupt one C2HData-bearing packet toward the initiator.
+        corrupting_link(pair, "a", first_big, flip_payload_byte())
+        with pytest.raises(RuntimeError, match="failed"):
+            pair.sim.run(until=2.0)
+        assert "data" not in outcome
+        assert nvme.stats.digest_failures > 0
+
+
+class TestRpcCorruption:
+    def test_corrupted_response_counted_not_delivered(self):
+        pair = make_pair(client_nic=OffloadNic(), server_nic=OffloadNic())
+        server = RpcServer(pair.server, port=7000)
+        server.register(1, lambda args: b"\x5a" * 30_000)
+        client = RpcClient(pair.client, "server", port=7000, config=RpcConfig())
+        got = []
+        client.call(1, {}, lambda v, lat: got.append(v))
+
+        def first_big(pkt, state):
+            if len(pkt.payload) > 1000 and not state.get("hit"):
+                state["hit"] = True
+                return True
+            return False
+
+        corrupting_link(pair, "a", first_big, flip_payload_byte())
+        pair.sim.run(until=1.0)
+        assert got == []  # corrupt response dropped
+        assert client.stats["errors"] == 1

@@ -1,0 +1,84 @@
+"""Tests for the harness (testbed, reporting) and embedded datasets."""
+
+import pytest
+
+from repro.data.linux_loc import modified_by_year, modified_fraction_range, totals_by_year
+from repro.data.nic_prices import CONNECTX_OFFLOADS, price_determinants_hold, price_spread_by_class
+from repro.harness.report import Table, ratio_label, series
+from repro.harness.testbed import Testbed, TestbedConfig
+
+
+class TestTestbed:
+    def test_builds_and_runs(self):
+        tb = Testbed(TestbedConfig(seed=5, server_cores=2))
+        assert len(tb.server.cpu.cores) == 2
+        assert len(tb.generator.cpu.cores) == 12
+        tb.run(until=0.001)
+        assert tb.sim.now == pytest.approx(0.001)
+
+    def test_traffic_flows_between_hosts(self):
+        tb = Testbed(TestbedConfig())
+        got = []
+        tb.generator.tcp.listen(80, lambda conn: setattr(conn, "on_data", lambda skb: got.append(skb.data)))
+        conn = tb.server.tcp.connect("generator", 80)
+        conn.on_established = lambda: conn.send(b"ping")
+        tb.run(until=0.01)
+        assert b"".join(got) == b"ping"
+
+    def test_reset_measurement_clears_counters(self):
+        tb = Testbed(TestbedConfig())
+        tb.server.cpu.cores[0].charge(1000, "x")
+        tb.server.nic.pcie.count("recovery", 10)
+        tb.reset_measurement()
+        assert tb.server.cpu.total_cycles == 0
+        assert tb.server.nic.pcie.total_bytes() == 0
+
+    def test_fault_injection_configured_per_direction(self):
+        tb = Testbed(TestbedConfig(loss_to_server=0.5))
+        assert tb.link.ba.config.loss == 0.5
+        assert tb.link.ab.config.loss == 0.0
+
+
+class TestReport:
+    def test_table_renders_aligned(self):
+        t = Table(["a", "bbbb"], title="T")
+        t.row(1, 2.5)
+        t.row("xx", 123456.0)
+        out = t.render()
+        lines = out.split("\n")
+        assert lines[0] == "T"
+        assert len({len(line) for line in lines[1:]}) == 1
+
+    def test_table_rejects_wrong_arity(self):
+        with pytest.raises(ValueError):
+            Table(["a"]).row(1, 2)
+
+    def test_ratio_label(self):
+        assert ratio_label(144, 100) == "+44%"
+        assert ratio_label(270, 100) == "2.7x"
+        assert ratio_label(90, 100) == "-10%"
+        assert ratio_label(1, 0) == "n/a"
+
+    def test_series(self):
+        assert series("s", [1, 2], [3.0, 4.0]) == "s: 1:3  2:4"
+
+
+class TestDatasets:
+    def test_linux_loc_shapes(self):
+        totals = totals_by_year()
+        modified = modified_by_year()
+        assert len(totals) == len(modified) == 10
+        assert all(m < t for (_, t), (_, m) in zip(totals, modified))
+        lo, hi = modified_fraction_range()
+        assert 0.05 <= lo < hi <= 0.25
+
+    def test_nic_price_claims(self):
+        assert price_determinants_hold()
+        spread = price_spread_by_class()
+        assert spread  # several classes span generations
+        assert all(hi >= lo for lo, hi in spread.values())
+
+    def test_offload_table_generations_ordered(self):
+        gens = sorted(CONNECTX_OFFLOADS)
+        years = [CONNECTX_OFFLOADS[g][0] for g in gens]
+        assert years == sorted(years)

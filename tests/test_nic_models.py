@@ -1,0 +1,88 @@
+"""NIC hardware model tests: context cache and PCIe accounting."""
+
+import pytest
+
+from repro.core.context import CONTEXT_BYTES, HwContext
+from repro.core.types import Direction
+from repro.net.packet import FlowKey
+from repro.nic.cache import ContextCache
+from repro.nic.pcie import PCIE_GEN3_X16_BPS, PcieModel
+from toy_l5p import ToyAdapter
+
+
+def ctx(i):
+    flow = FlowKey("a", i, "b", 1)
+    return HwContext(i, flow, Direction.RX, ToyAdapter(), None, tcpsn=0)
+
+
+class TestContextCache:
+    def test_hit_after_insert(self):
+        cache = ContextCache(PcieModel(), capacity_bytes=10 * CONTEXT_BYTES)
+        c = ctx(1)
+        assert cache.access(c) is False  # cold miss
+        assert cache.access(c) is True
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_lru_eviction(self):
+        cache = ContextCache(PcieModel(), capacity_bytes=2 * CONTEXT_BYTES)
+        a, b, c = ctx(1), ctx(2), ctx(3)
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)  # refresh a
+        cache.access(c)  # evicts b
+        assert cache.access(a) is True
+        assert cache.access(b) is False
+
+    def test_miss_counts_pcie_context_bytes(self):
+        pcie = PcieModel()
+        cache = ContextCache(pcie, capacity_bytes=CONTEXT_BYTES)
+        cache.access(ctx(1))
+        assert pcie.bytes_by_category["context"] == CONTEXT_BYTES
+        cache.access(ctx(2))  # miss + eviction writeback
+        assert pcie.bytes_by_category["context"] == 3 * CONTEXT_BYTES
+
+    def test_capacity_matches_paper(self):
+        cache = ContextCache(PcieModel())  # defaults: 4 MiB / 208 B
+        assert 19_000 < cache.capacity_entries < 21_000
+
+    def test_evict_removes(self):
+        cache = ContextCache(PcieModel())
+        c = ctx(9)
+        cache.access(c)
+        cache.evict(c)
+        assert cache.access(c) is False
+
+    def test_miss_rate(self):
+        cache = ContextCache(PcieModel())
+        c = ctx(1)
+        cache.access(c)
+        cache.access(c)
+        cache.access(c)
+        assert cache.miss_rate == pytest.approx(1 / 3)
+
+
+class TestPcieModel:
+    def test_counts_by_category(self):
+        pcie = PcieModel()
+        pcie.count("recovery", 1000)
+        pcie.count("recovery", 500)
+        pcie.count("rx-packet", 100)
+        assert pcie.bytes_by_category["recovery"] == 1500
+        assert pcie.total_bytes() == 1600
+
+    def test_utilization(self):
+        pcie = PcieModel()
+        # Fill 1% of a second's capacity.
+        pcie.count("recovery", int(PCIE_GEN3_X16_BPS / 8 / 100))
+        assert pcie.utilization("recovery", 1.0) == pytest.approx(0.01, rel=1e-3)
+        assert pcie.utilization("recovery", 0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            PcieModel().count("recovery", -1)
+
+    def test_reset(self):
+        pcie = PcieModel()
+        pcie.count("descriptor", 64)
+        pcie.reset_stats()
+        assert pcie.total_bytes() == 0

@@ -1,0 +1,262 @@
+"""End-to-end NVMe-TCP tests: reads/writes over the simulated fabric,
+CRC and copy offloads, fault resilience, and the NVMe-TLS composition."""
+
+import pytest
+
+from helpers import make_pair
+from repro.l5p.nvme_tcp import NvmeConfig, NvmeTcpHost, NvmeTcpTarget
+from repro.l5p.tls.ktls import TlsConfig
+from repro.nic import OffloadNic
+from repro.storage.blockdev import BlockDevice
+
+
+def nvme_pair(
+    seed=0,
+    host_cfg=None,
+    target_cfg=None,
+    host_tls=None,
+    target_tls=None,
+    loss_to_client=0.0,
+    reorder_to_client=0.0,
+    loss_to_server=0.0,
+    client_cores=1,
+    server_cores=4,
+):
+    """Client = initiator, server = target machine with the drive."""
+    pair = make_pair(
+        seed=seed,
+        client_cores=client_cores,
+        server_cores=server_cores,
+        loss_to_client=loss_to_client,
+        reorder_to_client=reorder_to_client,
+        loss_to_server=loss_to_server,
+        client_nic=OffloadNic(),
+        server_nic=OffloadNic(),
+    )
+    device = BlockDevice(pair.sim)
+    target = NvmeTcpTarget(pair.server, device, config=target_cfg or NvmeConfig(), tls=target_tls)
+    target.start()
+    initiator = NvmeTcpHost(pair.client, config=host_cfg or NvmeConfig(), tls=host_tls)
+    initiator.connect("server", on_ready=None)
+    return pair, initiator, target, device
+
+
+def run_reads(pair, initiator, offsets_lengths, until=10.0):
+    results = {}
+
+    def issue():
+        for i, (off, length) in enumerate(offsets_lengths):
+            initiator.read(off, length, lambda data, lat, i=i: results.__setitem__(i, (data, lat)))
+
+    if initiator.ready:
+        issue()
+    else:
+        initiator.on_ready = issue
+    pair.sim.run(until=until)
+    return results
+
+
+SOFT = NvmeConfig()
+OFF_RX = NvmeConfig(rx_offload_crc=True, rx_offload_copy=True)
+OFF_TX = NvmeConfig(tx_offload=True)
+OFF_ALL = NvmeConfig(tx_offload=True, rx_offload_crc=True, rx_offload_copy=True)
+
+
+class TestSoftwareNvme:
+    def test_read_returns_device_content(self):
+        pair, initiator, target, device = nvme_pair()
+        results = run_reads(pair, initiator, [(0, 4096), (8192, 16384)])
+        assert results[0][0] == device.peek(0, 4096)
+        assert results[1][0] == device.peek(8192, 16384)
+        assert initiator.stats.pdus_software > 0
+        assert initiator.stats.pdus_placed == 0
+
+    def test_write_then_read_round_trip(self):
+        pair, initiator, target, device = nvme_pair()
+        payload = bytes(i % 199 for i in range(32768))
+        done = {}
+
+        def go():
+            # NVMe gives no cross-command ordering: read after completion.
+            initiator.write(
+                4096,
+                payload,
+                lambda lat: initiator.read(
+                    4096, len(payload), lambda data, _lat: done.setdefault("r", data)
+                ),
+            )
+
+        initiator.on_ready = go
+        pair.sim.run(until=5.0)
+        assert done["r"] == payload
+        assert device.peek(4096, len(payload)) == payload
+
+    def test_large_read_spans_many_packets(self):
+        pair, initiator, target, device = nvme_pair()
+        results = run_reads(pair, initiator, [(0, 256 * 1024)])
+        assert results[0][0] == device.peek(0, 256 * 1024)
+
+    def test_queue_depth_limits_inflight(self):
+        cfg = NvmeConfig(queue_depth=4)
+        pair, initiator, target, device = nvme_pair(host_cfg=cfg, target_cfg=cfg)
+        seen = []
+        orig = initiator._issue
+
+        def spy(*args):
+            seen.append(initiator.inflight)
+            orig(*args)
+
+        initiator._issue = spy
+        results = run_reads(pair, initiator, [(i * 4096, 4096) for i in range(32)])
+        assert len(results) == 32
+        assert max(seen) <= 4
+
+    def test_latency_includes_drive_time(self):
+        pair, initiator, target, device = nvme_pair()
+        results = run_reads(pair, initiator, [(0, 65536)])
+        _, latency = results[0]
+        # Must be at least drive access + transfer + RTT.
+        assert latency > device.access_latency_s
+
+
+class TestOffloadedNvme:
+    def test_rx_offload_places_and_verifies(self):
+        pair, initiator, target, device = nvme_pair(host_cfg=OFF_RX, target_cfg=SOFT)
+        results = run_reads(pair, initiator, [(0, 131072), (131072, 65536)])
+        assert results[0][0] == device.peek(0, 131072)
+        assert results[1][0] == device.peek(131072, 65536)
+        assert initiator.stats.pdus_placed > 0
+
+    def test_rx_offload_skips_copy_and_crc_cycles(self):
+        def cycles(cfg):
+            pair, initiator, target, device = nvme_pair(host_cfg=cfg, target_cfg=SOFT, seed=7)
+            run_reads(pair, initiator, [(i * 65536, 65536) for i in range(16)])
+            cats = pair.client.cpu.cycles_by_category()
+            return cats.get("copy", 0) + cats.get("crc", 0)
+
+        assert cycles(OFF_RX) < cycles(SOFT) * 0.05
+
+    def test_tx_offload_fills_write_digest(self):
+        pair, initiator, target, device = nvme_pair(host_cfg=OFF_TX, target_cfg=SOFT)
+        payload = bytes(i % 97 for i in range(65536))
+        done = {}
+
+        def go():
+            initiator.write(0, payload, lambda lat: done.setdefault("w", True))
+
+        initiator.on_ready = go
+        pair.sim.run(until=5.0)
+        # The target verified the digest in software and accepted: the
+        # NIC must have produced a correct CRC.
+        assert done.get("w") is True
+        assert device.peek(0, len(payload)) == payload
+        stats = pair.client.nic.offload_stats()
+        assert stats["pkts_offloaded"] > 0
+
+    def test_target_tx_offload_serves_reads(self):
+        pair, initiator, target, device = nvme_pair(host_cfg=SOFT, target_cfg=OFF_TX)
+        results = run_reads(pair, initiator, [(0, 131072)])
+        # Host verifies the CRC the *target's* NIC computed.
+        assert results[0][0] == device.peek(0, 131072)
+        assert initiator.stats.digest_failures == 0
+
+
+class TestNvmeUnderFaults:
+    def test_reads_survive_loss_toward_initiator(self):
+        pair, initiator, target, device = nvme_pair(
+            host_cfg=OFF_RX, target_cfg=SOFT, seed=21, loss_to_client=0.02
+        )
+        results = run_reads(pair, initiator, [(i * 65536, 65536) for i in range(12)], until=30.0)
+        assert len(results) == 12
+        for i in range(12):
+            assert results[i][0] == device.peek(i * 65536, 65536)
+        # Some PDUs fell back to software.
+        assert initiator.stats.pdus_software > 0
+
+    def test_reads_survive_reordering(self):
+        pair, initiator, target, device = nvme_pair(
+            host_cfg=OFF_RX, target_cfg=SOFT, seed=22, reorder_to_client=0.03
+        )
+        results = run_reads(pair, initiator, [(i * 65536, 65536) for i in range(12)], until=30.0)
+        for i in range(12):
+            assert results[i][0] == device.peek(i * 65536, 65536)
+
+    def test_writes_survive_loss_with_tx_offload(self):
+        pair, initiator, target, device = nvme_pair(
+            host_cfg=OFF_TX, target_cfg=SOFT, seed=23, loss_to_server=0.02
+        )
+        payload = bytes(i % 251 for i in range(131072))
+        done = []
+
+        def go():
+            for i in range(6):
+                initiator.write(i * 131072, payload, lambda lat: done.append(lat))
+
+        initiator.on_ready = go
+        pair.sim.run(until=30.0)
+        assert len(done) == 6
+        for i in range(6):
+            assert device.peek(i * 131072, 131072) == payload
+        # Retransmissions forced TX context recoveries.
+        assert pair.client.nic.offload_stats()["tx_recoveries"] > 0
+
+
+TLS_OFF = TlsConfig(tx_offload=True, rx_offload=True)
+TLS_SOFT = TlsConfig()
+
+
+class TestNvmeTls:
+    def test_combined_offload_round_trip(self):
+        pair, initiator, target, device = nvme_pair(
+            host_cfg=OFF_ALL, target_cfg=OFF_ALL, host_tls=TLS_OFF, target_tls=TLS_OFF
+        )
+        results = run_reads(pair, initiator, [(0, 131072), (131072, 131072)])
+        assert results[0][0] == device.peek(0, 131072)
+        assert results[1][0] == device.peek(131072, 131072)
+        # The initiator's NIC decrypted AND placed (skipping software).
+        assert initiator.stats.pdus_placed > 0
+
+    def test_combined_software_round_trip(self):
+        pair, initiator, target, device = nvme_pair(
+            host_cfg=SOFT, target_cfg=SOFT, host_tls=TLS_SOFT, target_tls=TLS_SOFT
+        )
+        results = run_reads(pair, initiator, [(0, 65536)])
+        assert results[0][0] == device.peek(0, 65536)
+
+    def test_combined_write_path(self):
+        pair, initiator, target, device = nvme_pair(
+            host_cfg=OFF_ALL, target_cfg=OFF_ALL, host_tls=TLS_OFF, target_tls=TLS_OFF
+        )
+        payload = bytes(i % 103 for i in range(131072))
+        done = []
+        initiator.on_ready = lambda: initiator.write(0, payload, lambda lat: done.append(lat))
+        pair.sim.run(until=5.0)
+        assert done
+        assert device.peek(0, len(payload)) == payload
+
+    def test_combined_offload_survives_loss(self):
+        """Under loss the inner offload degrades but data stays correct."""
+        pair, initiator, target, device = nvme_pair(
+            host_cfg=OFF_ALL,
+            target_cfg=OFF_ALL,
+            host_tls=TLS_OFF,
+            target_tls=TLS_OFF,
+            seed=31,
+            loss_to_client=0.02,
+        )
+        results = run_reads(pair, initiator, [(i * 65536, 65536) for i in range(10)], until=40.0)
+        assert len(results) == 10
+        for i in range(10):
+            assert results[i][0] == device.peek(i * 65536, 65536)
+
+    def test_combined_offload_saves_cycles(self):
+        def client_cycles(nvme_cfg, tls_cfg):
+            pair, initiator, target, device = nvme_pair(
+                host_cfg=nvme_cfg, target_cfg=OFF_ALL, host_tls=tls_cfg, target_tls=TLS_OFF, seed=5
+            )
+            run_reads(pair, initiator, [(i * 131072, 131072) for i in range(8)])
+            return pair.client.cpu.total_cycles
+
+        soft = client_cycles(SOFT, TLS_SOFT)
+        combined = client_cycles(OFF_ALL, TLS_OFF)
+        assert combined < soft * 0.6

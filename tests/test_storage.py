@@ -1,0 +1,161 @@
+"""Storage substrate tests: block device timing/content, page cache,
+flat filesystem with read-ahead."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.storage.blockdev import BLOCK_SIZE, BlockDevice
+from repro.storage.fs import FlatFs
+from repro.storage.pagecache import PAGE_SIZE, PageCache
+
+
+class TestBlockDevice:
+    def test_read_delivers_deterministic_content(self):
+        sim = Simulator()
+        dev = BlockDevice(sim)
+        out = {}
+        dev.read(0, 8192, lambda data: out.setdefault("d", data))
+        sim.run()
+        assert out["d"] == dev.peek(0, 8192)
+        assert len(out["d"]) == 8192
+
+    def test_write_then_read(self):
+        sim = Simulator()
+        dev = BlockDevice(sim)
+        payload = bytes(range(256)) * 32
+        done = []
+        dev.write(4096, payload, lambda: done.append(True))
+        out = {}
+        dev.read(4096, len(payload), lambda data: out.setdefault("d", data))
+        sim.run()
+        assert done == [True]
+        assert out["d"] == payload
+
+    def test_unaligned_write_preserves_neighbors(self):
+        sim = Simulator()
+        dev = BlockDevice(sim)
+        before = dev.peek(0, 3 * BLOCK_SIZE)
+        dev.write(100, b"X" * 50, lambda: None)
+        sim.run()
+        after = dev.peek(0, 3 * BLOCK_SIZE)
+        assert after[:100] == before[:100]
+        assert after[100:150] == b"X" * 50
+        assert after[150:] == before[150:]
+
+    def test_bandwidth_bound_timing(self):
+        sim = Simulator()
+        dev = BlockDevice(sim, read_bw_bytes_per_s=1e9, access_latency_s=10e-6)
+        times = {}
+        dev.read(0, 1_000_000, lambda data: times.setdefault("t", sim.now))
+        sim.run()
+        # 1 MB at 1 GB/s = 1 ms, plus 10 us latency.
+        assert times["t"] == pytest.approx(1e-3 + 10e-6)
+
+    def test_reads_serialize_through_channel(self):
+        sim = Simulator()
+        dev = BlockDevice(sim, read_bw_bytes_per_s=1e9, access_latency_s=0.0)
+        times = []
+        dev.read(0, 1_000_000, lambda data: times.append(sim.now))
+        dev.read(0, 1_000_000, lambda data: times.append(sim.now))
+        sim.run()
+        assert times[1] == pytest.approx(2e-3)
+
+    def test_out_of_range_rejected(self):
+        dev = BlockDevice(Simulator(), capacity_bytes=1 << 20)
+        with pytest.raises(ValueError):
+            dev.read((1 << 20) - 10, 100, lambda d: None)
+
+
+class TestPageCache:
+    def test_hit_miss_accounting(self):
+        pc = PageCache()
+        assert pc.lookup(("f", 0)) is None
+        pc.insert(("f", 0), b"x" * PAGE_SIZE)
+        assert pc.lookup(("f", 0)) == b"x" * PAGE_SIZE
+        assert pc.hits == 1
+        assert pc.misses == 1
+
+    def test_capacity_evicts_lru(self):
+        pc = PageCache(capacity_bytes=2 * PAGE_SIZE)
+        pc.insert(("f", 0), b"0")
+        pc.insert(("f", 1), b"1")
+        pc.lookup(("f", 0))  # refresh page 0
+        pc.insert(("f", 2), b"2")
+        assert pc.contains(("f", 0))
+        assert not pc.contains(("f", 1))
+
+    def test_drop(self):
+        pc = PageCache()
+        pc.insert(("f", 0), b"x")
+        pc.drop()
+        assert pc.resident_pages == 0
+
+    def test_oversized_page_rejected(self):
+        with pytest.raises(ValueError):
+            PageCache().insert(("f", 0), b"x" * (PAGE_SIZE + 1))
+
+
+class TestFlatFs:
+    def setup_method(self):
+        self.sim = Simulator()
+        self.dev = BlockDevice(self.sim)
+        self.fs = FlatFs(self.dev)
+
+    def test_create_and_read(self):
+        self.fs.create("a.bin", 10_000)
+        out = {}
+        self.fs.read("a.bin", 0, 10_000, lambda data: out.setdefault("d", data))
+        self.sim.run()
+        assert out["d"] == self.dev.peek(0, 10_000)
+
+    def test_second_read_hits_cache(self):
+        self.fs.create("a.bin", 8192)
+        self.fs.read("a.bin", 0, 8192, lambda d: None)
+        self.sim.run()
+        reads_before = self.dev.reads
+        served_sync = self.fs.read("a.bin", 0, 8192, lambda d: None)
+        assert served_sync is True
+        assert self.dev.reads == reads_before
+
+    def test_partial_read_with_offset(self):
+        self.fs.create("a.bin", 100_000)
+        out = {}
+        self.fs.read("a.bin", 12_345, 23_456, lambda data: out.setdefault("d", data))
+        self.sim.run()
+        assert out["d"] == self.dev.peek(12_345, 23_456)
+
+    def test_files_do_not_overlap(self):
+        e1 = self.fs.create("a", 5000)
+        e2 = self.fs.create("b", 5000)
+        assert e2.offset >= e1.offset + 5000
+        assert e2.offset % PAGE_SIZE == 0
+
+    def test_warm_builds_c2_state(self):
+        self.fs.create("a", 65536)
+        done = []
+        self.fs.warm("a", lambda: done.append(True))
+        self.sim.run()
+        assert done == [True]
+        served_sync = self.fs.read("a", 0, 65536, lambda d: None)
+        assert served_sync is True
+
+    def test_drop_caches_builds_c1_state(self):
+        self.fs.create("a", 8192)
+        self.fs.warm("a", lambda: None)
+        self.sim.run()
+        self.fs.drop_caches()
+        assert self.fs.read("a", 0, 8192, lambda d: None) is False
+
+    def test_read_outside_file_rejected(self):
+        self.fs.create("a", 100)
+        with pytest.raises(ValueError):
+            self.fs.read("a", 50, 100, lambda d: None)
+
+    def test_missing_file(self):
+        with pytest.raises(FileNotFoundError):
+            self.fs.stat("nope")
+
+    def test_duplicate_create_rejected(self):
+        self.fs.create("a", 1)
+        with pytest.raises(ValueError):
+            self.fs.create("a", 1)

@@ -1,0 +1,188 @@
+"""End-to-end TCP tests over the simulated link: handshake, bulk
+transfer, loss/reorder/duplication resilience, retransmission, close."""
+
+import pytest
+
+from helpers import make_pair
+from repro.util.units import GBPS
+
+
+def run_transfer(pair, payload: bytes, until: float = 5.0):
+    """Client connects and streams ``payload``; returns received bytes."""
+    received = bytearray()
+    accepted = {"n": 0}
+
+    def on_accept(conn):
+        conn.on_data = lambda skb: received.extend(skb.data)
+
+    pair.server.tcp.listen(5000, on_accept)
+
+    conn_box = {}
+
+    def feed():
+        conn = conn_box["conn"]
+        while accepted["n"] < len(payload):
+            sent = conn.send(payload[accepted["n"] : accepted["n"] + 64 * 1024])
+            if sent == 0:
+                break
+            accepted["n"] += sent
+
+    def on_established():
+        feed()
+
+    conn = pair.client.tcp.connect("server", 5000, on_established=on_established)
+    conn_box["conn"] = conn
+    conn.on_writable = feed
+    pair.sim.run(until=until)
+    return bytes(received)
+
+
+class TestHandshakeAndTransfer:
+    def test_simple_transfer(self):
+        pair = make_pair()
+        payload = bytes(i % 256 for i in range(100_000))
+        assert run_transfer(pair, payload) == payload
+
+    def test_empty_connection_establishes(self):
+        pair = make_pair()
+        established = []
+        pair.server.tcp.listen(80, lambda conn: established.append("server"))
+        pair.client.tcp.connect("server", 80, on_established=lambda: established.append("client"))
+        pair.sim.run(until=0.1)
+        assert sorted(established) == ["client", "server"]
+
+    def test_large_transfer_integrity(self):
+        pair = make_pair()
+        payload = bytes((i * 7) % 256 for i in range(3_000_000))
+        assert run_transfer(pair, payload) == payload
+
+    def test_two_connections_do_not_interfere(self):
+        pair = make_pair()
+        results = {1: bytearray(), 2: bytearray()}
+
+        def acceptor(idx):
+            def on_accept(conn):
+                conn.on_data = lambda skb: results[idx].extend(skb.data)
+
+            return on_accept
+
+        pair.server.tcp.listen(5001, acceptor(1))
+        pair.server.tcp.listen(5002, acceptor(2))
+        c1 = pair.client.tcp.connect("server", 5001)
+        c2 = pair.client.tcp.connect("server", 5002)
+        c1.on_established = lambda: c1.send(b"one" * 1000)
+        c2.on_established = lambda: c2.send(b"two" * 1000)
+        pair.sim.run(until=1.0)
+        assert bytes(results[1]) == b"one" * 1000
+        assert bytes(results[2]) == b"two" * 1000
+
+
+class TestLossResilience:
+    @pytest.mark.parametrize("loss", [0.01, 0.05])
+    def test_transfer_survives_loss(self, loss):
+        pair = make_pair(seed=3, loss_to_server=loss)
+        payload = bytes(i % 256 for i in range(500_000))
+        assert run_transfer(pair, payload, until=30.0) == payload
+
+    def test_transfer_survives_reordering(self):
+        pair = make_pair(seed=4, reorder_to_server=0.05)
+        payload = bytes(i % 256 for i in range(500_000))
+        assert run_transfer(pair, payload, until=30.0) == payload
+
+    def test_transfer_survives_duplication(self):
+        pair = make_pair(seed=5, dup_to_server=0.05)
+        payload = bytes(i % 256 for i in range(500_000))
+        assert run_transfer(pair, payload, until=30.0) == payload
+
+    def test_transfer_survives_combined_faults(self):
+        pair = make_pair(seed=6, loss_to_server=0.02, reorder_to_server=0.02, dup_to_server=0.01)
+        payload = bytes(i % 251 for i in range(300_000))
+        assert run_transfer(pair, payload, until=30.0) == payload
+
+    def test_ack_loss_is_survivable(self):
+        pair = make_pair(seed=7, loss_to_client=0.05)
+        payload = bytes(i % 256 for i in range(300_000))
+        assert run_transfer(pair, payload, until=30.0) == payload
+
+    def test_fast_retransmit_engages_under_loss(self):
+        pair = make_pair(seed=8, loss_to_server=0.02)
+        payload = bytes(500_000)
+        run_transfer(pair, payload, until=30.0)
+        conn = next(iter(pair.client.tcp.connections.values()))
+        assert conn.retransmitted_packets > 0
+        assert conn.cc.fast_retransmits > 0
+
+
+class TestThroughputSanity:
+    def test_loss_free_throughput_is_high(self):
+        """A single flow on an idle 100G link should move data quickly
+        (CPU-model-bound, not pathologically slow)."""
+        pair = make_pair()
+        payload = bytes(2_000_000)
+        received = run_transfer(pair, payload, until=2.0)
+        assert received == payload
+        # Find the finish time: bytes_received advances monotonically.
+        conn = next(iter(pair.server.tcp.connections.values()))
+        assert conn.bytes_received == len(payload)
+
+    def test_loss_reduces_throughput(self):
+        def goodput(loss, seed):
+            pair = make_pair(seed=seed, loss_to_server=loss)
+            payload = bytes(8_000_000)
+            run_transfer(pair, payload, until=0.003)
+            conn = next(iter(pair.server.tcp.connections.values()))
+            return conn.bytes_received
+
+        clean = goodput(0.0, 11)
+        lossy = goodput(0.05, 11)
+        assert lossy < clean
+
+    def test_bandwidth_cap_respected(self):
+        """On a slow link the transfer cannot beat the wire rate."""
+        pair = make_pair(bandwidth_bps=1 * GBPS)
+        payload = bytes(1_000_000)
+        run_transfer(pair, payload, until=0.05)
+        conn = next(iter(pair.server.tcp.connections.values()))
+        # 1 Gbps x 50 ms = 6.25 MB upper bound (with overheads, less).
+        assert conn.bytes_received <= 1 * GBPS / 8 * 0.05
+
+
+class TestClose:
+    def test_graceful_close_delivers_fin(self):
+        pair = make_pair()
+        closed = []
+        received = bytearray()
+
+        def on_accept(conn):
+            conn.on_data = lambda skb: received.extend(skb.data)
+            conn.on_close = lambda: closed.append("server")
+
+        pair.server.tcp.listen(80, on_accept)
+        conn = pair.client.tcp.connect("server", 80)
+
+        def go():
+            conn.send(b"goodbye")
+            conn.close()
+
+        conn.on_established = go
+        pair.sim.run(until=1.0)
+        assert bytes(received) == b"goodbye"
+        assert closed == ["server"]
+
+    def test_send_after_close_raises(self):
+        pair = make_pair()
+        conn = pair.client.tcp.connect("server", 81)
+        pair.server.tcp.listen(81, lambda c: None)
+        pair.sim.run(until=0.1)
+        conn.close()
+        with pytest.raises(RuntimeError):
+            conn.send(b"late")
+
+
+class TestBatching:
+    def test_rx_batches_form_under_load(self):
+        pair = make_pair()
+        payload = bytes(2_000_000)
+        run_transfer(pair, payload, until=2.0)
+        assert pair.server.mean_rx_batch >= 1.0
+        assert len(pair.server.rx_batch_sizes) > 0

@@ -1,0 +1,249 @@
+"""Unit tests for TCP building blocks: seq math, buffers, congestion."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.packet import SkbMeta
+from repro.tcp import seq as sq
+from repro.tcp.buffer import ReassemblyQueue, SendBuffer
+from repro.tcp.cc import RenoCc, RttEstimator
+
+MOD = 1 << 32
+
+
+class TestSeqArithmetic:
+    def test_basic_ordering(self):
+        assert sq.lt(1, 2)
+        assert sq.le(2, 2)
+        assert sq.gt(3, 2)
+        assert sq.ge(2, 2)
+
+    def test_wraparound_ordering(self):
+        near_top = MOD - 10
+        assert sq.lt(near_top, 5)  # 5 is "after" the wrap
+        assert sq.gt(5, near_top)
+        assert sq.sub(5, near_top) == 15
+
+    def test_add_wraps(self):
+        assert sq.add(MOD - 1, 2) == 1
+        assert sq.add(0, -1) == MOD - 1
+
+    def test_between(self):
+        assert sq.between(10, 10, 20)
+        assert sq.between(10, 19, 20)
+        assert not sq.between(10, 20, 20)
+        assert sq.between(MOD - 5, 2, 10)
+
+    @given(a=st.integers(0, MOD - 1), d=st.integers(-(1 << 30), 1 << 30))
+    def test_sub_inverts_add(self, a, d):
+        assert sq.sub(sq.add(a, d), a) == d
+
+
+class TestSendBuffer:
+    def test_append_peek_ack(self):
+        buf = SendBuffer(base_seq=1000, limit=100)
+        assert buf.append(b"hello world") == 11
+        assert buf.peek(1000, 5) == b"hello"
+        assert buf.peek(1006, 5) == b"world"
+        assert buf.ack_to(1006) == 6
+        assert buf.peek(1006, 5) == b"world"
+        assert len(buf) == 5
+
+    def test_space_limit(self):
+        buf = SendBuffer(0, limit=10)
+        assert buf.append(b"x" * 20) == 10
+        assert buf.space == 0
+        buf.ack_to(4)
+        assert buf.space == 4
+
+    def test_peek_outside_range_raises(self):
+        buf = SendBuffer(100, limit=100)
+        buf.append(b"abc")
+        with pytest.raises(IndexError):
+            buf.peek(99, 1)
+        with pytest.raises(IndexError):
+            buf.peek(102, 5)
+
+    def test_ack_beyond_data_raises(self):
+        buf = SendBuffer(0, limit=100)
+        buf.append(b"abc")
+        with pytest.raises(ValueError):
+            buf.ack_to(10)
+
+    def test_old_ack_is_noop(self):
+        buf = SendBuffer(100, limit=100)
+        buf.append(b"abcdef")
+        buf.ack_to(104)
+        assert buf.ack_to(102) == 0
+        assert buf.base_seq == 104
+
+    def test_wraparound_sequence_space(self):
+        base = MOD - 3
+        buf = SendBuffer(base, limit=100)
+        buf.append(b"abcdef")
+        assert buf.peek(sq.add(base, 4), 2) == b"ef"
+        buf.ack_to(2)  # wrapped past 0
+        assert buf.base_seq == 2
+        assert len(buf) == 1
+
+    def test_compaction_preserves_content(self):
+        buf = SendBuffer(0, limit=2 * 1024 * 1024)
+        data = bytes(range(256)) * 4096  # 1 MiB
+        buf.append(data)
+        buf.ack_to(600 * 1024)  # force compaction threshold
+        assert buf.peek(600 * 1024, 100) == data[600 * 1024 : 600 * 1024 + 100]
+
+
+def meta():
+    return SkbMeta()
+
+
+class TestReassembly:
+    def test_in_order_delivery(self):
+        q = ReassemblyQueue(rcv_nxt=0)
+        out = q.insert(0, b"abc", meta())
+        assert [s.data for s in out] == [b"abc"]
+        assert q.rcv_nxt == 3
+
+    def test_out_of_order_holds_then_releases(self):
+        q = ReassemblyQueue(rcv_nxt=0)
+        assert q.insert(3, b"def", meta()) == []
+        assert q.has_gap_data
+        out = q.insert(0, b"abc", meta())
+        assert b"".join(s.data for s in out) == b"abcdef"
+        assert not q.has_gap_data
+
+    def test_duplicate_segment_dropped(self):
+        q = ReassemblyQueue(rcv_nxt=0)
+        q.insert(0, b"abc", meta())
+        assert q.insert(0, b"abc", meta()) == []
+        assert q.rcv_nxt == 3
+
+    def test_partial_overlap_trimmed(self):
+        q = ReassemblyQueue(rcv_nxt=0)
+        q.insert(0, b"abcd", meta())
+        out = q.insert(2, b"cdEF", meta())
+        assert b"".join(s.data for s in out) == b"EF"
+        assert q.rcv_nxt == 6
+
+    def test_overlap_with_parked_segment(self):
+        q = ReassemblyQueue(rcv_nxt=0)
+        q.insert(4, b"efgh", meta())
+        out = q.insert(2, b"cdef", meta())  # overlaps parked data
+        assert out == []
+        out = q.insert(0, b"ab", meta())
+        assert b"".join(s.data for s in out) == b"abcdefgh"
+
+    def test_metadata_stays_with_bytes(self):
+        q = ReassemblyQueue(rcv_nxt=0)
+        offloaded = SkbMeta(offloaded=True, decrypted=True)
+        plain = SkbMeta(offloaded=False)
+        q.insert(3, b"def", plain)
+        out = q.insert(0, b"abc", offloaded)
+        assert out[0].meta.decrypted is True
+        assert out[1].meta.decrypted is False
+
+    def test_window_limit_rejects_far_future(self):
+        q = ReassemblyQueue(rcv_nxt=0, window=1000)
+        assert q.insert(5000, b"x", meta()) == []
+        assert not q.has_gap_data
+
+    def test_wraparound_reassembly(self):
+        base = MOD - 4
+        q = ReassemblyQueue(rcv_nxt=base)
+        q.insert(sq.add(base, 4), b"wxyz", meta())  # seq 0 after wrap
+        out = q.insert(base, b"abcd", meta())
+        assert b"".join(s.data for s in out) == b"abcdwxyz"
+        assert q.rcv_nxt == 4
+
+    @given(
+        chunks=st.lists(st.integers(min_value=1, max_value=50), min_size=1, max_size=20),
+        order_seed=st.randoms(use_true_random=False),
+        dup=st.booleans(),
+    )
+    def test_any_arrival_order_reassembles(self, chunks, order_seed, dup):
+        stream = bytes(i % 251 for i in range(sum(chunks)))
+        segments = []
+        offset = 0
+        for size in chunks:
+            segments.append((offset, stream[offset : offset + size]))
+            offset += size
+        if dup:
+            segments = segments + segments[: len(segments) // 2]
+        order_seed.shuffle(segments)
+        q = ReassemblyQueue(rcv_nxt=0)
+        received = bytearray()
+        for seg_seq, data in segments:
+            for skb in q.insert(seg_seq, data, meta()):
+                assert skb.seq == len(received)
+                received += skb.data
+        assert bytes(received) == stream
+
+
+class TestRenoCc:
+    def test_slow_start_doubles(self):
+        cc = RenoCc(mss=1000, initial_window_packets=2)
+        start = cc.cwnd
+        cc.on_ack(1000)
+        cc.on_ack(1000)
+        assert cc.cwnd == start + 2000
+
+    def test_congestion_avoidance_linear(self):
+        cc = RenoCc(mss=1000)
+        cc.ssthresh = cc.cwnd  # leave slow start
+        before = cc.cwnd
+        cc.on_ack(1000)
+        assert before < cc.cwnd <= before + 1000
+
+    def test_enter_recovery_halves(self):
+        cc = RenoCc(mss=1000)
+        cc.enter_recovery(flight_bytes=20000, snd_nxt=12345)
+        assert cc.ssthresh == 10000
+        assert cc.cwnd == 10000 + 3000
+        assert cc.in_recovery
+        assert cc.recovery_point == 12345
+
+    def test_exit_recovery_deflates(self):
+        cc = RenoCc(mss=1000)
+        cc.enter_recovery(20000, 1)
+        cc.on_dup_ack_in_recovery()
+        cc.exit_recovery()
+        assert cc.cwnd == cc.ssthresh
+        assert not cc.in_recovery
+
+    def test_timeout_collapses_window(self):
+        cc = RenoCc(mss=1000)
+        cc.on_timeout(flight_bytes=40000)
+        assert cc.cwnd == 1000
+        assert cc.ssthresh == 20000
+        assert cc.timeouts == 1
+
+    def test_floor_of_two_mss(self):
+        cc = RenoCc(mss=1000)
+        cc.on_timeout(flight_bytes=1000)
+        assert cc.ssthresh == 2000
+
+
+class TestRttEstimator:
+    def test_first_sample_initializes(self):
+        rtt = RttEstimator()
+        rtt.sample(0.1)
+        assert rtt.srtt == pytest.approx(0.1)
+        assert rtt.rto >= 0.1
+
+    def test_rto_clamped_to_min(self):
+        rtt = RttEstimator(min_rto=2e-3)
+        for _ in range(10):
+            rtt.sample(10e-6)
+        assert rtt.rto == pytest.approx(2e-3)
+
+    def test_backoff_doubles_and_caps(self):
+        rtt = RttEstimator(max_rto=1.0)
+        rtt.sample(0.4)
+        for _ in range(5):
+            rtt.backoff()
+        assert rtt.rto == 1.0
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(ValueError):
+            RttEstimator().sample(-1.0)

@@ -1,0 +1,83 @@
+"""Unit tests for units and statistics helpers."""
+
+import pytest
+
+from repro.util import stats, units
+
+
+class TestUnits:
+    def test_parse_binary_sizes(self):
+        assert units.parse_size("4K") == 4096
+        assert units.parse_size("4KiB") == 4096
+        assert units.parse_size("256k") == 256 * 1024
+        assert units.parse_size("1MiB") == 1024 * 1024
+        assert units.parse_size("2g") == 2 * 1024**3
+
+    def test_parse_decimal_sizes(self):
+        assert units.parse_size("1kb") == 1000
+        assert units.parse_size("3MB") == 3_000_000
+
+    def test_parse_plain_bytes(self):
+        assert units.parse_size("512") == 512
+        assert units.parse_size("128B") == 128
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            units.parse_size("banana")
+        with pytest.raises(ValueError):
+            units.parse_size("12q")
+
+    def test_gbps(self):
+        # 1 GB in one second = 8 Gbps.
+        assert units.gbps(1_000_000_000, 1.0) == pytest.approx(8.0)
+        with pytest.raises(ValueError):
+            units.gbps(1, 0)
+
+    def test_fmt_size_round_trips(self):
+        for text in ("4KiB", "256KiB", "16MiB", "1GiB", "100B"):
+            assert units.fmt_size(units.parse_size(text)) == text
+
+
+class TestStats:
+    def test_trimmed_mean_drops_min_and_max(self):
+        values = [100.0, 1.0, 2.0, 3.0, -50.0]
+        assert stats.trimmed_mean(values) == pytest.approx(2.0)
+
+    def test_trimmed_mean_small_samples(self):
+        assert stats.trimmed_mean([5.0]) == 5.0
+        assert stats.trimmed_mean([4.0, 6.0]) == 5.0
+
+    def test_trimmed_mean_empty_raises(self):
+        with pytest.raises(ValueError):
+            stats.trimmed_mean([])
+
+    def test_stdev(self):
+        assert stats.stdev([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) == pytest.approx(2.138, abs=1e-3)
+        assert stats.stdev([3.0]) == 0.0
+
+    def test_summary(self):
+        s = stats.Summary.of([1.0, 2.0, 3.0, 4.0, 100.0])
+        assert s.mean == pytest.approx(3.0)
+        assert s.n == 5
+        assert s.minimum == 1.0
+        assert s.maximum == 100.0
+
+    def test_summary_format(self):
+        s = stats.Summary.of([10.0, 10.0, 10.0])
+        assert "±0.0%" in f"{s}"
+
+    def test_percentile(self):
+        values = list(range(1, 101))
+        assert stats.percentile(values, 50) == 50
+        assert stats.percentile(values, 99) == 99
+        assert stats.percentile(values, 100) == 100
+        with pytest.raises(ValueError):
+            stats.percentile([], 50)
+
+    def test_counter(self):
+        c = stats.Counter()
+        c.add(10, 2)
+        c.add(20)
+        assert c.total == 30
+        assert c.events == 3
+        assert c.per_event == 10

@@ -1,0 +1,126 @@
+"""A miniature L5P used to unit-test the autonomous offload engines.
+
+Wire format ("toy" protocol):
+
+    +-------+------+----------+----------------+-----------+
+    | 0xA5  | kind | len (2B) | body (len B)   | sum (4B)  |
+    +-------+------+----------+----------------+-----------+
+
+The offloaded operation XORs the body with a per-message key byte
+(derived from the message index) and fills/verifies the trailing
+checksum of the *wire* (transformed) body.  It satisfies every Table 3
+precondition, making it the smallest honest exercise of the machinery.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from repro.core.types import Direction, L5pAdapter, MessageDesc, MsgTransform, TxMsgState
+
+MAGIC = 0xA5
+KINDS = (1, 2, 3)
+HEADER_LEN = 4
+TRAILER_LEN = 4
+
+
+def key_byte(msg_index: int) -> int:
+    return (0x5A + msg_index) & 0xFF
+
+
+def encode_message(body: bytes, msg_index: int) -> bytes:
+    """The true on-wire form (what the NIC should produce on TX)."""
+    transformed = bytes(b ^ key_byte(msg_index) for b in body)
+    header = struct.pack(">BBH", MAGIC, 1, len(body))
+    checksum = sum(transformed) & 0xFFFFFFFF
+    return header + transformed + struct.pack(">I", checksum)
+
+
+def plain_message(body: bytes) -> bytes:
+    """What the L5P hands to TCP when offloading (dummy trailer)."""
+    header = struct.pack(">BBH", MAGIC, 1, len(body))
+    return header + body + b"\x00" * TRAILER_LEN
+
+
+class _ToyTransform(MsgTransform):
+    def __init__(self, direction: Direction, msg_index: int):
+        self.direction = direction
+        self.key = key_byte(msg_index)
+        self.wire_sum = 0
+
+    def process(self, data: bytes) -> bytes:
+        out = bytes(b ^ self.key for b in data)
+        wire = out if self.direction == Direction.TX else data
+        self.wire_sum = (self.wire_sum + sum(wire)) & 0xFFFFFFFF
+        return out
+
+    def finalize_tx(self) -> bytes:
+        return struct.pack(">I", self.wire_sum)
+
+    def verify_rx(self, wire_trailer: bytes) -> bool:
+        return wire_trailer == struct.pack(">I", self.wire_sum)
+
+
+class ToyAdapter(L5pAdapter):
+    name = "toy"
+    header_len = HEADER_LEN
+    magic_len = 2
+
+    def parse_header(self, header: bytes, static_state) -> Optional[MessageDesc]:
+        magic, kind, length = struct.unpack(">BBH", header)
+        if magic != MAGIC or kind not in KINDS:
+            return None
+        return MessageDesc(
+            kind=str(kind),
+            header_len=HEADER_LEN,
+            body_len=length,
+            trailer_len=TRAILER_LEN,
+            raw_header=header,
+        )
+
+    def check_magic(self, window: bytes, static_state) -> bool:
+        return len(window) >= 2 and window[0] == MAGIC and window[1] in KINDS
+
+    def begin_message(self, direction, static_state, desc, msg_index, rr_state=None):
+        return _ToyTransform(direction, msg_index)
+
+    def apply_packet_meta(self, meta, processed: bool, ok: bool, desc_kinds) -> None:
+        meta.decrypted = processed and ok
+        meta.crc_ok = ok
+
+
+class ToyL5pOps:
+    """Listing 2 implementation for tests: a seq->message map plus a
+    recorder for resync requests."""
+
+    def __init__(self, start_seq: int = 0):
+        self.messages: list[tuple[int, int, bytes]] = []  # (start_seq, idx, bytes)
+        self.next_seq = start_seq
+        self.resync_requests: list[int] = []
+
+    def stage(self, body: bytes) -> bytes:
+        """Record a message as handed to TCP; returns its plain bytes."""
+        wire = plain_message(body)
+        self.messages.append((self.next_seq, len(self.messages), wire))
+        self.next_seq += len(wire)
+        return wire
+
+    def l5o_get_tx_msgstate(self, tcpsn: int) -> Optional[TxMsgState]:
+        for start, idx, wire in self.messages:
+            if start <= tcpsn < start + len(wire):
+                return TxMsgState(start_seq=start, msg_index=idx, wire_bytes=wire)
+        return None
+
+    def l5o_resync_rx_req(self, tcpsn: int) -> None:
+        self.resync_requests.append(tcpsn)
+
+
+def software_decode(wire: bytes, msg_index: int) -> bytes:
+    """Receiver-side software fallback: parse + verify + un-XOR."""
+    magic, kind, length = struct.unpack(">BBH", wire[:HEADER_LEN])
+    assert magic == MAGIC
+    body = wire[HEADER_LEN : HEADER_LEN + length]
+    trailer = wire[HEADER_LEN + length : HEADER_LEN + length + TRAILER_LEN]
+    assert struct.unpack(">I", trailer)[0] == sum(body) & 0xFFFFFFFF
+    return bytes(b ^ key_byte(msg_index) for b in body)
