@@ -45,8 +45,15 @@ def main() -> None:
         ["config", "NIC-placed", "software", "copy Mcyc", "crc Mcyc", "latency (us)"],
         title="RPC blob fetches, 128KiB responses (client side)",
     )
-    table.row("software", base["placed"], base["software"], base["copy_mcycles"], base["crc_mcycles"], base["mean_latency_us"])
-    table.row("offload", off["placed"], off["software"], off["copy_mcycles"], off["crc_mcycles"], off["mean_latency_us"])
+    for label, stats in (("software", base), ("offload", off)):
+        table.row(
+            label,
+            stats["placed"],
+            stats["software"],
+            stats["copy_mcycles"],
+            stats["crc_mcycles"],
+            stats["mean_latency_us"],
+        )
     table.show()
     print()
     print("The response payloads landed directly in the call's registered")

@@ -1,0 +1,188 @@
+"""Project-specific AST lint (the static half of ``repro.analysis``).
+
+Generic linters cannot know that ``time.time()`` breaks simulation
+reproducibility or that ``% (1 << 32)`` outside ``repro/tcp/seq.py`` is
+a re-implementation of sequence-number wraparound.  The rules here
+encode exactly those project invariants; each one maps to a property
+the paper's correctness argument relies on (see DESIGN.md).
+
+Run with ``python -m repro.analysis [paths...]``.  Exit status is 0
+when the tree is clean, 1 when any rule fired, 2 on usage errors.
+
+Suppression: a trailing ``# noqa`` comment silences every rule for that
+line; ``# noqa: SIM002`` (comma-separated codes allowed) silences only
+the listed rules.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Sequence
+
+#: ``# noqa`` / ``# noqa: SIM001, SIM002`` trailing-comment syntax.
+_NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9_,\s]+))?", re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+@dataclass
+class SourceModule:
+    """A parsed source file handed to each rule."""
+
+    path: Path
+    text: str
+    tree: ast.AST
+    #: line number -> set of suppressed codes; the empty set means "all".
+    noqa: dict = field(default_factory=dict)
+
+    @property
+    def posix_path(self) -> str:
+        return self.path.as_posix()
+
+    def finding(self, node: ast.AST, code: str, message: str) -> Finding:
+        return Finding(
+            path=str(self.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=code,
+            message=message,
+        )
+
+    def suppressed(self, finding: Finding) -> bool:
+        codes = self.noqa.get(finding.line)
+        if codes is None:
+            return False
+        return not codes or finding.code in codes
+
+
+class LintRule:
+    """Base class: one rule, one code, one ``check`` generator."""
+
+    code: str = "SIM000"
+    name: str = "abstract"
+    description: str = ""
+
+    def check(self, module: SourceModule) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+def _parse_noqa(text: str) -> dict:
+    table: dict = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if "#" not in line:
+            continue
+        match = _NOQA_RE.search(line)
+        if match is None:
+            continue
+        codes = match.group("codes")
+        if codes is None:
+            table[lineno] = set()
+        else:
+            table[lineno] = {c.strip().upper() for c in codes.split(",") if c.strip()}
+    return table
+
+
+def load_module(path: Path) -> SourceModule:
+    text = path.read_text(encoding="utf-8")
+    tree = ast.parse(text, filename=str(path))
+    return SourceModule(path=path, text=text, tree=tree, noqa=_parse_noqa(text))
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(p for p in path.rglob("*.py") if "__pycache__" not in p.parts)
+        elif path.suffix == ".py":
+            yield path
+
+
+def run_rules(
+    paths: Sequence[Path],
+    rules: Optional[Sequence[LintRule]] = None,
+) -> list[Finding]:
+    """Run ``rules`` (default: all registered) over every ``.py`` file
+    under ``paths``; returns findings sorted by location."""
+    if rules is None:
+        from repro.analysis.rules import all_rules
+
+        rules = all_rules()
+    findings: list[Finding] = []
+    for file_path in iter_python_files(paths):
+        try:
+            module = load_module(file_path)
+        except SyntaxError as exc:
+            findings.append(
+                Finding(str(file_path), exc.lineno or 1, (exc.offset or 0) + 1, "SIM999", f"syntax error: {exc.msg}")
+            )
+            continue
+        for rule in rules:
+            for finding in rule.check(module):
+                if not module.suppressed(finding):
+                    findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings
+
+
+def default_target() -> Path:
+    """The ``repro`` package itself (lint the simulation sources)."""
+    return Path(__file__).resolve().parents[1]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    from repro.analysis.rules import all_rules
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Project lint: determinism and offload-invariant rules (SIM001-SIM004).",
+    )
+    parser.add_argument("paths", nargs="*", type=Path, help="files/directories to lint (default: the repro package)")
+    parser.add_argument("--select", help="comma-separated rule codes to run (default: all)")
+    parser.add_argument("--list-rules", action="store_true", help="print the registered rules and exit")
+    args = parser.parse_args(argv)
+
+    rules = all_rules()
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.code}  {rule.name}: {rule.description}")
+        return 0
+    if args.select is not None:
+        wanted = {code.strip().upper() for code in args.select.split(",") if code.strip()}
+        if not wanted:
+            print("--select given but no rule codes named", file=sys.stderr)
+            return 2
+        unknown = wanted - {rule.code for rule in rules}
+        if unknown:
+            print(f"unknown rule code(s): {', '.join(sorted(unknown))}", file=sys.stderr)
+            return 2
+        rules = [rule for rule in rules if rule.code in wanted]
+
+    paths = list(args.paths) or [default_target()]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"no such path: {', '.join(map(str, missing))}", file=sys.stderr)
+        return 2
+
+    findings = run_rules(paths, rules)
+    for finding in findings:
+        print(finding.format())
+    if findings:
+        print(f"{len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0

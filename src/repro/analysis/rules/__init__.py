@@ -1,0 +1,23 @@
+"""Rule registry for the project lint.
+
+Each rule module defines one :class:`~repro.analysis.lint.LintRule`
+subclass; register new rules here so both the CLI and the tests pick
+them up.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.lint import LintRule
+from repro.analysis.rules.adapter_protocol import AdapterProtocolRule
+from repro.analysis.rules.mutable_defaults import MutableDefaultsRule
+from repro.analysis.rules.seqarith import SeqArithmeticRule
+from repro.analysis.rules.wallclock import WallClockRule
+
+
+def all_rules() -> list[LintRule]:
+    return [
+        WallClockRule(),
+        SeqArithmeticRule(),
+        MutableDefaultsRule(),
+        AdapterProtocolRule(),
+    ]

@@ -1,0 +1,78 @@
+"""SIM004 — L5P adapters must implement the full ``L5pAdapter`` surface.
+
+An adapter missing ``check_magic`` or ``apply_packet_meta`` still works
+on the happy path and only explodes (``NotImplementedError``) the first
+time a packet is dropped and receive resynchronization kicks in — deep
+inside a long simulation.  Any class deriving directly from
+``L5pAdapter`` must therefore define the complete contract up front:
+the class attributes ``name``/``header_len``/``magic_len`` and the
+methods ``parse_header``/``check_magic``/``begin_message``/
+``apply_packet_meta``.  (``on_disruption`` and ``prepare_tx_recovery``
+have safe no-op defaults and stay optional.  Indirect subclasses — e.g.
+the stacked NVMe-TLS adapter deriving from ``TlsAdapter`` — inherit a
+complete surface and are not re-checked.)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.lint import Finding, LintRule, SourceModule
+
+_BASE = "L5pAdapter"
+_REQUIRED = (
+    "name",
+    "header_len",
+    "magic_len",
+    "parse_header",
+    "check_magic",
+    "begin_message",
+    "apply_packet_meta",
+)
+#: The module defining the abstract base itself.
+_HOME = "repro/core/types.py"
+
+
+def _base_names(node: ast.ClassDef) -> set:
+    names = set()
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            names.add(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.add(base.attr)
+    return names
+
+
+def _defined_members(node: ast.ClassDef) -> set:
+    defined = set()
+    for stmt in node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            defined.add(stmt.name)
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    defined.add(target.id)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            defined.add(stmt.target.id)
+    return defined
+
+
+class AdapterProtocolRule(LintRule):
+    code = "SIM004"
+    name = "adapter-protocol"
+    description = "direct L5pAdapter subclasses must define the full adapter surface"
+
+    def check(self, module: SourceModule) -> Iterable[Finding]:
+        if module.posix_path.endswith(_HOME):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef) or _BASE not in _base_names(node):
+                continue
+            missing = [member for member in _REQUIRED if member not in _defined_members(node)]
+            if missing:
+                yield module.finding(
+                    node,
+                    self.code,
+                    f"adapter `{node.name}` is missing L5pAdapter members: {', '.join(missing)}",
+                )

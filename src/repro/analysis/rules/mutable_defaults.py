@@ -1,0 +1,48 @@
+"""SIM003 — no mutable default arguments.
+
+A mutable default is evaluated once at definition time and shared by
+every call.  In a simulator whose per-flow/per-context state must be
+isolated (constant-size incremental state, Table 3), a shared default
+``[]``/``{}`` is cross-flow state leakage waiting to happen.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.lint import Finding, LintRule, SourceModule
+
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter", "OrderedDict"}
+
+
+def _is_mutable(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = node.func.id if isinstance(node.func, ast.Name) else None
+        if name is None and isinstance(node.func, ast.Attribute):
+            name = node.func.attr
+        return name in _MUTABLE_CALLS
+    return False
+
+
+class MutableDefaultsRule(LintRule):
+    code = "SIM003"
+    name = "mutable-defaults"
+    description = "mutable default argument is shared across calls; default to None and create inside"
+
+    def check(self, module: SourceModule) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            args = node.args
+            defaults = list(args.defaults) + [d for d in args.kw_defaults if d is not None]
+            for default in defaults:
+                if _is_mutable(default):
+                    func = getattr(node, "name", "<lambda>")
+                    yield module.finding(
+                        default,
+                        self.code,
+                        f"mutable default argument in `{func}`; use None and construct per call",
+                    )

@@ -1,0 +1,284 @@
+"""Runtime invariant sanitizer (the dynamic half of ``repro.analysis``).
+
+When enabled, every packet that crosses an offload engine is checked
+against the invariants the paper's correctness argument rests on:
+
+- ``SAN-RX-STATE`` — receive contexts move only along Figure 7's edges:
+  *offloading -> searching*, *searching -> tracking*, *tracking ->
+  searching* (refuted / chain broken), *tracking -> offloading*
+  (confirmed).
+- ``SAN-RX-SEQ`` — ``expected_seq`` advances monotonically in the
+  mod-2^32 space and never regresses before ``created_seq`` (§4.1; the
+  only sanctioned rewind is TX context recovery, §4.2, which engines
+  declare via :func:`allow_rewind`).
+- ``SAN-PHASE`` — the message walker cycles HEADER -> BODY -> TRAILER
+  -> HEADER (BODY and TRAILER may be skipped for empty segments).
+- ``SAN-TX-SIZE`` — transmit transforms are size-preserving (Table 3):
+  a packet leaves the TX engine exactly as long as it entered.
+- ``SAN-RX-HOLD`` — the NIC never buffers or resizes a received
+  packet; out-of-sequence packets flow to software untouched (§4.3).
+- ``SAN-RX-OFFLOAD`` — an out-of-sequence packet is never marked
+  offloaded.
+
+Violations raise :class:`InvariantViolation` carrying flow/context/
+sequence diagnostics.  Enable via ``REPRO_SANITIZE=1`` in the
+environment, ``TestbedConfig(sanitize=True)``, or ``enable()`` /
+``enabled()`` from code.  The checks are designed to be cheap enough to
+leave on for the whole test suite (see ``tests/conftest.py``).
+
+This module must stay import-light (``repro.core.context`` imports it);
+in particular it must not import ``repro.core`` — state/phase edges are
+therefore compared by their enum *values*, not enum identity.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional
+
+from repro.tcp import seq as sq
+
+#: Legal Figure 7 transitions (by ``RxState.value``); self-loops are
+#: always permitted (re-assignment of the current state).
+_FIG7_EDGES = {
+    ("offloading", "searching"),
+    ("searching", "tracking"),
+    ("tracking", "searching"),
+    ("tracking", "offloading"),
+}
+
+#: Legal walker transitions (by ``Phase.value``).  BODY is skipped for
+#: body-less messages, TRAILER for trailer-less ones; any state may
+#: return to HEADER (message finished or context reset at a boundary).
+_PHASE_EDGES = {
+    ("header", "body"),
+    ("header", "trailer"),
+    ("body", "trailer"),
+    ("body", "header"),
+    ("trailer", "header"),
+}
+
+
+class InvariantViolation(AssertionError):
+    """A paper invariant was broken at runtime.
+
+    Carries structured diagnostics so harnesses can aggregate: the rule
+    ``code``, the offending context's ``ctx_id``/``flow``/``direction``,
+    and the TCP ``seq`` in play (when applicable).
+    """
+
+    def __init__(
+        self,
+        code: str,
+        message: str,
+        *,
+        ctx: Any = None,
+        seq: Optional[int] = None,
+        detail: Optional[dict] = None,
+    ):
+        self.code = code
+        self.ctx_id = getattr(ctx, "ctx_id", None)
+        self.flow = getattr(ctx, "flow", None)
+        self.direction = getattr(getattr(ctx, "direction", None), "value", None)
+        self.seq = seq
+        self.detail = detail or {}
+        parts = [f"{code}: {message}"]
+        if ctx is not None:
+            parts.append(f"[ctx={self.ctx_id} dir={self.direction} flow={self.flow}]")
+        if seq is not None:
+            parts.append(f"[seq={seq}]")
+        if self.detail:
+            parts.append(f"{self.detail}")
+        super().__init__(" ".join(parts))
+
+
+class Sanitizer:
+    """Per-process invariant checker; one instance is globally active."""
+
+    def __init__(self) -> None:
+        self.checks: dict = {}
+        self.violations = 0
+        self._rewind_ok: set = set()
+
+    # ------------------------------------------------------------------
+    def _count(self, code: str) -> None:
+        self.checks[code] = self.checks.get(code, 0) + 1
+
+    def _fail(self, code: str, message: str, **kwargs: Any) -> None:
+        self.violations += 1
+        raise InvariantViolation(code, message, **kwargs)
+
+    def stats(self) -> dict:
+        """Checks performed per rule code (for "did it actually run")."""
+        return dict(self.checks)
+
+    # ------------------------------------------------------------------
+    # hooks called from repro.core.context (attribute setters)
+    # ------------------------------------------------------------------
+    def rx_state_edge(self, ctx: Any, old: Any, new: Any) -> None:
+        self._count("SAN-RX-STATE")
+        edge = (old.value, new.value)
+        if old is new or edge in _FIG7_EDGES:
+            return
+        self._fail(
+            "SAN-RX-STATE",
+            f"illegal Figure 7 transition {old.value} -> {new.value}",
+            ctx=ctx,
+            seq=getattr(ctx, "expected_seq", None),
+        )
+
+    def phase_edge(self, ctx: Any, old: Any, new: Any) -> None:
+        self._count("SAN-PHASE")
+        edge = (old.value, new.value)
+        if old is new or edge in _PHASE_EDGES:
+            return
+        self._fail(
+            "SAN-PHASE",
+            f"illegal walker transition {old.value} -> {new.value}",
+            ctx=ctx,
+            seq=getattr(ctx, "expected_seq", None),
+        )
+
+    def expected_seq_advance(self, ctx: Any, old: int, new: int) -> None:
+        self._count("SAN-RX-SEQ")
+        created = getattr(ctx, "created_seq", None)
+        if created is not None and sq.lt(new, created):
+            self._fail(
+                "SAN-RX-SEQ",
+                f"expected_seq regressed before created_seq {created}",
+                ctx=ctx,
+                seq=new,
+                detail={"old": old},
+            )
+        if sq.lt(new, old) and id(ctx) not in self._rewind_ok:
+            self._fail(
+                "SAN-RX-SEQ",
+                f"expected_seq moved backwards {old} -> {new} outside TX recovery",
+                ctx=ctx,
+                seq=new,
+            )
+
+    # ------------------------------------------------------------------
+    # hooks called from the NIC datapath (repro.nic.nic / core engines)
+    # ------------------------------------------------------------------
+    def tx_packet(self, ctx: Any, seq: int, in_len: int, out_len: int) -> None:
+        self._count("SAN-TX-SIZE")
+        if in_len != out_len:
+            self._fail(
+                "SAN-TX-SIZE",
+                f"TX engine is not size-preserving: {in_len} -> {out_len} bytes",
+                ctx=ctx,
+                seq=seq,
+            )
+
+    def tx_recovered(self, ctx: Any, seq: int) -> None:
+        self._count("SAN-TX-SIZE")
+        if ctx.expected_seq != seq:
+            self._fail(
+                "SAN-TX-SIZE",
+                f"TX recovery left the context at {ctx.expected_seq}, not the requested seq",
+                ctx=ctx,
+                seq=seq,
+            )
+
+    def rx_walk(self, ctx: Any, in_len: int, out_len: int) -> None:
+        self._count("SAN-RX-HOLD")
+        if in_len != out_len:
+            self._fail(
+                "SAN-RX-HOLD",
+                f"RX walk is not size-preserving: {in_len} -> {out_len} bytes",
+                ctx=ctx,
+            )
+
+    def rx_packet(
+        self,
+        ctx: Any,
+        pkt: Any,
+        entry_state: Any,
+        entry_expected: int,
+        in_len: int,
+        entry_offloaded: bool = False,
+    ) -> None:
+        self._count("SAN-RX-HOLD")
+        out_len = len(pkt.payload)
+        if out_len != in_len:
+            self._fail(
+                "SAN-RX-HOLD",
+                f"NIC held or resized an RX packet: {in_len} -> {out_len} bytes "
+                "(out-of-sequence packets must pass through unbuffered)",
+                ctx=ctx,
+                seq=pkt.seq,
+            )
+        self._count("SAN-RX-OFFLOAD")
+        # ``offloaded`` may already be set by the sender's TX engine; only
+        # a False -> True flip can have come from this RX engine.
+        offloaded = getattr(pkt.meta, "offloaded", False) and not entry_offloaded
+        if offloaded and (entry_state.value != "offloading" or pkt.seq != entry_expected):
+            self._fail(
+                "SAN-RX-OFFLOAD",
+                f"out-of-sequence packet marked offloaded (entry state {entry_state.value}, "
+                f"expected {entry_expected})",
+                ctx=ctx,
+                seq=pkt.seq,
+            )
+
+
+# ----------------------------------------------------------------------
+# global enable/disable plumbing
+# ----------------------------------------------------------------------
+_ACTIVE: Optional[Sanitizer] = None
+
+
+def active() -> Optional[Sanitizer]:
+    """The enabled sanitizer, or None (the common, zero-cost case)."""
+    return _ACTIVE
+
+
+def enable() -> Sanitizer:
+    """Enable invariant checking process-wide; returns the instance
+    (idempotent: an already-active sanitizer is kept, stats intact)."""
+    global _ACTIVE
+    if _ACTIVE is None:
+        _ACTIVE = Sanitizer()
+    return _ACTIVE
+
+
+def disable() -> None:
+    global _ACTIVE
+    _ACTIVE = None
+
+
+@contextmanager
+def enabled() -> Iterator[Sanitizer]:
+    """Scoped enable, restoring the previous state on exit."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = Sanitizer()
+    try:
+        yield _ACTIVE
+    finally:
+        _ACTIVE = previous
+
+
+@contextmanager
+def allow_rewind(ctx: Any) -> Iterator[None]:
+    """Declare a sanctioned ``expected_seq`` rewind for ``ctx`` (TX
+    context recovery repositions at the covering message's start)."""
+    san = _ACTIVE
+    if san is None:
+        yield
+        return
+    san._rewind_ok.add(id(ctx))
+    try:
+        yield
+    finally:
+        san._rewind_ok.discard(id(ctx))
+
+
+def _env_wants_sanitizer() -> bool:
+    return os.environ.get("REPRO_SANITIZE", "").lower() in ("1", "true", "on", "yes")
+
+
+if _env_wants_sanitizer():  # pragma: no cover - exercised via subprocess
+    enable()

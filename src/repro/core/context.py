@@ -13,6 +13,7 @@ from __future__ import annotations
 from enum import Enum
 from typing import Any, Optional
 
+from repro.analysis.sanitizer import active as _sanitizer_active
 from repro.core.types import Direction, L5pAdapter, MessageDesc, MsgTransform
 from repro.net.packet import FlowKey
 from repro.tcp import seq as sq
@@ -91,6 +92,53 @@ class HwContext:
         self.boundary_resyncs = 0
         self.tx_recoveries = 0
         self.tx_recovery_bytes = 0
+
+    # ------------------------------------------------------------------
+    # sanitized attributes (repro.analysis.sanitizer hook points)
+    #
+    # Plain attributes when the sanitizer is off; with it on, every
+    # assignment is validated against the paper's invariants: Figure 7
+    # edges for ``rx_state``, the HEADER->BODY->TRAILER cycle for
+    # ``phase``, and monotonic mod-2^32 advance for ``expected_seq``.
+    # ------------------------------------------------------------------
+    @property
+    def rx_state(self) -> RxState:
+        return self._rx_state
+
+    @rx_state.setter
+    def rx_state(self, new: RxState) -> None:
+        san = _sanitizer_active()
+        if san is not None:
+            old = getattr(self, "_rx_state", None)
+            if old is not None:
+                san.rx_state_edge(self, old, new)
+        self._rx_state = new
+
+    @property
+    def phase(self) -> Phase:
+        return self._phase
+
+    @phase.setter
+    def phase(self, new: Phase) -> None:
+        san = _sanitizer_active()
+        if san is not None:
+            old = getattr(self, "_phase", None)
+            if old is not None:
+                san.phase_edge(self, old, new)
+        self._phase = new
+
+    @property
+    def expected_seq(self) -> int:
+        return self._expected_seq
+
+    @expected_seq.setter
+    def expected_seq(self, new: int) -> None:
+        san = _sanitizer_active()
+        if san is not None:
+            old = getattr(self, "_expected_seq", None)
+            if old is not None:
+                san.expected_seq_advance(self, old, new)
+        self._expected_seq = new
 
     # ------------------------------------------------------------------
     # message walking helpers

@@ -17,8 +17,7 @@ to regain the stream:
 
 from __future__ import annotations
 
-from typing import Optional
-
+from repro.analysis.sanitizer import active as _sanitizer_active
 from repro.core.context import HwContext, RxState
 from repro.core.walker import walk
 from repro.net.packet import Packet
@@ -62,6 +61,9 @@ class RxEngine:
         end = sq.add(pkt.seq, len(pkt.payload))
         if pkt.seq == ctx.expected_seq:
             result = walk(ctx, pkt.payload, emit=True)
+            san = _sanitizer_active()
+            if san is not None:
+                san.rx_walk(ctx, len(pkt.payload), len(result.out))
             if result.desynced:
                 # The stream no longer parses: lose the flow and recover.
                 ctx.pkts_bypassed += 1

@@ -12,6 +12,7 @@ PCIe — the interconnect overhead measured in Figure 16b.
 
 from __future__ import annotations
 
+from repro.analysis.sanitizer import active as _sanitizer_active, allow_rewind
 from repro.core.context import HwContext
 from repro.core.types import ProtocolError
 from repro.core.walker import replay, walk
@@ -41,14 +42,19 @@ class TxEngine:
                 return
             prefix, payload = payload[:split], payload[split:]
             seq = ctx.created_seq
+        san = _sanitizer_active()
         if seq != ctx.expected_seq:
-            if not self._recover(ctx, conn, seq, sq.add(seq, len(payload))):
+            with allow_rewind(ctx):
+                recovered = self._recover(ctx, conn, seq, sq.add(seq, len(payload)))
+            if not recovered:
                 # Stale retransmission of fully-acknowledged bytes whose
                 # message state the L5P already released: the receiver
                 # will discard it as a duplicate, so content is moot.
                 ctx.pkts_bypassed += 1
                 pkt.payload = prefix + b"\x00" * len(payload)
                 return
+            if san is not None:
+                san.tx_recovered(ctx, seq)
         result = walk(ctx, payload, emit=True)
         if result.desynced:
             raise ProtocolError(

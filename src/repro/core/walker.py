@@ -17,7 +17,7 @@ walker serves four modes:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.context import HwContext, Phase
 from repro.core.types import Direction, ProtocolError

@@ -35,6 +35,9 @@ class TestbedConfig:
     reorder_to_generator: float = 0.0
     model: CostModel = field(default_factory=lambda: DEFAULT_COST_MODEL)
     nic_cache_bytes: int = 4 * 1024 * 1024
+    # Enable the runtime invariant sanitizer (repro.analysis.sanitizer)
+    # for this run; also switchable globally via REPRO_SANITIZE=1.
+    sanitize: bool = False
 
 
 class Testbed:
@@ -45,6 +48,10 @@ class Testbed:
     def __init__(self, config: Optional[TestbedConfig] = None):
         self.config = config or TestbedConfig()
         cfg = self.config
+        if cfg.sanitize:
+            from repro.analysis import sanitizer
+
+            sanitizer.enable()
         self.sim = Simulator(seed=cfg.seed)
         self.server = Host(
             self.sim,

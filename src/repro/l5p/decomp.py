@@ -232,7 +232,7 @@ class CompressedStream:
             take = min(len(_GREETING) - self._greeting_seen, len(data))
             self._greeting_seen += take
             data = data[take:]
-            seq = seq + take
+            seq = sq.add(seq, take)
             if self._greeting_seen < len(_GREETING):
                 return
             self.ready = True

@@ -30,6 +30,7 @@ from repro.core.walker import walk
 from repro.l5p.nvme_tcp.pdu import NvmeAdapter, NvmeConfig
 from repro.l5p.tls.record import TlsAdapter
 from repro.net.packet import FlowKey
+from repro.tcp import seq as sq
 
 _INNER_FLOW = FlowKey("inner", 0, "inner", 0)
 
@@ -192,7 +193,7 @@ class NvmeTlsAdapter(TlsAdapter):
         inner = self._inner_ctx(Direction.TX)
         inner.reset_to_header()
         inner.msg_index = inner_state.msg_index
-        prefix_len = plain_offset - inner_state.start_seq
+        prefix_len = sq.sub(plain_offset, inner_state.start_seq)
         if prefix_len < 0 or prefix_len > len(inner_state.wire_bytes):
             self._disable_inner(Direction.TX)
             return

@@ -7,7 +7,6 @@ subclasses it and interposes on ``transmit``/``receive``.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.net.link import Link
 from repro.net.packet import Packet

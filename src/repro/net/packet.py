@@ -112,10 +112,16 @@ class Packet:
             length += 1
         if self.fin:
             length += 1
-        return (self.seq + length) & 0xFFFFFFFF
+        return sq.add(self.seq, length)
 
     def describe(self) -> str:  # pragma: no cover - debugging aid
         flags = "".join(
             name for name, on in (("S", self.syn), ("F", self.fin), ("R", self.rst), (".", self.ack_flag)) if on
         )
-        return f"{self.flow.src}:{self.flow.sport}>{self.flow.dst}:{self.flow.dport} {flags} seq={self.seq} ack={self.ack} len={len(self.payload)}"
+        endpoints = f"{self.flow.src}:{self.flow.sport}>{self.flow.dst}:{self.flow.dport}"
+        return f"{endpoints} {flags} seq={self.seq} ack={self.ack} len={len(self.payload)}"
+
+
+# Imported last: repro.tcp.buffer imports SkbMeta from this module, so
+# pulling in the sequence-space helpers any earlier would be circular.
+from repro.tcp import seq as sq  # noqa: E402

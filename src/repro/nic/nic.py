@@ -9,8 +9,7 @@ reorders anything.
 
 from __future__ import annotations
 
-from typing import Optional
-
+from repro.analysis.sanitizer import active as _sanitizer_active
 from repro.core.context import HwContext
 from repro.core.driver import NicDriver
 from repro.core.rx import RxEngine
@@ -53,7 +52,13 @@ class OffloadNic(PassthroughNic):
     def transmit(self, conn, pkt: Packet) -> None:
         ctx = self.driver.lookup_tx(pkt.tx_ctx_id)
         if ctx is not None:
-            self.tx_engine.process(ctx, conn, pkt)
+            san = _sanitizer_active()
+            if san is None:
+                self.tx_engine.process(ctx, conn, pkt)
+            else:
+                in_len = len(pkt.payload)
+                self.tx_engine.process(ctx, conn, pkt)
+                san.tx_packet(ctx, pkt.seq, in_len, len(pkt.payload))
         self.output(pkt)
 
     def transmit_datagram(self, flow, pkt: Packet) -> None:
@@ -74,7 +79,16 @@ class OffloadNic(PassthroughNic):
         else:
             ctx = self.driver.lookup_rx(pkt.flow)
             if ctx is not None:
-                self.rx_engine.process(ctx, pkt)
+                san = _sanitizer_active()
+                if san is None:
+                    self.rx_engine.process(ctx, pkt)
+                else:
+                    entry_state = ctx.rx_state
+                    entry_expected = ctx.expected_seq
+                    entry_offloaded = pkt.meta.offloaded
+                    in_len = len(pkt.payload)
+                    self.rx_engine.process(ctx, pkt)
+                    san.rx_packet(ctx, pkt, entry_state, entry_expected, in_len, entry_offloaded)
         if self.host is None:
             raise RuntimeError("NIC not bound to a host")
         self.host.deliver(pkt)

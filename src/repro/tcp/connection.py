@@ -34,10 +34,14 @@ CLOSE_WAIT = "close-wait"
 _DELAYED_ACK_S = 200e-6
 _MAX_SYN_RETRIES = 6
 
+#: Knuth's multiplicative-hash constant (2^32 / phi), used to spread
+#: CRC-adjacent flows across the sequence space.
+_ISS_HASH_MULTIPLIER = 2654435761
+
 
 def _iss_for_flow(flow: FlowKey) -> int:
     """Deterministic initial sequence number derived from the 4-tuple."""
-    return zlib.crc32(repr(flow).encode()) * 2654435761 % (1 << 32)
+    return sq.wrap(zlib.crc32(repr(flow).encode()) * _ISS_HASH_MULTIPLIER)
 
 
 class TcpConnection:

@@ -11,6 +11,11 @@ MOD = 1 << 32
 _HALF = 1 << 31
 
 
+def wrap(value: int) -> int:
+    """Reduce an arbitrary integer into the mod-2^32 sequence space."""
+    return value % MOD
+
+
 def add(seq: int, delta: int) -> int:
     """seq + delta, mod 2^32."""
     return (seq + delta) % MOD

@@ -8,7 +8,7 @@ self-contained.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable
 
 from repro.net.packet import FlowKey, Packet
 

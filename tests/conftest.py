@@ -1,6 +1,15 @@
-"""Test configuration: make the tests directory importable for helpers."""
+"""Test configuration: make the tests directory importable for helpers,
+and run the whole suite under the runtime invariant sanitizer so every
+end-to-end scenario doubles as an invariant regression net
+(REPRO_SANITIZE=0 opts back out)."""
 
 import os
 import sys
 
 sys.path.insert(0, os.path.dirname(__file__))
+sys.path.insert(0, os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir, "src")))
+
+from repro.analysis import sanitizer  # noqa: E402
+
+if os.environ.get("REPRO_SANITIZE", "1").lower() not in ("0", "false", "off", "no"):
+    sanitizer.enable()

@@ -1,0 +1,269 @@
+"""The project lint: every rule fires on a crafted bad snippet, stays
+silent on the real tree, and the CLI reports rule code + file:line with
+the right exit status."""
+
+import textwrap
+from pathlib import Path
+
+
+from repro.analysis.lint import default_target, load_module, main, run_rules
+from repro.analysis.rules import all_rules
+from repro.analysis.rules.adapter_protocol import AdapterProtocolRule
+from repro.analysis.rules.mutable_defaults import MutableDefaultsRule
+from repro.analysis.rules.seqarith import SeqArithmeticRule
+from repro.analysis.rules.wallclock import WallClockRule
+
+
+def write(tmp_path: Path, name: str, body: str) -> Path:
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(body))
+    return path
+
+
+def codes_for(path: Path) -> list:
+    return [f.code for f in run_rules([path])]
+
+
+def rule_findings(rule, path: Path) -> list:
+    return list(rule.check(load_module(path)))
+
+
+# ----------------------------------------------------------------------
+# SIM001: wall clock / global randomness
+# ----------------------------------------------------------------------
+class TestWallClock:
+    def test_time_time_fires(self, tmp_path):
+        path = write(tmp_path, "bad.py", """\
+            import time
+
+            def stamp():
+                return time.time()
+            """)
+        findings = rule_findings(WallClockRule(), path)
+        assert [f.code for f in findings] == ["SIM001"]
+        assert findings[0].line == 4
+
+    def test_datetime_now_fires(self, tmp_path):
+        path = write(tmp_path, "bad.py", """\
+            import datetime
+            from datetime import datetime as dt
+
+            a = datetime.datetime.now()
+            b = dt.utcnow()
+            """)
+        assert [f.code for f in rule_findings(WallClockRule(), path)] == ["SIM001", "SIM001"]
+
+    def test_global_random_fires(self, tmp_path):
+        path = write(tmp_path, "bad.py", """\
+            import random
+            from random import randint
+
+            def roll():
+                return random.random() + randint(1, 6)
+            """)
+        assert len(rule_findings(WallClockRule(), path)) == 2
+
+    def test_unseeded_random_instance_fires_seeded_does_not(self, tmp_path):
+        path = write(tmp_path, "mixed.py", """\
+            import random
+
+            bad = random.Random()
+            good = random.Random(42)
+            named = random.Random("0:loss")
+            """)
+        findings = rule_findings(WallClockRule(), path)
+        assert [f.line for f in findings] == [3]
+
+    def test_instance_methods_are_fine(self, tmp_path):
+        path = write(tmp_path, "good.py", """\
+            def pick(sim):
+                rng = sim.substream("pick")
+                return rng.random()
+            """)
+        assert rule_findings(WallClockRule(), path) == []
+
+
+# ----------------------------------------------------------------------
+# SIM002: raw sequence arithmetic
+# ----------------------------------------------------------------------
+class TestSeqArithmetic:
+    def test_inline_mod_fires(self, tmp_path):
+        path = write(tmp_path, "bad.py", "def f(x):\n    return x * 31 % (1 << 32)\n")
+        findings = rule_findings(SeqArithmeticRule(), path)
+        assert [f.code for f in findings] == ["SIM002"]
+
+    def test_mask_on_seq_fires(self, tmp_path):
+        path = write(tmp_path, "bad.py", "def f(pkt, n):\n    return (pkt.seq + n) & 0xFFFFFFFF\n")
+        codes = [f.code for f in rule_findings(SeqArithmeticRule(), path)]
+        assert "SIM002" in codes
+
+    def test_bare_plus_on_seq_name_fires(self, tmp_path):
+        path = write(tmp_path, "bad.py", "def f(expected_seq, take):\n    return expected_seq + take\n")
+        assert [f.code for f in rule_findings(SeqArithmeticRule(), path)] == ["SIM002"]
+
+    def test_crypto_word_masks_are_fine(self, tmp_path):
+        path = write(tmp_path, "good.py", """\
+            def rotl(value, amount):
+                return ((value << amount) | (value >> (32 - amount))) & 0xFFFFFFFF
+            """)
+        assert rule_findings(SeqArithmeticRule(), path) == []
+
+    def test_record_counter_increment_is_fine(self, tmp_path):
+        path = write(tmp_path, "good.py", """\
+            class Records:
+                def bump(self):
+                    self.tx_record_seq += 1
+            """)
+        assert rule_findings(SeqArithmeticRule(), path) == []
+
+    def test_seq_home_module_is_exempt(self, tmp_path):
+        home = tmp_path / "repro" / "tcp"
+        home.mkdir(parents=True)
+        path = home / "seq.py"
+        path.write_text("def add(seq, delta):\n    return (seq + delta) % (1 << 32)\n")
+        assert rule_findings(SeqArithmeticRule(), path) == []
+
+
+# ----------------------------------------------------------------------
+# SIM003: mutable defaults
+# ----------------------------------------------------------------------
+class TestMutableDefaults:
+    def test_list_and_dict_defaults_fire(self, tmp_path):
+        path = write(tmp_path, "bad.py", """\
+            def f(items=[], table={}):
+                return items, table
+
+            def g(pool=list()):
+                return pool
+            """)
+        assert [f.code for f in rule_findings(MutableDefaultsRule(), path)] == ["SIM003"] * 3
+
+    def test_none_default_is_fine(self, tmp_path):
+        path = write(tmp_path, "good.py", """\
+            def f(items=None, count=0, name="x"):
+                items = items if items is not None else []
+                return items, count, name
+            """)
+        assert rule_findings(MutableDefaultsRule(), path) == []
+
+
+# ----------------------------------------------------------------------
+# SIM004: adapter protocol surface
+# ----------------------------------------------------------------------
+class TestAdapterProtocol:
+    def test_incomplete_adapter_fires(self, tmp_path):
+        path = write(tmp_path, "bad.py", """\
+            from repro.core.types import L5pAdapter
+
+            class HalfAdapter(L5pAdapter):
+                name = "half"
+                header_len = 5
+
+                def parse_header(self, header, static_state):
+                    return None
+            """)
+        findings = rule_findings(AdapterProtocolRule(), path)
+        assert len(findings) == 1
+        assert findings[0].code == "SIM004"
+        for member in ("magic_len", "check_magic", "begin_message", "apply_packet_meta"):
+            assert member in findings[0].message
+
+    def test_complete_adapter_is_fine(self, tmp_path):
+        path = write(tmp_path, "good.py", """\
+            from repro.core.types import L5pAdapter
+
+            class FullAdapter(L5pAdapter):
+                name = "full"
+                header_len = 5
+                magic_len = 2
+
+                def parse_header(self, header, static_state):
+                    return None
+
+                def check_magic(self, window, static_state):
+                    return False
+
+                def begin_message(self, direction, static_state, desc, msg_index, rr_state=None):
+                    raise NotImplementedError
+
+                def apply_packet_meta(self, meta, processed, ok, desc_kinds):
+                    pass
+            """)
+        assert rule_findings(AdapterProtocolRule(), path) == []
+
+    def test_indirect_subclass_not_rechecked(self, tmp_path):
+        path = write(tmp_path, "good.py", """\
+            from repro.l5p.tls.record import TlsAdapter
+
+            class StackedAdapter(TlsAdapter):
+                def begin_message(self, direction, static_state, desc, msg_index, rr_state=None):
+                    raise NotImplementedError
+            """)
+        assert rule_findings(AdapterProtocolRule(), path) == []
+
+
+# ----------------------------------------------------------------------
+# suppression, the real tree, and the CLI
+# ----------------------------------------------------------------------
+class TestRunner:
+    def test_noqa_suppresses_specific_code(self, tmp_path):
+        path = write(tmp_path, "waived.py", """\
+            import time
+
+            def stamp():
+                return time.time()  # noqa: SIM001
+            """)
+        assert codes_for(path) == []
+
+    def test_bare_noqa_suppresses_everything(self, tmp_path):
+        path = write(tmp_path, "waived.py", "def f(items=[]):  # noqa\n    return items\n")
+        assert codes_for(path) == []
+
+    def test_noqa_for_other_code_does_not_suppress(self, tmp_path):
+        path = write(tmp_path, "bad.py", "def f(items=[]):  # noqa: SIM001\n    return items\n")
+        assert codes_for(path) == ["SIM003"]
+
+    def test_real_tree_is_clean(self):
+        findings = run_rules([default_target()])
+        assert findings == [], "\n".join(f.format() for f in findings)
+
+    def test_all_rules_registered(self):
+        assert sorted(rule.code for rule in all_rules()) == ["SIM001", "SIM002", "SIM003", "SIM004"]
+
+    def test_cli_exit_zero_on_clean_tree(self, capsys):
+        assert main([]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_cli_reports_code_and_location(self, tmp_path, capsys):
+        path = write(tmp_path, "seeded.py", """\
+            import time
+
+            def f(a_seq, items=[]):
+                return time.time(), a_seq + 1, a_seq % (1 << 32), items
+            """)
+        assert main([str(path)]) == 1
+        out = capsys.readouterr().out
+        for code in ("SIM001", "SIM002", "SIM003"):
+            assert code in out
+        assert f"{path}:4" in out
+
+    def test_cli_select_runs_only_chosen_rules(self, tmp_path, capsys):
+        body = "import time\nx = time.time()\n\ndef f(i=[]):\n    return i\n"
+        path = write(tmp_path, "seeded.py", body)
+        assert main(["--select", "SIM001", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "SIM001" in out and "SIM003" not in out
+
+    def test_cli_rejects_unknown_rule_and_missing_path(self, tmp_path, capsys):
+        assert main(["--select", "SIM042"]) == 2
+        assert main([str(tmp_path / "nope.py")]) == 2
+
+    def test_cli_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("SIM001", "SIM002", "SIM003", "SIM004"):
+            assert code in out
+
+    def test_syntax_error_reported_not_crash(self, tmp_path):
+        path = write(tmp_path, "broken.py", "def f(:\n")
+        assert codes_for(path) == ["SIM999"]

@@ -1,0 +1,240 @@
+"""The runtime invariant sanitizer: illegal Figure 7 edges, walker-phase
+violations, sequence regressions, and non-size-preserving transforms all
+raise ``InvariantViolation``; clean end-to-end runs report zero
+violations while demonstrably performing checks."""
+
+import pytest
+
+from repro.analysis import sanitizer
+from repro.analysis.sanitizer import InvariantViolation
+from repro.core.context import Phase, RxState
+from repro.core.types import Direction
+from repro.core.walker import WalkResult
+from repro.net.host import Host
+from repro.net.packet import FlowKey, Packet
+from repro.nic import OffloadNic
+from repro.sim import Simulator
+from toy_l5p import ToyAdapter, ToyL5pOps, encode_message, plain_message
+
+FLOW = FlowKey("server", 2000, "client", 1000)
+
+
+class _FakeConn:
+    def __init__(self, flow=None):
+        self.flow = flow if flow is not None else FLOW.reversed()
+        self.tx_ctx_id = None
+        self.snd_una = 0
+
+
+def make_ctx(direction=Direction.RX, start_seq=0):
+    sim = Simulator()
+    nic = OffloadNic()
+    host = Host(sim, "client", nic=nic)
+    delivered = []
+    host.deliver = delivered.append
+    nic.output = lambda pkt: None  # no link needed
+    ctx = nic.driver.l5o_create(
+        _FakeConn(), ToyAdapter(), None, tcpsn=start_seq, direction=direction, l5p_ops=ToyL5pOps()
+    )
+    return nic, ctx, delivered
+
+
+class TestFigure7Edges:
+    def test_legal_cycle_passes(self):
+        with sanitizer.enabled() as san:
+            _nic, ctx, _ = make_ctx()
+            ctx.rx_state = RxState.SEARCHING
+            ctx.rx_state = RxState.TRACKING
+            ctx.rx_state = RxState.SEARCHING  # refuted speculation
+            ctx.rx_state = RxState.TRACKING
+            ctx.rx_state = RxState.OFFLOADING  # confirmed
+            assert san.violations == 0
+            assert san.stats()["SAN-RX-STATE"] == 5
+
+    def test_offloading_to_tracking_raises(self):
+        with sanitizer.enabled():
+            _nic, ctx, _ = make_ctx()
+            with pytest.raises(InvariantViolation) as exc:
+                ctx.rx_state = RxState.TRACKING
+            assert exc.value.code == "SAN-RX-STATE"
+            assert exc.value.flow == ctx.flow
+
+    def test_searching_to_offloading_raises(self):
+        with sanitizer.enabled():
+            _nic, ctx, _ = make_ctx()
+            ctx.rx_state = RxState.SEARCHING
+            with pytest.raises(InvariantViolation):
+                ctx.rx_state = RxState.OFFLOADING
+
+    def test_disabled_sanitizer_checks_nothing(self):
+        sanitizer.disable()
+        try:
+            _nic, ctx, _ = make_ctx()
+            ctx.rx_state = RxState.TRACKING  # illegal, but nobody is looking
+            assert ctx.rx_state is RxState.TRACKING
+        finally:
+            sanitizer.enable()  # conftest default for the rest of the suite
+
+
+class TestWalkerPhase:
+    def test_trailer_to_body_raises(self):
+        with sanitizer.enabled():
+            _nic, ctx, _ = make_ctx()
+            ctx.phase = Phase.BODY
+            ctx.phase = Phase.TRAILER
+            with pytest.raises(InvariantViolation) as exc:
+                ctx.phase = Phase.BODY
+            assert exc.value.code == "SAN-PHASE"
+
+    def test_full_cycle_passes(self):
+        with sanitizer.enabled() as san:
+            _nic, ctx, _ = make_ctx()
+            ctx.phase = Phase.BODY
+            ctx.phase = Phase.TRAILER
+            ctx.phase = Phase.HEADER
+            ctx.phase = Phase.TRAILER  # body-less message
+            ctx.phase = Phase.HEADER
+            assert san.violations == 0
+
+
+class TestExpectedSeq:
+    def test_backwards_move_raises(self):
+        with sanitizer.enabled():
+            _nic, ctx, _ = make_ctx(start_seq=5000)
+            ctx.expected_seq = 6000
+            with pytest.raises(InvariantViolation) as exc:
+                ctx.expected_seq = 5500
+            assert exc.value.code == "SAN-RX-SEQ"
+
+    def test_tx_recovery_rewind_is_sanctioned(self):
+        with sanitizer.enabled() as san:
+            _nic, ctx, _ = make_ctx(direction=Direction.TX, start_seq=5000)
+            ctx.expected_seq = 6000
+            with sanitizer.allow_rewind(ctx):
+                ctx.expected_seq = 5200  # back to the covering message start
+            ctx.expected_seq = 6100
+            assert san.violations == 0
+
+    def test_regression_past_created_seq_raises_even_in_recovery(self):
+        with sanitizer.enabled():
+            _nic, ctx, _ = make_ctx(direction=Direction.TX, start_seq=5000)
+            ctx.expected_seq = 6000
+            with sanitizer.allow_rewind(ctx):
+                with pytest.raises(InvariantViolation) as exc:
+                    ctx.expected_seq = 4000  # before the offload existed
+            assert exc.value.code == "SAN-RX-SEQ"
+
+    def test_wraparound_advance_is_monotonic(self):
+        with sanitizer.enabled() as san:
+            start = (1 << 32) - 100
+            _nic, ctx, _ = make_ctx(start_seq=start)
+            ctx.expected_seq = 50  # wrapped, but forward in mod-2^32 space
+            assert san.violations == 0
+
+
+class TestSizePreservation:
+    def test_short_tx_walk_output_raises(self, monkeypatch):
+        """Inject a non-size-preserving TX transform below the engine."""
+
+        def lying_walk(ctx, data, emit=True):
+            return WalkResult(out=data[: len(data) // 2])
+
+        monkeypatch.setattr("repro.core.tx.walk", lying_walk)
+        with sanitizer.enabled():
+            nic, ctx, _ = make_ctx(direction=Direction.TX)
+            pkt = Packet(FLOW, seq=0, payload=plain_message(b"hello-world!"))
+            pkt.tx_ctx_id = ctx.ctx_id
+            with pytest.raises(InvariantViolation) as exc:
+                nic.transmit(_FakeConn(), pkt)
+            assert exc.value.code == "SAN-TX-SIZE"
+
+    def test_short_rx_walk_output_raises(self, monkeypatch):
+        def lying_walk(ctx, data, emit=True):
+            return WalkResult(out=data[:-1])
+
+        monkeypatch.setattr("repro.core.rx.walk", lying_walk)
+        with sanitizer.enabled():
+            nic, _ctx, _ = make_ctx()
+            pkt = Packet(FLOW, seq=0, payload=encode_message(b"payload", 0))
+            with pytest.raises(InvariantViolation) as exc:
+                nic.receive(pkt)
+            assert exc.value.code == "SAN-RX-HOLD"
+
+    def test_honest_transfer_passes(self):
+        with sanitizer.enabled() as san:
+            nic, _ctx, delivered = make_ctx()
+            wire = encode_message(b"A" * 100, 0) + encode_message(b"B" * 50, 1)
+            nic.receive(Packet(FLOW, seq=0, payload=wire))
+            assert len(delivered) == 1
+            assert san.violations == 0
+            assert san.stats()["SAN-RX-HOLD"] >= 1
+
+
+class TestEndToEnd:
+    """One TLS and one NVMe-TCP scenario under the sanitizer — lossy
+    enough to exercise recovery, with zero invariant violations."""
+
+    def test_tls_e2e_with_loss_zero_violations(self):
+        from test_tls_e2e import run_tls_transfer, tls_pair
+        from repro.l5p.tls import TlsConfig
+
+        with sanitizer.enabled() as san:
+            pair = tls_pair(loss_to_server=0.02, seed=7)
+            payload = bytes(i % 251 for i in range(300_000))
+            received, _client, server = run_tls_transfer(
+                pair,
+                payload,
+                TlsConfig(tx_offload=True),
+                TlsConfig(rx_offload=True),
+                until=30.0,
+            )
+            assert received == payload
+            assert san.violations == 0
+            stats = san.stats()
+            # The sanitizer demonstrably watched the run.
+            assert stats.get("SAN-RX-HOLD", 0) > 0
+            assert stats.get("SAN-RX-SEQ", 0) > 0
+            assert stats.get("SAN-TX-SIZE", 0) > 0
+            # Loss forced the Figure 7 machine through real transitions.
+            assert stats.get("SAN-RX-STATE", 0) > 0
+
+    def test_nvme_e2e_zero_violations(self):
+        from test_nvme_e2e import nvme_pair, run_reads
+        from repro.l5p.nvme_tcp import NvmeConfig
+
+        with sanitizer.enabled() as san:
+            cfg = NvmeConfig(tx_offload=True, rx_offload_crc=True, rx_offload_copy=True)
+            pair, initiator, _target, device = nvme_pair(host_cfg=cfg, target_cfg=cfg)
+            results = run_reads(pair, initiator, [(0, 65536), (131072, 32768)])
+            assert results[0][0] == device.peek(0, 65536)
+            assert results[1][0] == device.peek(131072, 32768)
+            assert san.violations == 0
+            assert san.stats().get("SAN-RX-HOLD", 0) > 0
+
+
+class TestTestbedFlag:
+    def test_testbed_config_enables_sanitizer(self):
+        from repro.harness.testbed import Testbed, TestbedConfig
+
+        sanitizer.disable()
+        try:
+            Testbed(TestbedConfig(sanitize=True))
+            assert sanitizer.active() is not None
+        finally:
+            sanitizer.disable()
+            sanitizer.enable()  # restore the suite-wide default
+
+
+class TestViolationDiagnostics:
+    def test_violation_carries_flow_ctx_seq(self):
+        with sanitizer.enabled():
+            _nic, ctx, _ = make_ctx(start_seq=1000)
+            ctx.expected_seq = 2000
+            with pytest.raises(InvariantViolation) as exc:
+                ctx.expected_seq = 1500
+            err = exc.value
+            assert err.ctx_id == ctx.ctx_id
+            assert err.flow == ctx.flow
+            assert err.seq == 1500
+            assert err.direction == "rx"
+            assert "SAN-RX-SEQ" in str(err)

@@ -5,7 +5,7 @@ decryption — plus the TLS fallback functions themselves."""
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.crypto.gcm import AesGcm, AuthenticationError
+from repro.crypto.gcm import AesGcm
 from repro.crypto.suite import AesGcmSuite, XorGcmSuite
 from repro.l5p.base import Run
 from repro.l5p.tls.fallback import decrypt_whole_record, recover_partial_record

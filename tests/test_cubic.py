@@ -2,7 +2,6 @@
 
 import pytest
 
-from helpers import make_pair
 from repro.net.host import Host
 from repro.net.link import Link, LinkConfig
 from repro.sim import Simulator

@@ -1,7 +1,6 @@
 """End-to-end NVMe-TCP tests: reads/writes over the simulated fabric,
 CRC and copy offloads, fault resilience, and the NVMe-TLS composition."""
 
-import pytest
 
 from helpers import make_pair
 from repro.l5p.nvme_tcp import NvmeConfig, NvmeTcpHost, NvmeTcpTarget

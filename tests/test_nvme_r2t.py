@@ -1,6 +1,5 @@
 """R2T / H2CData write-path tests (NVMe/TCP solicited data transfers)."""
 
-import pytest
 
 from helpers import make_pair
 from repro.l5p.nvme_tcp import NvmeConfig, NvmeTcpHost, NvmeTcpTarget

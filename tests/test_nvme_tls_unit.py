@@ -1,6 +1,5 @@
 """Unit tests for the stacked NVMe-TLS adapter (§5.3)."""
 
-import pytest
 
 from repro.core.context import HwContext
 from repro.core.types import Direction, TxMsgState

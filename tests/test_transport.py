@@ -1,6 +1,5 @@
 """Transport facade tests: the uniform app API over raw TCP and kTLS."""
 
-import pytest
 
 from helpers import make_pair
 from repro.apps.transport import Transport

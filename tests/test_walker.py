@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.context import HwContext, Phase
-from repro.core.types import Direction, MessageDesc, MsgTransform, ProtocolError
+from repro.core.types import Direction, MsgTransform, ProtocolError
 from repro.core.walker import replay, walk
 from repro.net.packet import FlowKey
 from toy_l5p import ToyAdapter, encode_message, plain_message
