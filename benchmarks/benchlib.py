@@ -1,0 +1,22 @@
+"""Shared benchmark-suite knobs.
+
+``REPRO_BENCH_QUICK=1`` selects the reduced-scale sweeps the CI
+bench-smoke job runs: same experiments and assertions, smaller grids.
+Quick runs emit under a ``_quick``-suffixed name so their JSON compares
+against the quick entries of ``benchmarks/baseline.json`` and never
+collides with full-scale results.
+"""
+
+import os
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "").lower() in ("1", "true", "yes", "on")
+
+
+def bench_name(name: str) -> str:
+    """The emission name for the current scale."""
+    return f"{name}_quick" if QUICK else name
+
+
+def loss_pct(loss: float) -> str:
+    """Stable metric-key fragment for a loss point (``loss3`` for 3%)."""
+    return f"loss{round(100 * loss)}"

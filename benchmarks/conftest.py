@@ -4,6 +4,12 @@ Every benchmark regenerates one of the paper's tables or figures: it
 runs the matching experiment on the simulated testbed, prints the same
 rows/series the paper reports, and saves them under benchmarks/out/ so
 EXPERIMENTS.md can be cross-checked against fresh runs.
+
+Benchmarks that pass ``metrics=`` to the ``emit`` fixture dual-emit: the
+human-readable text plus a machine-readable ``out/<name>.json`` (schema
+in :mod:`repro.obs.bench`), which ``python -m repro.obs.regress`` gates
+against ``benchmarks/baseline.json``.  ``REPRO_BENCH_QUICK=1`` switches
+the sweeps to the reduced-scale grids CI runs (see ``benchlib``).
 """
 
 import os
@@ -13,19 +19,29 @@ import pytest
 
 sys.path.insert(0, os.path.dirname(__file__))
 
+from benchlib import bench_name  # noqa: E402 (path set up above)
+from repro.obs.bench import write_bench_json  # noqa: E402
+
 OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
 
 
 @pytest.fixture
 def emit():
-    """Print a figure/table reproduction and persist it to out/."""
+    """Print a figure/table reproduction and persist it to out/.
 
-    def _emit(name: str, text: str) -> None:
+    ``metrics`` (optional) is a flat ``name -> number`` mapping written
+    alongside as ``out/<name>.json`` for the perf-regression gate.
+    """
+
+    def _emit(name: str, text: str, metrics=None, meta=None) -> None:
+        name = bench_name(name)
         os.makedirs(OUT_DIR, exist_ok=True)
         print()
         print(f"=== {name} ===")
         print(text)
         with open(os.path.join(OUT_DIR, f"{name}.txt"), "w") as fh:
             fh.write(text + "\n")
+        if metrics is not None:
+            write_bench_json(OUT_DIR, name, metrics, meta)
 
     return _emit

@@ -2,10 +2,11 @@
 classification of TLS records into entirely / partially / not offloaded
 (the effectiveness of the NIC's context recovery)."""
 
+from benchlib import QUICK, loss_pct
 from repro.experiments.iperf_tls import run_iperf
 from repro.harness.report import Table
 
-LOSS_POINTS = (0.0, 0.01, 0.03, 0.05)
+LOSS_POINTS = (0.0, 0.03) if QUICK else (0.0, 0.01, 0.03, 0.05)
 STREAMS = 64  # scaled from the paper's 128 for simulation cost
 MODES = ("tcp", "tls-offload", "tls-sw")
 
@@ -37,6 +38,7 @@ def test_fig17(benchmark, emit):
         ["loss %", "tcp Gbps", "offload Gbps", "sw tls Gbps", "full %", "partial %", "none %"],
         title=f"Figure 17: receiver-side loss (1 receiver core, {STREAMS} streams)",
     )
+    metrics = {}
     for loss in LOSS_POINTS:
         off = grid[(loss, "tls-offload")]
         cls = classify(off)
@@ -49,7 +51,14 @@ def test_fig17(benchmark, emit):
             f"{100 * cls['partial']:.0f}%",
             f"{100 * cls['none']:.0f}%",
         )
-    emit("fig17_rx_loss", table.render())
+        key = loss_pct(loss)
+        metrics[f"{key}.tcp_gbps"] = grid[(loss, "tcp")].goodput_gbps
+        metrics[f"{key}.offload_gbps"] = off.goodput_gbps
+        metrics[f"{key}.sw_gbps"] = grid[(loss, "tls-sw")].goodput_gbps
+        metrics[f"{key}.full_frac"] = cls["full"]
+        metrics[f"{key}.partial_frac"] = cls["partial"]
+        metrics[f"{key}.none_frac"] = cls["none"]
+    emit("fig17_rx_loss", table.render(), metrics=metrics, meta={"streams": STREAMS})
 
     # Loss-free: everything is offloaded and offload ~ matches TCP pace.
     clean = classify(grid[(0.0, "tls-offload")])
@@ -59,8 +68,9 @@ def test_fig17(benchmark, emit):
     # at 5%; our software-confirmation latency is more conservative —
     # each speculative recovery costs a few records — so the measured
     # tail is lower.  See EXPERIMENTS.md.)
-    assert classify(grid[(0.01, "tls-offload")])["full"] > 0.45
-    worst = classify(grid[(0.05, "tls-offload")])
+    if 0.01 in LOSS_POINTS:
+        assert classify(grid[(0.01, "tls-offload")])["full"] > 0.45
+    worst = classify(grid[(LOSS_POINTS[-1], "tls-offload")])
     assert worst["full"] > 0.05
     # Offload clearly wins at realistic loss (<=2% on the internet) and
     # degrades to software-TLS parity at the worst case.

@@ -51,6 +51,9 @@ class HwContext:
         tcpsn: int,
         msg_index: int = 0,
     ):
+        # Observability handle (repro.obs.Obs or None), wired by the
+        # driver at creation; must exist before any property assignment.
+        self.obs = None
         self.ctx_id = ctx_id
         self.flow = flow
         self.direction = direction
@@ -107,11 +110,17 @@ class HwContext:
 
     @rx_state.setter
     def rx_state(self, new: RxState) -> None:
+        old = getattr(self, "_rx_state", None)
         san = _sanitizer_active()
-        if san is not None:
-            old = getattr(self, "_rx_state", None)
-            if old is not None:
-                san.rx_state_edge(self, old, new)
+        if san is not None and old is not None:
+            san.rx_state_edge(self, old, new)
+        obs = self.obs
+        if obs is not None and old is not None and old is not new:
+            # One counter per Figure 7 edge: offloading->searching (b),
+            # searching->tracking (c), tracking->searching (d1),
+            # tracking->offloading (d2).
+            obs.count(f"nic.rx.resync.edge.{old.value}->{new.value}")
+            obs.event(f"rx {old.value}->{new.value}", lane=f"ctx/{self.ctx_id}", cat="resync")
         self._rx_state = new
 
     @property

@@ -71,6 +71,7 @@ class NicDriver:
             flow = conn.flow.reversed()  # incoming packets carry the peer's view
         ctx = HwContext(ctx_id, flow, direction, adapter, static_state, tcpsn, msg_index=msg_index)
         ctx.l5p_ops = l5p_ops
+        ctx.obs = self.nic.obs
         if direction == Direction.TX:
             self.tx_contexts[ctx_id] = ctx
             conn.tx_ctx_id = ctx_id
@@ -101,6 +102,9 @@ class NicDriver:
         """The L5P confirms/denies the NIC's speculated header at
         ``tcpsn``; on success the NIC resumes offloading from the next
         message boundary (Figure 7, transition d2)."""
+        obs = self.nic.obs
+        if obs is not None:
+            obs.count("driver.resync.confirmed" if result else "driver.resync.denied")
         self.nic.rx_engine.resync_response(ctx, tcpsn, result, msg_index)
 
     # ------------------------------------------------------------------
@@ -135,6 +139,10 @@ class NicDriver:
         """HW->SW: deliver the speculation request to the L5P (via a
         completion on the receive ring, then the driver's upcall)."""
         ctx.resync_requests += 1
+        obs = self.nic.obs
+        if obs is not None:
+            obs.count("driver.resync.requests")
+            obs.event("resync-request", lane=f"ctx/{ctx.ctx_id}", cat="resync", tcpsn=tcpsn)
         self.nic.pcie.count("descriptor", 64)
         if ctx.l5p_ops is not None:
             self.nic.host.sim.schedule(self.resync_delay_s, ctx.l5p_ops.l5o_resync_rx_req, tcpsn)

@@ -45,6 +45,9 @@ class RxEngine:
             return
         self.nic.cache.access(ctx)
         self.nic.pcie.count("rx-packet", len(pkt.payload))
+        obs = self.nic.obs
+        if obs is not None:
+            obs.count(f"nic.rx.pkts.{ctx.rx_state.value}")
         if ctx.rx_state == RxState.OFFLOADING:
             self._offloading(ctx, pkt)
         elif ctx.rx_state == RxState.SEARCHING:
@@ -103,6 +106,10 @@ class RxEngine:
             # mode so *later* packets can be offloaded mid-message.
             ctx.pkts_bypassed += 1
             ctx.boundary_resyncs += 1
+            obs = self.nic.obs
+            if obs is not None:
+                obs.count("nic.rx.boundary_resyncs")
+                obs.event("boundary-resync", lane=f"ctx/{ctx.ctx_id}", cat="resync", boundary=boundary)
             ctx.adapter.on_disruption(ctx)
             skip = sq.sub(boundary, pkt.seq)
             ctx.msg_index += 1  # the torn message still counts as "previous"

@@ -101,6 +101,13 @@ class TxEngine:
         # driver-side upcall work is charged to the flow's core.
         ctx.tx_recoveries += 1
         ctx.tx_recovery_bytes += offset
+        obs = self.nic.obs
+        if obs is not None:
+            obs.count("nic.tx.recoveries")
+            obs.count("nic.tx.recovery_dma_bytes", offset)
+            obs.event(
+                "tx-recovery", lane=f"ctx/{ctx.ctx_id}", cat="recovery", tcpsn=tcpsn, replayed_bytes=offset
+            )
         self.nic.pcie.count("recovery", offset)
         self.nic.pcie.count("descriptor", 64)
         host = self.nic.host

@@ -105,6 +105,14 @@ def walk(ctx: HwContext, data: bytes, emit: bool = True) -> WalkResult:
                 result.completed += 1
                 ctx.finish_message()
     result.out = bytes(out)
+    obs = ctx.obs
+    if obs is not None:
+        mode = "offload" if emit else "track"
+        obs.count(f"walker.{ctx.direction.value}.{mode}.bytes", n)
+        if result.completed:
+            obs.count(f"walker.{ctx.direction.value}.{mode}.msgs", result.completed)
+        if result.desynced:
+            obs.count("walker.desyncs")
     return result
 
 

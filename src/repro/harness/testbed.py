@@ -38,6 +38,12 @@ class TestbedConfig:
     # Enable the runtime invariant sanitizer (repro.analysis.sanitizer)
     # for this run; also switchable globally via REPRO_SANITIZE=1.
     sanitize: bool = False
+    # Observability (repro.obs): per-component counters and, optionally,
+    # a Chrome trace_event timeline.  Off by default: the datapath then
+    # performs no metric work beyond a pointer check.
+    metrics: bool = False
+    trace: bool = False
+    trace_limit: int = 200_000
 
 
 class Testbed:
@@ -53,6 +59,12 @@ class Testbed:
 
             sanitizer.enable()
         self.sim = Simulator(seed=cfg.seed)
+        self.obs = None
+        if cfg.metrics or cfg.trace:
+            from repro.obs import Obs
+
+            self.obs = Obs(self.sim, trace=cfg.trace, trace_limit=cfg.trace_limit)
+            self.sim.obs = self.obs
         self.server = Host(
             self.sim,
             "server",
@@ -85,6 +97,30 @@ class Testbed:
         )
         self.server.attach_link(self.link, "a")
         self.generator.attach_link(self.link, "b")
+        if self.obs is not None:
+            self._register_probes()
+
+    # ------------------------------------------------------------------
+    def _register_probes(self) -> None:
+        """Attach pull-based metrics for everything that already keeps
+        its own statistics; sampled only when a snapshot is taken."""
+        obs = self.obs
+        obs.probe("sim.events_fired", lambda: self.sim.events_fired)
+        obs.probe("sim.now_ns", lambda: self.sim.now_ns)
+        for host in (self.server, self.generator):
+            name = host.name
+            obs.probe(f"host.{name}.cpu.cycles", host.cpu.cycles_by_category)
+            obs.probe(f"host.{name}.tcp.connections", lambda h=host: h.tcp.connection_count)
+            obs.probe(f"host.{name}.nic.pcie.bytes", lambda h=host: dict(h.nic.pcie.bytes_by_category))
+            obs.probe(
+                f"host.{name}.nic.cache",
+                lambda h=host: {
+                    "hits": h.nic.cache.hits,
+                    "misses": h.nic.cache.misses,
+                    "occupancy": h.nic.cache.occupancy,
+                },
+            )
+            obs.probe(f"host.{name}.nic.offload", lambda h=host: h.nic.offload_stats())
 
     # ------------------------------------------------------------------
     def run(self, until: float) -> None:
@@ -98,3 +134,42 @@ class Testbed:
         self.generator.nic.pcie.reset_stats()
         self.server.nic.cache.reset_stats()
         self.server.rx_batch_sizes.clear()
+        if self.obs is not None:
+            self.obs.metrics.reset()
+
+    # ------------------------------------------------------------------
+    # structured reporting (repro.obs)
+    # ------------------------------------------------------------------
+    def metrics_report(self) -> dict:
+        """A structured snapshot of the run: config, clock, and every
+        registered metric (push counters and pull probes alike)."""
+        if self.obs is None:
+            raise RuntimeError("metrics are not enabled; pass TestbedConfig(metrics=True)")
+        cfg = self.config
+        return {
+            "config": {
+                "seed": cfg.seed,
+                "server_cores": cfg.server_cores,
+                "generator_cores": cfg.generator_cores,
+                "bandwidth_bps": cfg.bandwidth_bps,
+                "loss_to_server": cfg.loss_to_server,
+                "loss_to_generator": cfg.loss_to_generator,
+                "nic_cache_bytes": cfg.nic_cache_bytes,
+            },
+            "sim": {"now_ns": self.sim.now_ns, "events_fired": self.sim.events_fired},
+            "metrics": self.obs.snapshot(),
+        }
+
+    def write_metrics(self, path: str) -> None:
+        import json
+
+        with open(path, "w") as fh:
+            json.dump(self.metrics_report(), fh, indent=2, sort_keys=True, default=str)
+            fh.write("\n")
+
+    def write_trace(self, path: str) -> None:
+        """Export the run's Chrome trace_event JSON (about:tracing /
+        Perfetto); requires TestbedConfig(trace=True)."""
+        if self.obs is None or self.obs.tracer is None:
+            raise RuntimeError("tracing is not enabled; pass TestbedConfig(trace=True)")
+        self.obs.write_trace(path)

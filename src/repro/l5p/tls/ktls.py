@@ -284,6 +284,10 @@ class KtlsSocket:
         self._tx_plain_sent += len(body)
         self.stats.records_tx += 1
         self.stats.bytes_tx += len(body)
+        obs = self.host.sim.obs
+        if obs is not None:
+            kind = "offload" if self._tx_ctx is not None else "sw"
+            obs.count(f"l5p.tls.tx.bytes.{kind}", len(body))
 
     def close(self) -> None:
         self.conn.close()
@@ -354,14 +358,21 @@ class KtlsSocket:
         nonce = record_nonce(self.rx_state.iv, idx)
         tag = wire[HEADER_LEN + body_len :]
         decrypted_flags = [run.meta.decrypted for run in msg.runs]
+        obs = self.host.sim.obs
         plain_runs: list[Run]
         if all(decrypted_flags):
             self.stats.records_rx_full += 1
+            if obs is not None:
+                obs.count("l5p.tls.rx.records.full")
+                obs.count("l5p.tls.rx.bytes.offload", body_len)
             plain_runs = msg.slice_runs(HEADER_LEN, body_len)
             plain = b"".join(r.data for r in plain_runs)
             ok = True
         elif not any(decrypted_flags):
             self.stats.records_rx_none += 1
+            if obs is not None:
+                obs.count("l5p.tls.rx.records.none")
+                obs.count("l5p.tls.rx.bytes.fallback", body_len)
             crypto = self.model.cycles_crypto_setup + self.model.cpb_aes_gcm * (body_len + TAG_LEN)
             self.core.charge(crypto, "crypto")
             ciphertext = wire[HEADER_LEN : HEADER_LEN + body_len]
@@ -369,6 +380,9 @@ class KtlsSocket:
             plain_runs = [Run(plain, SkbMeta())]
         else:
             self.stats.records_rx_partial += 1
+            if obs is not None:
+                obs.count("l5p.tls.rx.records.partial")
+                obs.count("l5p.tls.rx.bytes.fallback", body_len)
             body_runs = msg.slice_runs(HEADER_LEN, body_len)
             recovered = recover_partial_record(self.suite, self.rx_state.key, nonce, header, body_runs, tag)
             # Partial fallback re-encrypts NIC-decrypted runs: costlier

@@ -110,6 +110,7 @@ class Host:
         self._polling[core.index] = False
         if not queue:
             return
+        poll_start = self.sim.now
         batch = 0
         core.charge(self.model.cycles_rx_batch, "stack")
         while queue and batch < _MAX_RX_BATCH:
@@ -124,6 +125,16 @@ class Host:
             else:
                 self.tcp.handle_packet(pkt)
         self.rx_batch_sizes.append(batch)
+        obs = self.sim.obs
+        if obs is not None:
+            obs.observe(f"host.{self.name}.rx_batch", batch)
+            obs.span(
+                "napi-poll",
+                poll_start,
+                max(0.0, core.busy_until - poll_start),
+                lane=f"{self.name}/core{core.index}",
+                batch=batch,
+            )
         if queue:  # budget exhausted: re-arm immediately
             self._polling[core.index] = True
             core.when_free(self._poll, core)

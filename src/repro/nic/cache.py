@@ -27,21 +27,30 @@ class ContextCache:
         self._lru: OrderedDict[int, None] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.obs = None  # repro.obs handle, wired by OffloadNic.bind()
 
     def access(self, ctx: HwContext) -> bool:
         """Touch a context; returns True on hit."""
         key = ctx.ctx_id
+        obs = self.obs
         if key in self._lru:
             self._lru.move_to_end(key)
             self.hits += 1
+            if obs is not None:
+                obs.count("nic.cache.hit")
             return True
         self.misses += 1
+        if obs is not None:
+            obs.count("nic.cache.miss")
+            obs.count("nic.cache.miss_dma_bytes", self.entry_bytes)
         # Fetch from host memory; evict the coldest entry if full
         # (write-back of the evicted context plus read of the new one).
         self.pcie.count("context", self.entry_bytes)
         if len(self._lru) >= self.capacity_entries:
             self._lru.popitem(last=False)
             self.pcie.count("context", self.entry_bytes)
+            if obs is not None:
+                obs.count("nic.cache.evictions")
         self._lru[key] = None
         return False
 

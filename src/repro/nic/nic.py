@@ -34,6 +34,14 @@ class OffloadNic(PassthroughNic):
 
         self.datagram_engine = DatagramEngine(self)
         self.contexts_installed = 0
+        self.obs = None  # repro.obs handle, wired at bind()
+
+    def bind(self, host) -> None:
+        super().bind(host)
+        # Pick up the run's observability handle (if any) and share it
+        # with the components that have no path back to the simulator.
+        self.obs = host.sim.obs if host is not None else None
+        self.cache.obs = self.obs
 
     # ------------------------------------------------------------------
     # context lifecycle (called by the driver)
@@ -41,15 +49,26 @@ class OffloadNic(PassthroughNic):
     def context_installed(self, ctx: HwContext) -> None:
         self.contexts_installed += 1
         self.pcie.count("descriptor", 64)
+        obs = self.obs
+        if obs is not None:
+            obs.count("driver.contexts.installed")
+            obs.gauge("driver.contexts.active").inc()
 
     def context_removed(self, ctx: HwContext) -> None:
         self.cache.evict(ctx)
         self.pcie.count("descriptor", 64)
+        obs = self.obs
+        if obs is not None:
+            obs.count("driver.contexts.removed")
+            obs.gauge("driver.contexts.active").dec()
 
     # ------------------------------------------------------------------
     # datapath
     # ------------------------------------------------------------------
     def transmit(self, conn, pkt: Packet) -> None:
+        obs = self.obs
+        if obs is not None:
+            obs.count("nic.tx.pkts")
         ctx = self.driver.lookup_tx(pkt.tx_ctx_id)
         if ctx is not None:
             san = _sanitizer_active()
@@ -72,6 +91,9 @@ class OffloadNic(PassthroughNic):
 
     def receive(self, pkt: Packet) -> None:
         self.rx_packets += 1
+        obs = self.obs
+        if obs is not None:
+            obs.count("nic.rx.pkts")
         if pkt.ipproto == "udp":
             ctx = self.driver.dgram_rx_contexts.get(pkt.flow)
             if ctx is not None:

@@ -1,0 +1,73 @@
+"""The per-run observability handle.
+
+One :class:`Obs` bundles a :class:`~repro.obs.metrics.MetricsRegistry`
+and an optional :class:`~repro.obs.trace.Tracer` and hangs off the
+:class:`~repro.sim.Simulator` (``sim.obs``).  Components reach it
+through whatever already leads them to the simulator (``host.sim``,
+``nic.host.sim``) and guard every instrumentation site with a single
+``is not None`` check — when observability is off (the default),
+``sim.obs`` is ``None`` and the datapath does no metric work at all.
+
+Construct it *before* building hosts so components that cache the
+handle at construction time see it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+from repro.obs.metrics import Gauge, Histogram, MetricsRegistry, Number
+from repro.obs.trace import Tracer
+
+
+class Obs:
+    """Metrics registry plus (optional) event tracer for one run."""
+
+    def __init__(self, sim=None, trace: bool = False, trace_limit: int = 200_000):
+        self.sim = sim
+        self.metrics = MetricsRegistry()
+        clock = (lambda: sim.now) if sim is not None else (lambda: 0.0)
+        self.tracer: Optional[Tracer] = Tracer(clock, limit=trace_limit) if trace else None
+
+    # ------------------------------------------------------------------
+    # metric shorthands
+    # ------------------------------------------------------------------
+    def count(self, name: str, n: Number = 1) -> None:
+        self.metrics.counter(name).inc(n)
+
+    def gauge(self, name: str) -> Gauge:
+        return self.metrics.gauge(name)
+
+    def observe(self, name: str, value: Number, buckets: Optional[Sequence[float]] = None) -> Histogram:
+        h = self.metrics.histogram(name, buckets)
+        h.observe(value)
+        return h
+
+    def probe(self, name: str, fn: Callable[[], Any]) -> None:
+        self.metrics.probe(name, fn)
+
+    # ------------------------------------------------------------------
+    # trace shorthands (no-ops when tracing is off)
+    # ------------------------------------------------------------------
+    def event(self, name: str, lane: str = "sim", cat: str = "sim", **args: Any) -> None:
+        if self.tracer is not None:
+            self.tracer.instant(name, lane=lane, cat=cat, **args)
+
+    def span(self, name: str, start_s: float, duration_s: float, lane: str = "sim", **args: Any) -> None:
+        if self.tracer is not None:
+            self.tracer.complete(name, start_s, duration_s, lane=lane, **args)
+
+    def sample(self, name: str, lane: str = "sim", **values: float) -> None:
+        if self.tracer is not None:
+            self.tracer.counter(name, lane=lane, **values)
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        return self.metrics.snapshot()
+
+    def write_trace(self, path: str) -> None:
+        if self.tracer is None:
+            raise RuntimeError("tracing was not enabled for this run")
+        self.tracer.write(path)

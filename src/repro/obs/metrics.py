@@ -1,0 +1,216 @@
+"""Metric primitives: counters, gauges, histograms, and their registry.
+
+The registry is the single collection point for a run's telemetry.
+Components increment :class:`Counter`/:class:`Gauge`/:class:`Histogram`
+instances inline (push) while anything that already keeps its own
+statistics — PCIe byte accounting, CPU cycle attribution, per-context
+offload counters — is attached as a *probe*: a callable sampled only
+when a snapshot is taken (pull), so steady-state cost is zero.
+
+Metric names are dotted paths (``nic.cache.hit``,
+``host.server.rx_batch``); the first segment names the component family,
+which is how DESIGN.md maps each family back to the paper mechanism it
+observes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Optional, Sequence, Union
+
+Number = Union[int, float]
+
+#: Default histogram bucket upper bounds (powers of two): right for the
+#: batch/byte-count distributions the simulation produces.
+DEFAULT_BUCKETS: tuple[float, ...] = tuple(2.0**i for i in range(17))
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Number = 0
+
+    def inc(self, n: Number = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name}: negative increment {n!r}")
+        self.value += n
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class Gauge:
+    """A value that can move both ways (e.g. active contexts)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def inc(self, n: Number = 1) -> None:
+        self.value += n
+
+    def dec(self, n: Number = 1) -> None:
+        self.value -= n
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class Histogram:
+    """Summary statistics plus fixed-bound bucket counts."""
+
+    __slots__ = ("name", "buckets", "bucket_counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str, buckets: Optional[Sequence[float]] = None):
+        self.name = name
+        self.buckets = tuple(buckets) if buckets is not None else DEFAULT_BUCKETS
+        if list(self.buckets) != sorted(self.buckets):
+            raise ValueError(f"histogram {name}: bucket bounds must be sorted")
+        self.bucket_counts = [0] * (len(self.buckets) + 1)  # +1 overflow
+        self.count = 0
+        self.total: Number = 0
+        self.min: Optional[Number] = None
+        self.max: Optional[Number] = None
+
+    def observe(self, value: Number) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.bucket_counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.total = 0
+        self.min = None
+        self.max = None
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "buckets": {
+                **{str(b): c for b, c in zip(self.buckets, self.bucket_counts) if c},
+                **({"+inf": self.bucket_counts[-1]} if self.bucket_counts[-1] else {}),
+            },
+        }
+
+
+class MetricsRegistry:
+    """All metrics of one run, snapshotted as a JSON-friendly dict.
+
+    Instruments are created on first use so callers never need to
+    pre-declare them; a name is bound to a single instrument kind for
+    the registry's lifetime.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._probes: dict[str, Callable[[], Any]] = {}
+
+    # ------------------------------------------------------------------
+    # instrument lookup/creation
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            self._check_free(name, self._counters)
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            self._check_free(name, self._gauges)
+            g = self._gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name: str, buckets: Optional[Sequence[float]] = None) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            self._check_free(name, self._histograms)
+            h = self._histograms[name] = Histogram(name, buckets)
+        return h
+
+    def probe(self, name: str, fn: Callable[[], Any]) -> None:
+        """Register a pull-based metric: ``fn()`` is called per snapshot
+        and may return a scalar or a (nested) dict of scalars."""
+        self._probes[name] = fn
+
+    def _check_free(self, name: str, own: dict) -> None:
+        for kind in (self._counters, self._gauges, self._histograms):
+            if kind is not own and name in kind:
+                raise ValueError(f"metric name {name!r} already used by another instrument kind")
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """One structured view of everything, probes included."""
+        return {
+            "counters": {name: c.value for name, c in sorted(self._counters.items())},
+            "gauges": {name: g.value for name, g in sorted(self._gauges.items())},
+            "histograms": {name: h.summary() for name, h in sorted(self._histograms.items())},
+            "probes": {name: fn() for name, fn in sorted(self._probes.items())},
+        }
+
+    def flat(self) -> dict[str, Any]:
+        """Flattened ``dotted.name -> scalar`` view (histograms reduce to
+        count/mean/max), convenient for regression baselines."""
+        out: dict[str, Any] = {}
+        for name, c in self._counters.items():
+            out[name] = c.value
+        for name, g in self._gauges.items():
+            out[name] = g.value
+        for name, h in self._histograms.items():
+            out[f"{name}.count"] = h.count
+            out[f"{name}.mean"] = h.mean
+            out[f"{name}.max"] = h.max if h.max is not None else 0
+        for name, fn in self._probes.items():
+            _flatten(name, fn(), out)
+        return dict(sorted(out.items()))
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True, default=str)
+
+    def reset(self) -> None:
+        """Zero counters and histograms (measurement-window reset after
+        warm-up); gauges and probes track live state and are left alone."""
+        for c in self._counters.values():
+            c.reset()
+        for h in self._histograms.values():
+            h.reset()
+
+
+def _flatten(prefix: str, value: Any, out: dict[str, Any]) -> None:
+    if isinstance(value, dict):
+        for key, sub in value.items():
+            _flatten(f"{prefix}.{key}", sub, out)
+    elif isinstance(value, (int, float)):
+        out[prefix] = value
+    # non-numeric probe results are snapshot-only; skip in flat view

@@ -1,0 +1,141 @@
+"""Simulation-time event tracer with Chrome ``trace_event`` export.
+
+Events are keyed on simulated nanoseconds and export to the JSON Object
+Format that ``about:tracing`` and Perfetto load directly: instant events
+for state transitions (resync edges, recoveries, retransmits), complete
+("X") events for spans with a known duration (NAPI poll batches), and
+counter ("C") events for sampled values.  Lanes — one per NIC context,
+host core, or subsystem — become named threads in the viewer via
+``thread_name`` metadata records.
+
+The tracer is bounded: past ``limit`` events it drops (counting what it
+dropped) rather than growing without bound in long sweeps.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Optional
+
+#: A single simulated process id for the whole run; lanes map to tids.
+TRACE_PID = 1
+
+
+class Tracer:
+    """Collects trace events against a simulated-seconds clock."""
+
+    def __init__(self, clock: Callable[[], float], limit: int = 200_000):
+        self._clock = clock
+        self.limit = limit
+        self.events: list[dict] = []
+        self.dropped = 0
+        self._tids: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def _tid(self, lane: str) -> int:
+        tid = self._tids.get(lane)
+        if tid is None:
+            tid = self._tids[lane] = len(self._tids) + 1
+        return tid
+
+    def _push(self, event: dict) -> None:
+        if len(self.events) >= self.limit:
+            self.dropped += 1
+            return
+        self.events.append(event)
+
+    @staticmethod
+    def _us(seconds: float) -> float:
+        # Chrome trace timestamps are microseconds; keep ns resolution.
+        return round(seconds * 1e9) / 1000.0
+
+    # ------------------------------------------------------------------
+    # event kinds
+    # ------------------------------------------------------------------
+    def instant(self, name: str, lane: str = "sim", cat: str = "sim", **args: Any) -> None:
+        """A point-in-time marker at the current simulated instant."""
+        self._push(
+            {
+                "name": name,
+                "cat": cat,
+                "ph": "i",
+                "s": "t",  # thread-scoped instant
+                "ts": self._us(self._clock()),
+                "pid": TRACE_PID,
+                "tid": self._tid(lane),
+                **({"args": args} if args else {}),
+            }
+        )
+
+    def complete(
+        self,
+        name: str,
+        start_s: float,
+        duration_s: float,
+        lane: str = "sim",
+        cat: str = "sim",
+        **args: Any,
+    ) -> None:
+        """A span with known start and duration (simulated seconds)."""
+        self._push(
+            {
+                "name": name,
+                "cat": cat,
+                "ph": "X",
+                "ts": self._us(start_s),
+                "dur": max(0.0, self._us(start_s + duration_s) - self._us(start_s)),
+                "pid": TRACE_PID,
+                "tid": self._tid(lane),
+                **({"args": args} if args else {}),
+            }
+        )
+
+    def counter(self, name: str, lane: str = "sim", **values: float) -> None:
+        """A sampled counter track (renders as a stacked area chart)."""
+        self._push(
+            {
+                "name": name,
+                "cat": "counter",
+                "ph": "C",
+                "ts": self._us(self._clock()),
+                "pid": TRACE_PID,
+                "tid": self._tid(lane),
+                "args": values,
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def export(self) -> dict:
+        """The full trace in Chrome JSON Object Format."""
+        metadata = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": TRACE_PID,
+                "args": {"name": "repro-sim"},
+            }
+        ]
+        for lane, tid in self._tids.items():
+            metadata.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": TRACE_PID,
+                    "tid": tid,
+                    "args": {"name": lane},
+                }
+            )
+        return {
+            "traceEvents": metadata + self.events,
+            "displayTimeUnit": "ns",
+            "otherData": {"clock": "simulated", "dropped_events": self.dropped},
+        }
+
+    def write(self, path: str, indent: Optional[int] = None) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.export(), fh, indent=indent)
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -2,7 +2,9 @@
 
 The simulator also owns the run's random source so that every stochastic
 decision (loss, reordering, workload think times) is reproducible from a
-single seed.
+single seed, and carries the run's optional observability handle
+(``sim.obs``, a :class:`repro.obs.Obs`): components reach their metrics
+and tracer through the simulator they already hold.
 """
 
 from __future__ import annotations
@@ -31,6 +33,14 @@ class Simulator:
         self._queue: list[Event] = []
         self._seq = 0
         self._events_fired = 0
+        # Observability handle (repro.obs.Obs) or None = off.  Set it
+        # before constructing hosts so caching components see it.
+        self.obs = None
+
+    @property
+    def now_ns(self) -> int:
+        """The current simulated time in integer nanoseconds."""
+        return round(self.now * 1e9)
 
     # ------------------------------------------------------------------
     # scheduling

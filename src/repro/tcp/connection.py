@@ -182,6 +182,17 @@ class TcpConnection:
         if retransmit:
             self.retransmitted_packets += 1
             self._probe_valid = False
+            obs = self.sim.obs
+            if obs is not None:
+                obs.count("tcp.retransmits")
+                obs.count("tcp.retransmit_bytes", len(payload))
+                obs.event(
+                    "retransmit",
+                    lane=f"tcp/{self.host.name}",
+                    cat="tcp",
+                    seq=seg_seq,
+                    bytes=len(payload),
+                )
         elif self._rtt_probe is None:
             self._rtt_probe = (sq.add(seg_seq, len(payload)), self.sim.now)
             self._probe_valid = True
@@ -234,6 +245,10 @@ class TcpConnection:
             return
         if self.flight == 0:
             return
+        obs = self.sim.obs
+        if obs is not None:
+            obs.count("tcp.timeouts")
+            obs.event("rto", lane=f"tcp/{self.host.name}", cat="tcp", una=self.snd_una)
         self.cc.on_timeout(self.flight)
         self.rtt.backoff()
         self.dup_acks = 0
@@ -394,6 +409,9 @@ class TcpConnection:
                 self._retransmit_holes()
                 self.pump()
             elif self.dup_acks == RenoCc.DUP_ACK_THRESHOLD:
+                obs = self.sim.obs
+                if obs is not None:
+                    obs.count("tcp.fast_retransmits")
                 self.cc.enter_recovery(self.flight, self.snd_nxt)
                 self._retransmit_holes()
                 self.pump()
@@ -432,6 +450,10 @@ class TcpConnection:
                 return
         if not in_order or self.reassembly.has_gap_data:
             # Out-of-order or hole-filling arrival: immediate (dup) ACK.
+            if not in_order:
+                obs = self.sim.obs
+                if obs is not None:
+                    obs.count("tcp.ooo_arrivals")
             self._send_ack()
         else:
             self._ack_pending += 1

@@ -38,6 +38,7 @@ class TcpStack:
         conn = TcpConnection(self.host, flow, passive=False)
         conn.on_established = on_established
         self.connections[flow] = conn
+        self._count_open()
         conn.open()
         return conn
 
@@ -61,6 +62,7 @@ class TcpStack:
             if on_accept is not None:
                 conn = TcpConnection(self.host, local_flow, passive=True)
                 self.connections[local_flow] = conn
+                self._count_open()
                 conn.on_established = lambda c=conn: on_accept(c)
                 conn._accept_syn(pkt)
                 return
@@ -68,7 +70,15 @@ class TcpStack:
         # storms; nothing in the evaluation depends on them).
 
     def remove(self, conn: TcpConnection) -> None:
-        self.connections.pop(conn.flow, None)
+        if self.connections.pop(conn.flow, None) is not None:
+            obs = self.sim.obs
+            if obs is not None:
+                obs.count(f"tcp.{self.host.name}.connections.closed")
+
+    def _count_open(self) -> None:
+        obs = self.sim.obs
+        if obs is not None:
+            obs.count(f"tcp.{self.host.name}.connections.opened")
 
     @property
     def connection_count(self) -> int:

@@ -64,3 +64,23 @@ class TestExamples:
         runpy.run_path(str(REPO / "examples" / "https_file_server.py"), run_name="__main__")
         out = capsys.readouterr().out
         assert "offload+zc" in out
+
+    @pytest.mark.slow
+    def test_key_value_on_flash(self, capsys):
+        runpy.run_path(str(REPO / "examples" / "key_value_on_flash.py"), run_name="__main__")
+        out = capsys.readouterr().out
+        assert "NVMe-TLS" in out
+        assert "never learns any of it happened" in out
+
+    @pytest.mark.slow
+    def test_lossy_network_resilience(self, capsys):
+        runpy.run_path(str(REPO / "examples" / "lossy_network_resilience.py"), run_name="__main__")
+        out = capsys.readouterr().out
+        assert "injected faults" in out
+        assert "every byte arrives intact" in out
+
+    def test_rpc_service(self, capsys):
+        runpy.run_path(str(REPO / "examples" / "rpc_service.py"), run_name="__main__")
+        out = capsys.readouterr().out
+        assert "NIC-placed" in out
+        assert "stayed untouched" in out

@@ -1,0 +1,160 @@
+"""Tests for the machine-readable benchmark records (repro.obs.bench)
+and the perf-regression gate (python -m repro.obs.regress)."""
+
+import json
+
+import pytest
+
+from repro.obs.bench import bench_record, load_bench_json, write_bench_json
+from repro.obs.regress import compare_metrics, main, run_regression
+
+
+class TestBenchRecords:
+    def test_write_and_load_round_trip(self, tmp_path):
+        path = write_bench_json(str(tmp_path), "fig", {"a.gbps": 1.5, "a.count": 3}, meta={"streams": 4})
+        record = load_bench_json(path)
+        assert record["schema"] == 1
+        assert record["name"] == "fig"
+        assert record["metrics"] == {"a.gbps": 1.5, "a.count": 3}
+        assert record["meta"] == {"streams": 4}
+
+    def test_meta_omitted_when_empty(self):
+        assert "meta" not in bench_record("fig", {"m": 1})
+
+    def test_non_numeric_metric_rejected(self):
+        with pytest.raises(TypeError):
+            bench_record("fig", {"m": "fast"})
+        with pytest.raises(TypeError):
+            bench_record("fig", {"m": True})
+
+    def test_non_string_key_rejected(self):
+        with pytest.raises(TypeError):
+            bench_record("fig", {3: 1.0})
+
+    def test_load_rejects_bad_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": 99, "metrics": {}}))
+        with pytest.raises(ValueError):
+            load_bench_json(str(path))
+        path.write_text(json.dumps({"schema": 1}))
+        with pytest.raises(ValueError):
+            load_bench_json(str(path))
+
+
+class TestCompareMetrics:
+    def test_within_tolerance(self):
+        devs = compare_metrics("b", {"m": 10.0}, {"m": 10.5}, tolerance=0.15)
+        (d,) = devs
+        assert d.ratio == pytest.approx(0.05)
+        assert not d.failed
+
+    def test_beyond_tolerance(self):
+        (d,) = compare_metrics("b", {"m": 10.0}, {"m": 5.0}, tolerance=0.15)
+        assert d.failed
+
+    def test_zero_baseline_must_stay_zero(self):
+        (ok,) = compare_metrics("b", {"m": 0}, {"m": 0}, tolerance=0.15)
+        assert ok.ratio == 0.0
+        (bad,) = compare_metrics("b", {"m": 0}, {"m": 1}, tolerance=0.15)
+        assert bad.ratio == float("inf") and bad.failed
+
+    def test_missing_metric_is_a_regression(self):
+        (d,) = compare_metrics("b", {"m": 3.0}, {}, tolerance=0.15)
+        assert d.failed and d.ratio == float("inf")
+
+    def test_metric_tolerance_overrides(self):
+        (d,) = compare_metrics("b", {"m": 10.0}, {"m": 7.0}, tolerance=0.15, metric_tolerance={"m": 0.5})
+        assert not d.failed
+
+
+def make_baseline(tmp_path, benchmarks, tolerance=0.15):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"schema": 1, "tolerance": tolerance, "benchmarks": benchmarks}))
+    return str(path)
+
+
+class TestRunRegression:
+    def test_skips_benchmarks_without_output(self, tmp_path):
+        out = tmp_path / "out"
+        out.mkdir()
+        write_bench_json(str(out), "present", {"m": 1.0})
+        baseline = make_baseline(
+            tmp_path,
+            {"present": {"metrics": {"m": 1.0}}, "absent": {"metrics": {"m": 2.0}}},
+        )
+        deviations, skipped = run_regression(baseline, str(out))
+        assert [d.benchmark for d in deviations] == ["present"]
+        assert skipped == ["absent"]
+
+    def test_required_benchmark_must_exist(self, tmp_path):
+        baseline = make_baseline(tmp_path, {"absent": {"metrics": {"m": 2.0}}})
+        with pytest.raises(FileNotFoundError):
+            run_regression(baseline, str(tmp_path), require=["absent"])
+
+    def test_benchmark_tolerance_override(self, tmp_path):
+        out = tmp_path / "out"
+        out.mkdir()
+        write_bench_json(str(out), "b", {"m": 7.0})
+        baseline = make_baseline(tmp_path, {"b": {"metrics": {"m": 10.0}, "tolerance": 0.5}})
+        deviations, _ = run_regression(baseline, str(out))
+        assert not any(d.failed for d in deviations)
+
+
+class TestCli:
+    def test_exit_0_on_match(self, tmp_path, capsys):
+        out = tmp_path / "out"
+        out.mkdir()
+        write_bench_json(str(out), "b", {"m": 10.0})
+        baseline = make_baseline(tmp_path, {"b": {"metrics": {"m": 10.0}}})
+        assert main(["--baseline", baseline, "--out", str(out)]) == 0
+        assert "[ok  ] b" in capsys.readouterr().out
+
+    def test_exit_1_on_regression(self, tmp_path, capsys):
+        out = tmp_path / "out"
+        out.mkdir()
+        write_bench_json(str(out), "b", {"m": 5.0})
+        baseline = make_baseline(tmp_path, {"b": {"metrics": {"m": 10.0}}})
+        assert main(["--baseline", baseline, "--out", str(out)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_cli_tolerance_can_rescue(self, tmp_path):
+        out = tmp_path / "out"
+        out.mkdir()
+        write_bench_json(str(out), "b", {"m": 9.0})
+        baseline = make_baseline(tmp_path, {"b": {"metrics": {"m": 10.0}}}, tolerance=0.05)
+        assert main(["--baseline", baseline, "--out", str(out)]) == 1
+        assert main(["--baseline", baseline, "--out", str(out), "--tolerance", "0.2"]) == 0
+
+    def test_exit_2_when_nothing_compared(self, tmp_path):
+        out = tmp_path / "out"
+        out.mkdir()
+        baseline = make_baseline(tmp_path, {"b": {"metrics": {"m": 10.0}}})
+        assert main(["--baseline", baseline, "--out", str(out)]) == 2
+
+    def test_exit_2_on_missing_baseline(self, tmp_path):
+        assert main(["--baseline", str(tmp_path / "nope.json"), "--out", str(tmp_path)]) == 2
+
+    def test_exit_2_on_missing_required(self, tmp_path):
+        out = tmp_path / "out"
+        out.mkdir()
+        baseline = make_baseline(tmp_path, {"b": {"metrics": {"m": 10.0}}})
+        assert main(["--baseline", baseline, "--out", str(out), "--require", "b"]) == 2
+
+
+class TestCheckedInBaseline:
+    """The repository baseline itself must stay well-formed."""
+
+    def test_baseline_parses_and_names_quick_entries(self):
+        import os
+
+        from repro.obs.regress import load_baseline
+
+        repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        baseline = load_baseline(os.path.join(repo, "benchmarks", "baseline.json"))
+        names = set(baseline["benchmarks"])
+        # Full-scale and CI quick-scale entries for each gated figure.
+        for fig in ("fig16_tx_loss", "fig17_rx_loss", "fig19_scalability"):
+            assert fig in names and f"{fig}_quick" in names
+        for entry in baseline["benchmarks"].values():
+            assert entry["metrics"], "baseline entries carry expected metrics"
+            assert all(isinstance(v, (int, float)) for v in entry["metrics"].values())

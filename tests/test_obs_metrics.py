@@ -1,0 +1,234 @@
+"""Unit tests for the observability primitives (repro.obs): counters,
+gauges, histograms, the registry, and the Chrome trace_event tracer."""
+
+import json
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry, Obs, Tracer
+from repro.obs.trace import TRACE_PID
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+    def test_reset(self):
+        c = Counter("x")
+        c.inc(3)
+        c.reset()
+        assert c.value == 0
+
+
+class TestGauge:
+    def test_moves_both_ways(self):
+        g = Gauge("x")
+        g.inc(3)
+        g.dec()
+        assert g.value == 2
+        g.set(10)
+        assert g.value == 10
+
+
+class TestHistogram:
+    def test_summary_stats(self):
+        h = Histogram("x")
+        for v in (1, 2, 3, 10):
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 4
+        assert s["sum"] == 16
+        assert s["mean"] == 4.0
+        assert s["min"] == 1
+        assert s["max"] == 10
+
+    def test_bucketing_and_overflow(self):
+        h = Histogram("x", buckets=(1, 2, 4))
+        for v in (1, 2, 2, 100):
+            h.observe(v)
+        s = h.summary()
+        assert s["buckets"] == {"1": 1, "2": 2, "+inf": 1}
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("x", buckets=(4, 1))
+
+    def test_empty_mean_is_zero(self):
+        assert Histogram("x").mean == 0.0
+
+    def test_reset(self):
+        h = Histogram("x", buckets=(8,))
+        h.observe(5)
+        h.reset()
+        assert h.count == 0 and h.min is None and h.bucket_counts == [0, 0]
+
+
+class TestMetricsRegistry:
+    def test_instruments_created_on_first_use(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+
+    def test_name_bound_to_one_kind(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+        with pytest.raises(ValueError):
+            reg.histogram("x")
+
+    def test_snapshot_structure(self):
+        reg = MetricsRegistry()
+        reg.counter("nic.tx.pkts").inc(7)
+        reg.gauge("ctx.active").set(2)
+        reg.histogram("batch").observe(4)
+        reg.probe("pcie", lambda: {"data": 100, "doorbell": 8})
+        snap = reg.snapshot()
+        assert snap["counters"] == {"nic.tx.pkts": 7}
+        assert snap["gauges"] == {"ctx.active": 2}
+        assert snap["histograms"]["batch"]["count"] == 1
+        assert snap["probes"]["pcie"] == {"data": 100, "doorbell": 8}
+
+    def test_flat_view(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").observe(8)
+        reg.probe("p", lambda: {"nested": {"deep": 9}, "skip": "text"})
+        flat = reg.flat()
+        assert flat["c"] == 3
+        assert flat["g"] == 1.5
+        assert flat["h.count"] == 1 and flat["h.mean"] == 8.0 and flat["h.max"] == 8
+        assert flat["p.nested.deep"] == 9
+        assert "p.skip" not in flat  # non-numeric probe results stay out
+
+    def test_flat_empty_histogram_max(self):
+        reg = MetricsRegistry()
+        reg.histogram("h")
+        assert reg.flat()["h.max"] == 0
+
+    def test_to_json_round_trips(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        assert json.loads(reg.to_json())["counters"] == {"a": 1}
+
+    def test_reset_keeps_gauges_and_probes(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(5)
+        reg.gauge("g").set(3)
+        reg.histogram("h").observe(2)
+        reg.probe("p", lambda: 42)
+        reg.reset()
+        snap = reg.snapshot()
+        assert snap["counters"]["c"] == 0
+        assert snap["histograms"]["h"]["count"] == 0
+        assert snap["gauges"]["g"] == 3
+        assert snap["probes"]["p"] == 42
+
+
+class TestTracer:
+    def make(self, limit=200_000):
+        clock = {"now": 0.0}
+        tracer = Tracer(lambda: clock["now"], limit=limit)
+        return clock, tracer
+
+    def test_instant_event(self):
+        clock, tracer = self.make()
+        clock["now"] = 1.5e-6
+        tracer.instant("resync", lane="ctx/1", cat="resync", tcpsn=99)
+        (ev,) = tracer.events
+        assert ev["ph"] == "i" and ev["s"] == "t"
+        assert ev["ts"] == 1.5  # microseconds
+        assert ev["args"] == {"tcpsn": 99}
+
+    def test_complete_event_duration(self):
+        _, tracer = self.make()
+        tracer.complete("poll", start_s=1e-6, duration_s=2e-6, lane="core0")
+        (ev,) = tracer.events
+        assert ev["ph"] == "X"
+        assert ev["ts"] == 1.0 and ev["dur"] == 2.0
+
+    def test_counter_event(self):
+        _, tracer = self.make()
+        tracer.counter("cache", hits=3, misses=1)
+        (ev,) = tracer.events
+        assert ev["ph"] == "C" and ev["args"] == {"hits": 3, "misses": 1}
+
+    def test_lanes_become_named_threads(self):
+        _, tracer = self.make()
+        tracer.instant("a", lane="ctx/1")
+        tracer.instant("b", lane="ctx/2")
+        tracer.instant("c", lane="ctx/1")
+        exported = tracer.export()
+        names = {
+            e["args"]["name"]: e["tid"]
+            for e in exported["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert set(names) == {"ctx/1", "ctx/2"}
+        tids = {e["tid"] for e in exported["traceEvents"] if e["ph"] == "i"}
+        assert tids == set(names.values())
+
+    def test_export_is_chrome_loadable_shape(self):
+        _, tracer = self.make()
+        tracer.instant("x")
+        exported = json.loads(json.dumps(tracer.export()))
+        assert exported["displayTimeUnit"] == "ns"
+        assert exported["otherData"]["dropped_events"] == 0
+        phases = {e["ph"] for e in exported["traceEvents"]}
+        assert phases <= {"M", "i", "X", "C"}
+        assert all(e["pid"] == TRACE_PID for e in exported["traceEvents"])
+
+    def test_bounded_with_drop_count(self):
+        _, tracer = self.make(limit=3)
+        for i in range(10):
+            tracer.instant(f"e{i}")
+        assert len(tracer) == 3
+        assert tracer.dropped == 7
+        assert tracer.export()["otherData"]["dropped_events"] == 7
+
+    def test_write(self, tmp_path):
+        _, tracer = self.make()
+        tracer.instant("x")
+        path = tmp_path / "trace.json"
+        tracer.write(str(path))
+        assert json.loads(path.read_text())["traceEvents"]
+
+
+class TestObs:
+    def test_shorthands(self):
+        obs = Obs()
+        obs.count("c", 2)
+        obs.gauge("g").inc()
+        obs.observe("h", 5)
+        obs.probe("p", lambda: 1)
+        snap = obs.snapshot()
+        assert snap["counters"]["c"] == 2
+        assert snap["gauges"]["g"] == 1
+        assert snap["histograms"]["h"]["count"] == 1
+        assert snap["probes"]["p"] == 1
+
+    def test_trace_shorthands_noop_when_off(self):
+        obs = Obs(trace=False)
+        obs.event("x")
+        obs.span("y", 0.0, 1.0)
+        obs.sample("z", v=1)
+        assert obs.tracer is None
+        with pytest.raises(RuntimeError):
+            obs.write_trace("/dev/null")
+
+    def test_tracer_uses_sim_clock(self):
+        class FakeSim:
+            now = 2e-6
+
+        obs = Obs(FakeSim(), trace=True)
+        obs.event("x")
+        assert obs.tracer.events[0]["ts"] == 2.0

@@ -1,0 +1,135 @@
+"""Integration tests: the observability layer wired through the §6
+testbed — counters from the NIC datapath, probes, Chrome trace export,
+and zero behavioral impact when enabled or disabled."""
+
+import json
+
+import pytest
+
+from repro.apps.iperf import IperfClient, IperfServer
+from repro.harness.testbed import Testbed, TestbedConfig
+from repro.l5p.tls.ktls import TlsConfig
+
+
+def run_tls_testbed(metrics=True, trace=False, loss=0.02, until=6e-3, seed=11):
+    """Server transmits offloaded TLS toward the generator over a lossy
+    link; returns (testbed, server_app)."""
+    tb = Testbed(
+        TestbedConfig(
+            seed=seed,
+            server_cores=1,
+            generator_cores=2,
+            loss_to_generator=loss,
+            metrics=metrics,
+            trace=trace,
+        )
+    )
+    app = IperfServer(tb.generator, tls=TlsConfig(rx_offload=True))
+    IperfClient(
+        tb.server,
+        "generator",
+        streams=2,
+        message_size=64 * 1024,
+        tls=TlsConfig(tx_offload=True),
+    )
+    tb.run(until=until)
+    return tb, app
+
+
+class TestMetricsWiring:
+    @pytest.fixture(scope="class")
+    def run(self):
+        return run_tls_testbed(metrics=True, trace=True)
+
+    def test_datapath_counters_populated(self, run):
+        tb, app = run
+        assert app.total_bytes > 0
+        counters = tb.obs.snapshot()["counters"]
+        assert counters["nic.tx.pkts"] > 0
+        assert counters["nic.rx.pkts"] > 0
+        assert counters["driver.contexts.installed"] >= 2  # one per stream
+        assert counters["walker.tx.offload.bytes"] > 0
+        assert counters["l5p.tls.tx.bytes.offload"] > 0
+
+    def test_loss_surfaces_in_tcp_and_recovery_counters(self, run):
+        tb, _ = run
+        counters = tb.obs.snapshot()["counters"]
+        assert counters["tcp.retransmits"] > 0
+        assert counters["nic.tx.recoveries"] > 0
+        assert counters["nic.tx.recovery_dma_bytes"] > 0
+
+    def test_gauges_and_probes(self, run):
+        tb, _ = run
+        snap = tb.obs.snapshot()
+        assert snap["gauges"]["driver.contexts.active"] >= 1
+        probes = snap["probes"]
+        assert probes["sim.events_fired"] == tb.sim.events_fired
+        assert probes["sim.now_ns"] == tb.sim.now_ns
+        assert probes["host.server.nic.cache"]["hits"] > 0
+        assert "app" in probes["host.server.cpu.cycles"] or probes["host.server.cpu.cycles"]
+
+    def test_rx_batch_histogram(self, run):
+        tb, _ = run
+        hist = tb.obs.snapshot()["histograms"]["host.generator.rx_batch"]
+        assert hist["count"] > 0
+        assert hist["mean"] >= 1
+
+    def test_metrics_report_shape(self, run):
+        tb, _ = run
+        report = tb.metrics_report()
+        assert report["config"]["seed"] == 11
+        assert report["sim"]["now_ns"] == tb.sim.now_ns
+        assert set(report["metrics"]) == {"counters", "gauges", "histograms", "probes"}
+
+    def test_write_metrics_json(self, run, tmp_path):
+        tb, _ = run
+        path = tmp_path / "metrics.json"
+        tb.write_metrics(str(path))
+        assert json.loads(path.read_text())["metrics"]["counters"]
+
+    def test_trace_exports_chrome_json(self, run, tmp_path):
+        tb, _ = run
+        path = tmp_path / "trace.json"
+        tb.write_trace(str(path))
+        trace = json.loads(path.read_text())
+        events = trace["traceEvents"]
+        assert len(events) > 10
+        phases = {e["ph"] for e in events}
+        assert "M" in phases and "i" in phases and "X" in phases
+        # Context lanes and core lanes got named threads.
+        lanes = {e["args"]["name"] for e in events if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert any(lane.startswith("ctx/") for lane in lanes)
+        assert any("core" in lane for lane in lanes)
+        # Timestamps are the simulated clock in microseconds.
+        ts = [e["ts"] for e in events if "ts" in e]
+        assert ts and all(0 <= t <= tb.sim.now * 1e6 + 1 for t in ts)
+
+    def test_reset_measurement_clears_counters(self):
+        tb, _ = run_tls_testbed(metrics=True, until=3e-3)
+        assert tb.obs.snapshot()["counters"]["nic.tx.pkts"] > 0
+        tb.reset_measurement()
+        assert tb.obs.snapshot()["counters"]["nic.tx.pkts"] == 0
+
+
+class TestDisabledPath:
+    def test_obs_off_by_default(self):
+        tb = Testbed(TestbedConfig())
+        assert tb.obs is None
+        assert tb.sim.obs is None
+        with pytest.raises(RuntimeError):
+            tb.metrics_report()
+        with pytest.raises(RuntimeError):
+            tb.write_trace("/dev/null")
+
+    def test_metrics_do_not_change_behavior(self):
+        """Instrumentation must not perturb the simulation: identical
+        seed with metrics on and off produces the identical run."""
+        tb_off, app_off = run_tls_testbed(metrics=False, until=4e-3)
+        tb_on, app_on = run_tls_testbed(metrics=True, trace=True, until=4e-3)
+        assert app_on.total_bytes == app_off.total_bytes
+        assert tb_on.sim.events_fired == tb_off.sim.events_fired
+        assert tb_on.sim.now == tb_off.sim.now
+
+    def test_trace_flag_alone_enables_obs(self):
+        tb = Testbed(TestbedConfig(trace=True))
+        assert tb.obs is not None and tb.obs.tracer is not None

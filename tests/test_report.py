@@ -1,0 +1,69 @@
+"""Tests for the ASCII report helpers (repro.harness.report)."""
+
+import pytest
+
+from repro.harness.report import Table, _fmt, ratio_label, series
+
+
+class TestFmt:
+    def test_zero_float(self):
+        assert _fmt(0.0) == "0"
+
+    def test_thousands_grouping(self):
+        assert _fmt(12345.6) == "12,346"
+
+    def test_mid_range_one_decimal(self):
+        assert _fmt(42.25) == "42.2"
+
+    def test_small_three_sig_figs(self):
+        assert _fmt(1.2345) == "1.23"
+
+    def test_non_float_passthrough(self):
+        assert _fmt(7) == "7"
+        assert _fmt("x") == "x"
+
+
+class TestTable:
+    def test_render_aligns_columns(self):
+        t = Table(["name", "Gbps"], title="demo")
+        t.row("tcp", 6.35).row("offload", 5.91)
+        out = t.render()
+        lines = out.split("\n")
+        assert lines[0] == "demo"
+        assert len({len(line) for line in lines[1:]}) == 1  # aligned
+        assert "6.35" in out and "offload" in out
+
+    def test_row_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Table(["a", "b"]).row(1)
+
+    def test_row_chains(self):
+        t = Table(["a"])
+        assert t.row(1) is t
+
+    def test_show_prints(self, capsys):
+        Table(["a"]).row(1).show()
+        assert "a" in capsys.readouterr().out
+
+    def test_no_title(self):
+        out = Table(["col"]).row(9).render()
+        assert out.startswith("col")
+
+
+class TestRatioLabel:
+    def test_percentage_below_2x(self):
+        assert ratio_label(1.44, 1.0) == "+44%"
+
+    def test_multiplier_at_2x_and_above(self):
+        assert ratio_label(2.7, 1.0) == "2.7x"
+
+    def test_regression_is_negative(self):
+        assert ratio_label(0.5, 1.0) == "-50%"
+
+    def test_zero_base(self):
+        assert ratio_label(5.0, 0.0) == "n/a"
+
+
+class TestSeries:
+    def test_pairs_rendered(self):
+        assert series("gbps", [0, 1], [6.35, 2.2]) == "gbps: 0:6.35  1:2.2"
