@@ -87,6 +87,12 @@ class HwContext:
         # L5P upcall table (Listing 2), installed by the driver.
         self.l5p_ops = None
 
+        # Graceful degradation (paper §5.3): after sustained resync
+        # failure the driver gives up and routes the flow through the
+        # software path until (optionally) probation re-enables it.
+        self.offload_disabled = False
+        self.consecutive_resync_failures = 0
+
         # Statistics for the evaluation.
         self.pkts_offloaded = 0
         self.pkts_bypassed = 0
@@ -95,6 +101,11 @@ class HwContext:
         self.boundary_resyncs = 0
         self.tx_recoveries = 0
         self.tx_recovery_bytes = 0
+        self.resync_retries = 0
+        self.resync_failures = 0
+        self.auto_disables = 0
+        self.tx_sw_fallbacks = 0
+        self.tx_recovery_failures = 0
 
     # ------------------------------------------------------------------
     # sanitized attributes (repro.analysis.sanitizer hook points)

@@ -16,7 +16,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Optional, Protocol
 
-from repro.core.context import HwContext
+from repro.core.context import HwContext, RxState
 from repro.core.types import Direction, L5pAdapter, TxMsgState
 from repro.net.packet import FlowKey
 
@@ -48,6 +48,31 @@ class NicDriver:
         # Ablation knob: extra delay before the L5P sees a speculation
         # request (models slower driver/firmware paths).
         self.resync_delay_s = 0.0
+        # Graceful degradation (paper §5.3).  All off by default so no
+        # retry timers are scheduled and event order is untouched; the
+        # harness arms them from a FaultPlan via configure_degradation().
+        self.max_resync_retries = 0
+        self.resync_timeout_s = 2e-3
+        self.resync_backoff = 2.0
+        self.disable_after_failures = 0
+        self.probation_s = 0.0
+        # ctx_id -> (tcpsn, token) of the speculation awaiting an
+        # answer; the token makes stale timeout events detectable even
+        # when a later speculation lands on the same sequence number.
+        self._resync_pending: dict[int, tuple[int, int]] = {}
+        self._resync_token = itertools.count(1)
+
+    def configure_degradation(self, policy) -> None:
+        """Arm the degradation knobs from a DegradePolicy-shaped object
+        (duck-typed: any object with the five attributes below works,
+        keeping this module import-free of repro.faults)."""
+        if policy is None:
+            return
+        self.max_resync_retries = policy.max_resync_retries
+        self.resync_timeout_s = policy.resync_timeout_s
+        self.resync_backoff = policy.resync_backoff
+        self.disable_after_failures = policy.disable_after_failures
+        self.probation_s = policy.probation_s
 
     # ------------------------------------------------------------------
     # Listing 1: L5P-facing operations
@@ -85,6 +110,7 @@ class NicDriver:
             self.tx_contexts.pop(ctx.ctx_id, None)
         else:
             self.rx_contexts.pop(ctx.flow, None)
+        self._resync_pending.pop(ctx.ctx_id, None)
         self.nic.context_removed(ctx)
 
     def l5o_add_rr_state(self, ctx: HwContext, key: Any, state: Any) -> Any:
@@ -101,11 +127,44 @@ class NicDriver:
     def l5o_resync_rx_resp(self, ctx: HwContext, tcpsn: int, result: bool, msg_index: int = 0) -> None:
         """The L5P confirms/denies the NIC's speculated header at
         ``tcpsn``; on success the NIC resumes offloading from the next
-        message boundary (Figure 7, transition d2)."""
+        message boundary (Figure 7, transition d2).
+
+        The response rides a send-ring descriptor; an injected NIC fault
+        profile can drop, delay, or duplicate it on the way down.
+        """
+        faults = getattr(self.nic, "faults", None)
+        if faults is not None:
+            rng = self.nic.fault_rng
+            obs = self.nic.obs
+            if faults.resync_resp_drop and rng.random() < faults.resync_resp_drop:
+                if obs is not None:
+                    obs.count("driver.resync.resp_dropped")
+                return  # the retry timeout (if armed) will re-ask
+            if faults.resync_resp_dup and rng.random() < faults.resync_resp_dup:
+                if obs is not None:
+                    obs.count("driver.resync.resp_duplicated")
+                self.nic.host.sim.call_soon(self._deliver_resync_resp, ctx, tcpsn, result, msg_index)
+            if faults.resync_resp_delay and rng.random() < faults.resync_resp_delay:
+                if obs is not None:
+                    obs.count("driver.resync.resp_delayed")
+                self.nic.host.sim.schedule(
+                    faults.resync_resp_delay_s, self._deliver_resync_resp, ctx, tcpsn, result, msg_index
+                )
+                return
+        self._deliver_resync_resp(ctx, tcpsn, result, msg_index)
+
+    def _deliver_resync_resp(self, ctx: HwContext, tcpsn: int, result: bool, msg_index: int) -> None:
         obs = self.nic.obs
         if obs is not None:
             obs.count("driver.resync.confirmed" if result else "driver.resync.denied")
-        self.nic.rx_engine.resync_response(ctx, tcpsn, result, msg_index)
+        outcome = self.nic.rx_engine.resync_response(ctx, tcpsn, result, msg_index)
+        if outcome == "confirmed":
+            ctx.consecutive_resync_failures = 0
+            self._resync_pending.pop(ctx.ctx_id, None)
+        elif outcome == "denied":
+            self._resync_pending.pop(ctx.ctx_id, None)
+            self._resync_failed(ctx)
+        # "stale" responses (speculation already abandoned) change nothing.
 
     # ------------------------------------------------------------------
     # driver-internal helpers used by the engines
@@ -130,10 +189,16 @@ class NicDriver:
     def lookup_tx(self, ctx_id: Optional[int]) -> Optional[HwContext]:
         if ctx_id is None:
             return None
-        return self.tx_contexts.get(ctx_id)
+        ctx = self.tx_contexts.get(ctx_id)
+        if ctx is not None and ctx.offload_disabled:
+            return None  # degraded: the flow rides the software path
+        return ctx
 
     def lookup_rx(self, flow: FlowKey) -> Optional[HwContext]:
-        return self.rx_contexts.get(flow)
+        ctx = self.rx_contexts.get(flow)
+        if ctx is not None and ctx.offload_disabled:
+            return None  # degraded: the flow rides the software path
+        return ctx
 
     def request_resync(self, ctx: HwContext, tcpsn: int) -> None:
         """HW->SW: deliver the speculation request to the L5P (via a
@@ -146,3 +211,83 @@ class NicDriver:
         self.nic.pcie.count("descriptor", 64)
         if ctx.l5p_ops is not None:
             self.nic.host.sim.schedule(self.resync_delay_s, ctx.l5p_ops.l5o_resync_rx_req, tcpsn)
+        if self.max_resync_retries > 0:
+            token = next(self._resync_token)
+            self._resync_pending[ctx.ctx_id] = (tcpsn, token)
+            self.nic.host.sim.schedule(
+                self.resync_delay_s + self.resync_timeout_s, self._resync_timeout, ctx, tcpsn, token, 1
+            )
+
+    # ------------------------------------------------------------------
+    # graceful degradation (paper §5.3): bounded retries, then give up
+    # ------------------------------------------------------------------
+    def _resync_timeout(self, ctx: HwContext, tcpsn: int, token: int, attempt: int) -> None:
+        """The speculation at ``tcpsn`` was never answered in time."""
+        if self._resync_pending.get(ctx.ctx_id) != (tcpsn, token):
+            return  # answered, superseded, or already failed — stale timer
+        if ctx.offload_disabled or self.rx_contexts.get(ctx.flow) is not ctx:
+            self._resync_pending.pop(ctx.ctx_id, None)
+            return
+        if ctx.rx_state != RxState.TRACKING or ctx.speculation_seq != tcpsn:
+            self._resync_pending.pop(ctx.ctx_id, None)
+            return
+        if attempt > self.max_resync_retries:
+            self._resync_pending.pop(ctx.ctx_id, None)
+            self._resync_failed(ctx)
+            return
+        ctx.resync_retries += 1
+        obs = self.nic.obs
+        if obs is not None:
+            obs.count("driver.resync.retries")
+            obs.event("resync-retry", lane=f"ctx/{ctx.ctx_id}", cat="resync", tcpsn=tcpsn, attempt=attempt)
+        self.nic.pcie.count("descriptor", 64)
+        if ctx.l5p_ops is not None:
+            self.nic.host.sim.schedule(self.resync_delay_s, ctx.l5p_ops.l5o_resync_rx_req, tcpsn)
+        backoff = self.resync_timeout_s * (self.resync_backoff**attempt)
+        self.nic.host.sim.schedule(
+            self.resync_delay_s + backoff, self._resync_timeout, ctx, tcpsn, token, attempt + 1
+        )
+
+    def _resync_failed(self, ctx: HwContext) -> None:
+        """One speculation definitively failed (denied or retries
+        exhausted); after enough consecutive failures, give up."""
+        ctx.resync_failures += 1
+        ctx.consecutive_resync_failures += 1
+        obs = self.nic.obs
+        if obs is not None:
+            obs.count("driver.resync.failures")
+        if ctx.rx_state == RxState.TRACKING:
+            ctx.enter_searching()  # Figure 7 edge d1
+        if self.disable_after_failures and ctx.consecutive_resync_failures >= self.disable_after_failures:
+            self._auto_disable(ctx)
+
+    def _auto_disable(self, ctx: HwContext) -> None:
+        if ctx.offload_disabled:
+            return
+        ctx.offload_disabled = True
+        ctx.auto_disables += 1
+        self._resync_pending.pop(ctx.ctx_id, None)
+        obs = self.nic.obs
+        if obs is not None:
+            obs.count("driver.offload.auto_disabled")
+            obs.event("offload-auto-disable", lane=f"ctx/{ctx.ctx_id}", cat="degrade")
+        degraded = getattr(ctx.l5p_ops, "l5o_offload_degraded", None)
+        if degraded is not None:
+            degraded(ctx.direction.value, "resync-failures")
+        if self.probation_s > 0:
+            self.nic.host.sim.schedule(self.probation_s, self._probation_reenable, ctx)
+
+    def _probation_reenable(self, ctx: HwContext) -> None:
+        """Probation expired: give the offload another chance.  The
+        context resumes in SEARCHING, so the Figure 7 machine re-locks
+        on the live stream before any packet is offloaded again."""
+        if self.rx_contexts.get(ctx.flow) is not ctx and self.tx_contexts.get(ctx.ctx_id) is not ctx:
+            return  # destroyed while on probation
+        if not ctx.offload_disabled:
+            return
+        ctx.offload_disabled = False
+        ctx.consecutive_resync_failures = 0
+        obs = self.nic.obs
+        if obs is not None:
+            obs.count("driver.offload.probation_reenabled")
+            obs.event("offload-probation-reenable", lane=f"ctx/{ctx.ctx_id}", cat="degrade")

@@ -221,12 +221,15 @@ class RxEngine:
     # ------------------------------------------------------------------
     # Figure 7: software confirmation (c -> d1/d2)
     # ------------------------------------------------------------------
-    def resync_response(self, ctx: HwContext, tcpsn: int, result: bool, msg_index: int) -> None:
+    def resync_response(self, ctx: HwContext, tcpsn: int, result: bool, msg_index: int) -> str:
+        """Apply a software confirmation; returns the outcome —
+        ``"stale"`` / ``"denied"`` / ``"confirmed"`` — so the driver's
+        degradation logic can count failures without peeking at state."""
         if ctx.rx_state != RxState.TRACKING or ctx.speculation_seq != tcpsn:
-            return  # stale response; the machine has moved on
+            return "stale"  # the machine has moved on
         if not result:
             ctx.enter_searching()
-            return
+            return "denied"
         # d2: resume offloading from the next tracked message boundary.
         ctx.expected_seq = ctx.track_next
         ctx.msg_index = msg_index + ctx.tracked_msgs
@@ -236,3 +239,4 @@ class RxEngine:
         ctx.tracked_msgs = 0
         ctx.reset_to_header()
         ctx.resyncs_completed += 1
+        return "confirmed"

@@ -43,16 +43,18 @@ class TxEngine:
             prefix, payload = payload[:split], payload[split:]
             seq = ctx.created_seq
         san = _sanitizer_active()
+        sw_fallback = False
         if seq != ctx.expected_seq:
             with allow_rewind(ctx):
-                recovered = self._recover(ctx, conn, seq, sq.add(seq, len(payload)))
-            if not recovered:
+                outcome = self._recover(ctx, conn, seq, sq.add(seq, len(payload)))
+            if outcome == "stale":
                 # Stale retransmission of fully-acknowledged bytes whose
                 # message state the L5P already released: the receiver
                 # will discard it as a duplicate, so content is moot.
                 ctx.pkts_bypassed += 1
                 pkt.payload = prefix + b"\x00" * len(payload)
                 return
+            sw_fallback = outcome == "sw-fallback"
             if san is not None:
                 san.tx_recovered(ctx, seq)
         result = walk(ctx, payload, emit=True)
@@ -63,23 +65,42 @@ class TxEngine:
             )
         pkt.payload = prefix + result.out
         ctx.expected_seq = sq.add(seq, len(payload))
+        if sw_fallback:
+            # The PCIe re-read failed, so the NIC could not rebuild the
+            # context: this packet's bytes were produced by the host's
+            # software data path instead (charged below) and it does not
+            # count as offloaded.
+            ctx.pkts_bypassed += 1
+            ctx.tx_sw_fallbacks += 1
+            obs = self.nic.obs
+            if obs is not None:
+                obs.count("nic.tx.sw_fallback_pkts")
+                obs.count("nic.tx.sw_fallback_bytes", len(payload))
+            host = self.nic.host
+            if host is not None:
+                core = host.core_for_flow(conn.flow)
+                cpb = ctx.adapter.software_cpb(host.model)
+                core.charge(host.model.cycles_crypto_setup + len(payload) * cpb, "crypto")
+            return
         ctx.pkts_offloaded += 1
         pkt.meta.offloaded = True
 
     # ------------------------------------------------------------------
-    def _recover(self, ctx: HwContext, conn, tcpsn: int, end_seq: int) -> bool:
+    def _recover(self, ctx: HwContext, conn, tcpsn: int, end_seq: int) -> str:
         """Reposition the context at ``tcpsn`` (driver-led, §4.2).
 
-        Returns False for a stale retransmission: the covering message
-        was already fully acknowledged and released by the L5P, which can
-        only happen when the ACK raced a queued retransmission — the
-        packet's bytes can never be consumed by the receiver."""
+        Returns ``"recovered"`` on the normal PCIe re-read path,
+        ``"stale"`` for a retransmission of fully-acknowledged bytes
+        whose message state the L5P already released (the ACK raced a
+        queued retransmission — the packet can never be consumed), or
+        ``"sw-fallback"`` when an injected PCIe read failure forces the
+        packet through the host's software data path."""
         if ctx.l5p_ops is None:
             raise ProtocolError("TX context has no L5P ops for recovery")
         state = ctx.l5p_ops.l5o_get_tx_msgstate(tcpsn)
         if state is None:
             if conn is not None and sq.le(end_seq, conn.snd_una):
-                return False
+                return "stale"
             raise ProtocolError(
                 f"{ctx.adapter.name}: L5P has no message state covering "
                 f"seq {tcpsn} (released too early?)"
@@ -90,6 +111,23 @@ class TxEngine:
                 f"{ctx.adapter.name}: message state for seq {tcpsn} covers "
                 f"[{state.start_seq}, +{len(state.wire_bytes)})"
             )
+        host = self.nic.host
+        obs = self.nic.obs
+        faults = getattr(self.nic, "faults", None)
+        failed = False
+        if faults is not None:
+            rng = self.nic.fault_rng
+            if faults.pcie_stall_prob and rng.random() < faults.pcie_stall_prob:
+                # The re-read DMA stalls (e.g. congested root complex):
+                # recovery still succeeds, but the flow's core burns the
+                # stall waiting on the descriptor completion.
+                self.nic.pcie.stalls += 1
+                if obs is not None:
+                    obs.count("nic.pcie.fault.stalls")
+                if host is not None:
+                    host.core_for_flow(conn.flow).charge(faults.pcie_stall_cycles, "offload-mgmt")
+            if faults.pcie_fail_prob and rng.random() < faults.pcie_fail_prob:
+                failed = True
         ctx.reset_to_header()
         ctx.msg_index = state.msg_index
         ctx.expected_seq = state.start_seq
@@ -97,11 +135,26 @@ class TxEngine:
         if offset:
             replay(ctx, state.wire_bytes[:offset])
             ctx.expected_seq = tcpsn
+        if failed:
+            # The PCIe re-read failed: the NIC never rebuilds the
+            # context, so the *driver* performed the repositioning above
+            # in software and the packet will be sent un-offloaded.  The
+            # replayed bytes are digested on the host CPU, not DMA-ed.
+            ctx.tx_recovery_failures += 1
+            self.nic.pcie.read_failures += 1
+            if obs is not None:
+                obs.count("nic.pcie.fault.read_failures")
+                obs.event("tx-recovery-failed", lane=f"ctx/{ctx.ctx_id}", cat="recovery", tcpsn=tcpsn)
+            self.nic.pcie.count("descriptor", 64)
+            if host is not None:
+                core = host.core_for_flow(conn.flow)
+                cpb = ctx.adapter.software_cpb(host.model)
+                core.charge(host.model.cycles_syscall + offset * cpb, "crypto")
+            return "sw-fallback"
         # The driver passes the replayed bytes to the NIC via DMA; the
         # driver-side upcall work is charged to the flow's core.
         ctx.tx_recoveries += 1
         ctx.tx_recovery_bytes += offset
-        obs = self.nic.obs
         if obs is not None:
             obs.count("nic.tx.recoveries")
             obs.count("nic.tx.recovery_dma_bytes", offset)
@@ -110,8 +163,7 @@ class TxEngine:
             )
         self.nic.pcie.count("recovery", offset)
         self.nic.pcie.count("descriptor", 64)
-        host = self.nic.host
         if host is not None:
             core = host.core_for_flow(conn.flow)
             core.charge(host.model.cycles_syscall, "offload-mgmt")
-        return True
+        return "recovered"

@@ -136,3 +136,10 @@ class L5pAdapter:
         repositioned at ``state``'s message start and before the replay.
         Stacked adapters reposition their inner protocol here (§5.3:
         recovery is performed independently for each protocol)."""
+
+    def software_cpb(self, model) -> float:
+        """Cycles/byte the host pays to run this L5P's data-intensive
+        operation in software (used to cost degraded sends when the
+        offload gives up).  Crypto-grade by default; cheaper protocols
+        (e.g. CRC-only NVMe/TCP) override."""
+        return model.cpb_aes_gcm

@@ -69,6 +69,7 @@ def run_iperf(
     seed: int = 0,
     generator_cores: int = 12,
     tune_nic=None,
+    faults=None,
 ) -> IperfRun:
     """One iperf configuration; returns goodput and DUT cycle accounting
     measured over the post-warm-up window."""
@@ -84,6 +85,7 @@ def run_iperf(
             generator_cores=generator_cores,
             loss_to_generator=loss,
             reorder_to_generator=reorder,
+            faults=faults,
         )
     elif direction == "rx":
         cfg = TestbedConfig(
@@ -92,6 +94,7 @@ def run_iperf(
             generator_cores=generator_cores,
             loss_to_server=loss,
             reorder_to_server=reorder,
+            faults=faults,
         )
     else:
         raise ValueError(f"direction must be tx/rx, got {direction!r}")

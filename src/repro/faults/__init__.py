@@ -1,0 +1,34 @@
+"""Deterministic fault injection and graceful offload degradation.
+
+Split in two halves:
+
+- :mod:`repro.faults.plan` — frozen, declarative :class:`FaultPlan`
+  (wire faults, NIC/driver faults, degradation policy) attached to
+  ``TestbedConfig(faults=...)``.
+- :mod:`repro.faults.inject` — the stateful injectors and packet
+  mutators that implement the wire half.
+
+``python -m repro.faults.chaos`` runs multi-seed TLS / NVMe-TCP soaks
+under randomized fault mixes with the runtime sanitizer enabled,
+asserting end-to-end byte-stream / CRC integrity.
+"""
+
+from repro.faults.inject import LinkFaultInjector, corrupting_link, flip_payload_byte
+from repro.faults.plan import (
+    DegradePolicy,
+    FaultPlan,
+    GilbertElliott,
+    LinkFaultProfile,
+    NicFaultProfile,
+)
+
+__all__ = [
+    "DegradePolicy",
+    "FaultPlan",
+    "GilbertElliott",
+    "LinkFaultInjector",
+    "LinkFaultProfile",
+    "NicFaultProfile",
+    "corrupting_link",
+    "flip_payload_byte",
+]

@@ -1,0 +1,354 @@
+"""Multi-seed chaos soak: TLS and NVMe-TCP under randomized fault mixes.
+
+``python -m repro.faults.chaos`` drives both L5P workloads on the §6
+testbed with combined burst-loss, corruption, jitter, and NIC-fault
+plans, the runtime invariant sanitizer enabled, and end-to-end content
+verification:
+
+- **TLS**: the generator streams fixed-size self-describing chunks (one
+  per TLS record); the server verifies every decrypted chunk against the
+  pattern derived from its embedded index.  Records dropped after a
+  *detected* auth failure appear as index gaps (counted as skips), never
+  as mismatches.
+- **NVMe-TCP**: the initiator (the DUT) runs a closed loop of reads
+  verified against ``BlockDevice.peek`` plus write/read-back pairs in a
+  disjoint region; detected digest/framing/status failures are counted
+  through the ``on_error`` hook and the loop keeps going.
+
+A run **fails** only on silent corruption (content mismatch) or a
+sanitizer invariant violation — detected errors are the expected product
+of fault injection.  One deterministic "heavy" scenario (all resync
+responses dropped, give-up threshold 1) guarantees the §5.3 auto-disable
+path fires and is observable via the ``driver.offload.auto_disabled``
+counter.  Identical seeds produce identical summaries.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import random
+import sys
+from typing import Optional
+
+from repro.analysis import sanitizer
+from repro.faults.plan import (
+    DegradePolicy,
+    FaultPlan,
+    GilbertElliott,
+    LinkFaultProfile,
+    NicFaultProfile,
+)
+from repro.harness.testbed import Testbed, TestbedConfig
+
+CHUNK = 4096  # TLS chunk == record size, so chunk framing survives drops
+TLS_CHUNKS = 192
+NVME_DEPTH = 8
+NVME_READ_SPAN = 4 * 1024 * 1024  # read-only region (device pattern)
+NVME_WRITE_BASE = 8 * 1024 * 1024  # write/read-back slots live above
+
+HEAVY_SEED = 999
+HEAVY_PLAN = FaultPlan(
+    to_server=LinkFaultProfile(
+        corrupt=0.002,
+        burst=GilbertElliott.for_mean_loss(0.05, burst_len=6),
+    ),
+    nic=NicFaultProfile(resync_resp_drop=1.0),
+    degrade=DegradePolicy(max_resync_retries=1, resync_timeout_s=5e-4, disable_after_failures=1),
+)
+
+
+def chunk_bytes(k: int) -> bytes:
+    """Chunk ``k``: an 8-byte index plus an index-derived fill."""
+    fill = hashlib.sha256(b"chaos:%d" % k).digest()
+    body = (fill * (CHUNK // len(fill) + 1))[: CHUNK - 8]
+    return k.to_bytes(8, "big") + body
+
+
+def random_plan(rng: random.Random) -> FaultPlan:
+    """One randomized fault mix (always at least bursty loss)."""
+    burst = GilbertElliott.for_mean_loss(
+        rng.choice([0.005, 0.01, 0.02, 0.03]), burst_len=rng.choice([4, 6, 8])
+    )
+    wire = LinkFaultProfile(
+        corrupt=rng.choice([0.0, 0.002, 0.005]),
+        jitter_s=rng.choice([0.0, 0.0, 20e-6]),
+        burst=burst,
+    )
+    nic = NicFaultProfile(
+        cache_evict_prob=rng.choice([0.0, 0.05]),
+        pcie_stall_prob=rng.choice([0.0, 0.2]),
+        pcie_fail_prob=rng.choice([0.0, 0.2]),
+        resync_resp_drop=rng.choice([0.0, 0.25]),
+        resync_resp_delay=rng.choice([0.0, 0.25]),
+        resync_resp_delay_s=5e-4,
+        resync_resp_dup=rng.choice([0.0, 0.2]),
+    )
+    degrade = DegradePolicy(
+        max_resync_retries=2,
+        resync_timeout_s=1e-3,
+        disable_after_failures=rng.choice([0, 4]),
+        probation_s=rng.choice([0.0, 5e-3]),
+    )
+    return FaultPlan(to_server=wire, nic=nic, degrade=degrade)
+
+
+def _testbed(seed: int, plan: FaultPlan) -> Testbed:
+    return Testbed(
+        TestbedConfig(seed=seed, server_cores=2, generator_cores=4, faults=plan, metrics=True)
+    )
+
+
+def _summarize(tb: Testbed, state: dict) -> dict:
+    counters = tb.metrics_report()["metrics"]["counters"]
+    picked = {
+        key: counters.get(name, 0)
+        for key, name in (
+            ("auto_disabled", "driver.offload.auto_disabled"),
+            ("probation_reenabled", "driver.offload.probation_reenabled"),
+            ("resync_requests", "driver.resync.requests"),
+            ("resync_retries", "driver.resync.retries"),
+            ("resync_failures", "driver.resync.failures"),
+            ("resync_confirmed", "driver.resync.confirmed"),
+            ("resync_resp_dropped", "driver.resync.resp_dropped"),
+            ("cache_fault_evictions", "nic.cache.fault_evictions"),
+            ("pcie_stalls", "nic.pcie.fault.stalls"),
+            ("pcie_read_failures", "nic.pcie.fault.read_failures"),
+            ("tx_sw_fallbacks", "nic.tx.sw_fallback_pkts"),
+        )
+    }
+    state.update(picked)
+    state["link_to_server"] = tb.link.ba.counters()
+    state["sim_events"] = tb.sim.events_fired
+    return state
+
+
+def run_tls(seed: int, plan: FaultPlan, duration: float) -> dict:
+    """Generator streams chunks to the DUT's rx-offloaded TLS socket."""
+    from repro.l5p.tls import KtlsSocket, TlsConfig
+
+    tb = _testbed(seed, plan)
+    state = {
+        "workload": "tls",
+        "seed": seed,
+        "sent": 0,
+        "verified": 0,
+        "skipped": 0,
+        "mismatches": 0,
+        "detected_errors": 0,
+        "sanitizer_violations": 0,
+    }
+    rx_buf = bytearray()
+    last_idx = [-1]
+
+    def on_data(data: bytes) -> None:
+        rx_buf.extend(data)
+        while len(rx_buf) >= CHUNK:
+            chunk = bytes(rx_buf[:CHUNK])
+            del rx_buf[:CHUNK]
+            k = int.from_bytes(chunk[:8], "big")
+            if k <= last_idx[0] or k >= TLS_CHUNKS or chunk != chunk_bytes(k):
+                state["mismatches"] += 1
+                continue
+            state["skipped"] += k - last_idx[0] - 1
+            last_idx[0] = k
+            state["verified"] += 1
+
+    sockets = {}
+
+    def on_accept(conn) -> None:
+        tls = KtlsSocket(tb.server, conn, "server", TlsConfig(rx_offload=True, record_size=CHUNK))
+        tls.on_data = on_data
+        tls.on_error = lambda reason: state.__setitem__(
+            "detected_errors", state["detected_errors"] + 1
+        )
+        sockets["server"] = tls
+
+    tb.server.tcp.listen(443, on_accept)
+    conn = tb.generator.tcp.connect("server", 443)
+    client = KtlsSocket(tb.generator, conn, "client", TlsConfig(tx_offload=True, record_size=CHUNK))
+    client.on_error = lambda reason: state.__setitem__(
+        "detected_errors", state["detected_errors"] + 1
+    )
+
+    def feed() -> None:
+        while state["sent"] < TLS_CHUNKS:
+            if client.send(chunk_bytes(state["sent"])) == 0:
+                return
+            state["sent"] += 1
+
+    client.on_ready = feed
+    client.on_writable = feed
+    try:
+        tb.run(until=duration)
+    except sanitizer.InvariantViolation:
+        state["sanitizer_violations"] += 1
+    server_tls = sockets.get("server")
+    if server_tls is not None:
+        state["auth_failures"] = server_tls.stats.auth_failures
+        state["offload_degraded"] = server_tls.stats.offload_degraded
+    return _summarize(tb, state)
+
+
+def run_nvme(seed: int, plan: FaultPlan, duration: float) -> dict:
+    """The DUT runs an NVMe-TCP initiator (CRC + copy offload) against a
+    target on the generator; every completion is content-verified."""
+    from repro.l5p.nvme_tcp import NvmeConfig, NvmeTcpHost, NvmeTcpTarget
+    from repro.storage.blockdev import BlockDevice
+
+    tb = _testbed(seed, plan)
+    state = {
+        "workload": "nvme",
+        "seed": seed,
+        "issued": 0,
+        "verified": 0,
+        "mismatches": 0,
+        "detected_errors": 0,
+        "sanitizer_violations": 0,
+    }
+    device = BlockDevice(tb.sim)
+    target = NvmeTcpTarget(tb.generator, device, config=NvmeConfig(tx_offload=True))
+    target.start()
+    initiator = NvmeTcpHost(
+        tb.server, config=NvmeConfig(tx_offload=True, rx_offload_crc=True, rx_offload_copy=True)
+    )
+    io_rng = random.Random(f"chaos:io:{seed}")
+    write_slot = [0]
+
+    def issue() -> None:
+        state["issued"] += 1
+        if io_rng.random() < 0.2:
+            slot = write_slot[0]
+            write_slot[0] += 1
+            offset = NVME_WRITE_BASE + slot * 64 * 1024
+            payload = chunk_bytes(slot)[: 16 * 1024]
+
+            def readback(_lat, offset=offset, payload=payload) -> None:
+                initiator.read(offset, len(payload), lambda data, _l: verify(data, payload))
+
+            initiator.write(offset, payload, readback)
+        else:
+            length = io_rng.choice([4096, 8192, 16384, 32768])
+            offset = io_rng.randrange(0, NVME_READ_SPAN - length, 4096)
+            expect = device.peek(offset, length)
+            initiator.read(offset, length, lambda data, _l, e=expect: verify(data, e))
+
+    def verify(data: bytes, expect: bytes) -> None:
+        if bytes(data) == expect:
+            state["verified"] += 1
+        else:
+            state["mismatches"] += 1
+        issue()
+
+    def on_error(reason: str) -> None:
+        state["detected_errors"] += 1
+        issue()
+
+    initiator.on_error = on_error
+    initiator.connect("generator", on_ready=lambda: [issue() for _ in range(NVME_DEPTH)])
+    try:
+        tb.run(until=duration)
+    except sanitizer.InvariantViolation:
+        state["sanitizer_violations"] += 1
+    state["digest_failures"] = initiator.stats.digest_failures
+    state["io_failures"] = initiator.stats.io_failures
+    state["offload_degraded"] = initiator.stats.offload_degraded
+    return _summarize(tb, state)
+
+
+_WORKLOADS = {"tls": run_tls, "nvme": run_nvme}
+
+
+def run_chaos(
+    seeds: int = 10,
+    workloads: tuple = ("tls", "nvme"),
+    duration: float = 15e-3,
+    heavy: bool = True,
+    base_seed: int = 1,
+) -> dict:
+    """The full soak; returns a JSON-friendly report."""
+    runs = []
+    with sanitizer.enabled():
+        for seed in range(base_seed, base_seed + seeds):
+            for name in workloads:
+                plan = random_plan(random.Random(f"chaos:plan:{name}:{seed}"))
+                result = _WORKLOADS[name](seed, plan, duration)
+                result["plan"] = plan.describe()
+                runs.append(result)
+        if heavy:
+            for name in workloads:
+                result = _WORKLOADS[name](HEAVY_SEED, HEAVY_PLAN, duration)
+                result["plan"] = HEAVY_PLAN.describe()
+                result["heavy"] = True
+                runs.append(result)
+    totals = {
+        "runs": len(runs),
+        "verified": sum(r["verified"] for r in runs),
+        "mismatches": sum(r["mismatches"] for r in runs),
+        "detected_errors": sum(r["detected_errors"] for r in runs),
+        "sanitizer_violations": sum(r["sanitizer_violations"] for r in runs),
+        "auto_disabled": sum(r["auto_disabled"] for r in runs),
+    }
+    return {
+        "totals": totals,
+        "ok": totals["mismatches"] == 0 and totals["sanitizer_violations"] == 0,
+        "runs": runs,
+    }
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults.chaos", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--seeds", type=int, default=10, help="seeds per workload (default 10)")
+    parser.add_argument("--base-seed", type=int, default=1, help="first seed (default 1)")
+    parser.add_argument(
+        "--workloads", default="tls,nvme", help="comma-separated subset of: tls,nvme"
+    )
+    parser.add_argument(
+        "--duration", type=float, default=15e-3, help="simulated seconds per run (default 15e-3)"
+    )
+    parser.add_argument(
+        "--no-heavy", action="store_true", help="skip the deterministic auto-disable scenario"
+    )
+    parser.add_argument("--json", metavar="PATH", help="write the full report as JSON")
+    args = parser.parse_args(argv)
+    workloads = tuple(w for w in args.workloads.split(",") if w)
+    unknown = [w for w in workloads if w not in _WORKLOADS]
+    if unknown:
+        parser.error(f"unknown workloads: {', '.join(unknown)}")
+
+    report = run_chaos(
+        seeds=args.seeds,
+        workloads=workloads,
+        duration=args.duration,
+        heavy=not args.no_heavy,
+        base_seed=args.base_seed,
+    )
+    for run in report["runs"]:
+        tag = "HEAVY" if run.get("heavy") else f"seed={run['seed']}"
+        print(
+            f"[{run['workload']:>4} {tag:>8}] verified={run['verified']:<5} "
+            f"mismatches={run['mismatches']} detected={run['detected_errors']} "
+            f"resync(req/retry/fail)={run['resync_requests']}/{run['resync_retries']}"
+            f"/{run['resync_failures']} auto_disabled={run['auto_disabled']} "
+            f"sanitizer={run['sanitizer_violations']}"
+        )
+    totals = report["totals"]
+    print(
+        f"== {totals['runs']} runs: verified={totals['verified']} "
+        f"mismatches={totals['mismatches']} detected={totals['detected_errors']} "
+        f"auto_disabled={totals['auto_disabled']} "
+        f"sanitizer_violations={totals['sanitizer_violations']} "
+        f"-> {'OK' if report['ok'] else 'FAIL'}"
+    )
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return 0 if report["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

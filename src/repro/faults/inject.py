@@ -1,0 +1,98 @@
+"""Fault-injection mechanisms for the simulated wire.
+
+:class:`LinkFaultInjector` is the stateful half of a
+:class:`~repro.faults.plan.LinkFaultProfile`: it owns the Gilbert–Elliott
+channel state and the scripted flap schedule, and is attached to one
+``repro.net.link._Port`` (the port consults it per packet, before its own
+i.i.d. loss roll).
+
+This module also hosts the packet-mutation helpers that grew up ad hoc in
+``tests/test_failure_injection.py`` — ``corrupting_link`` /
+``flip_payload_byte`` — now public API so tests and chaos scenarios share
+one implementation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from repro.faults.plan import GilbertElliott, LinkFaultProfile
+from repro.net.packet import Packet
+
+
+class LinkFaultInjector:
+    """Per-port drop decisions for bursty loss and link flaps.
+
+    Owns its own :class:`random.Random` (a dedicated substream) so that
+    enabling a fault plan never perturbs the link's base i.i.d. draw
+    sequence — baseline runs stay bit-identical.
+    """
+
+    def __init__(self, profile: LinkFaultProfile, rng: random.Random):
+        self.profile = profile
+        self.rng = rng
+        self._bad = False  # Gilbert–Elliott channel state
+        self.burst_drops = 0
+        self.flap_drops = 0
+
+    def should_drop(self, now: float) -> bool:
+        """One per-packet decision; steps the GE channel exactly once."""
+        if any(start <= now < end for start, end in self.profile.flaps):
+            self.flap_drops += 1
+            return True
+        ge: Optional[GilbertElliott] = self.profile.burst
+        if ge is None:
+            return False
+        if self._bad:
+            if self.rng.random() < ge.p_bad_to_good:
+                self._bad = False
+        else:
+            if self.rng.random() < ge.p_good_to_bad:
+                self._bad = True
+        loss = ge.loss_bad if self._bad else ge.loss_good
+        if loss and self.rng.random() < loss:
+            self.burst_drops += 1
+            return True
+        return False
+
+    def counters(self) -> dict:
+        return {"burst_drops": self.burst_drops, "flap_drops": self.flap_drops}
+
+
+def flip_payload_byte(offset: int = 50) -> Callable[[Packet], None]:
+    """A mutator that XOR-flips one payload byte in place (offset wraps)."""
+
+    def mutate(pkt: Packet) -> None:
+        data = bytearray(pkt.payload)
+        if not data:
+            return
+        i = offset % len(data)
+        data[i] ^= 0xFF
+        pkt.payload = bytes(data)
+
+    return mutate
+
+
+def corrupting_link(link, side: str, predicate: Callable[[Packet], bool], mutate: Callable[[Packet], None]) -> dict:
+    """Interpose on one direction of ``link``, mutating matched packets.
+
+    ``side`` is the *receiving* side ("a" or "b"); packets headed to that
+    side and matching ``predicate`` are mutated in place by ``mutate``
+    before delivery.  Returns a state dict whose ``"hits"`` entry counts
+    mutations — handy for asserting the fault actually fired.
+    """
+    port = link.ab if side == "b" else link.ba
+    inner = port.receiver
+    if inner is None:
+        raise RuntimeError(f"link side {side!r} has no receiver attached yet")
+    state = {"hits": 0}
+
+    def tap(pkt: Packet) -> None:
+        if predicate(pkt):
+            state["hits"] += 1
+            mutate(pkt)
+        inner(pkt)
+
+    port.receiver = tap
+    return state

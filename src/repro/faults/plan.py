@@ -1,0 +1,126 @@
+"""Declarative fault plans (the configuration half of ``repro.faults``).
+
+A :class:`FaultPlan` describes every fault the harness can inject into a
+run — network-level (bursty loss, corruption, jitter, link flaps),
+NIC/driver-level (context-cache eviction storms, PCIe stalls/failures
+during TX recovery, misbehaving resync responses) — plus the
+:class:`DegradePolicy` that governs how the driver degrades gracefully
+under sustained failure (paper §5.3's "give up" path).
+
+Everything here is a frozen dataclass with zero-fault defaults: an empty
+plan is byte-for-byte identical to no plan, so baselines are untouched.
+The *mechanisms* that consume these plans live in ``repro.net.link``
+(wire faults), ``repro.nic``/``repro.core`` (device faults and
+degradation), and ``repro.harness.testbed`` (wiring).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Optional, Tuple
+
+Window = Tuple[float, float]  # (start_s, end_s) in simulated time
+
+
+@dataclass(frozen=True)
+class GilbertElliott:
+    """Two-state bursty-loss channel (Gilbert–Elliott).
+
+    The channel steps once per packet: in the *good* state it moves to
+    *bad* with ``p_good_to_bad``; in *bad* it recovers with
+    ``p_bad_to_good``.  Each state drops packets at its own rate.  The
+    stationary loss rate is ``pi_bad * loss_bad + (1-pi_bad) *
+    loss_good`` with ``pi_bad = p_good_to_bad / (p_good_to_bad +
+    p_bad_to_good)``; the mean burst length is ``1 / p_bad_to_good``
+    packets.
+    """
+
+    p_good_to_bad: float = 0.0
+    p_bad_to_good: float = 0.2
+    loss_good: float = 0.0
+    loss_bad: float = 0.5
+
+    def mean_loss(self) -> float:
+        denom = self.p_good_to_bad + self.p_bad_to_good
+        pi_bad = self.p_good_to_bad / denom if denom else 0.0
+        return pi_bad * self.loss_bad + (1.0 - pi_bad) * self.loss_good
+
+    @classmethod
+    def for_mean_loss(cls, mean: float, burst_len: float = 5.0, loss_bad: float = 0.5) -> "GilbertElliott":
+        """A channel with stationary loss ``mean`` and the given mean
+        burst length (in packets) while in the bad state."""
+        if not 0.0 <= mean < loss_bad:
+            raise ValueError(f"mean loss {mean} must be in [0, loss_bad={loss_bad})")
+        p_b2g = 1.0 / burst_len
+        pi_bad = mean / loss_bad
+        p_g2b = p_b2g * pi_bad / (1.0 - pi_bad) if pi_bad else 0.0
+        return cls(p_good_to_bad=p_g2b, p_bad_to_good=p_b2g, loss_bad=loss_bad)
+
+
+@dataclass(frozen=True)
+class LinkFaultProfile:
+    """Wire faults for one link direction, beyond the i.i.d. knobs that
+    already live on :class:`repro.net.link.LinkConfig`."""
+
+    corrupt: float = 0.0  # per-packet probability of a payload bit flip
+    jitter_s: float = 0.0  # uniform extra delivery delay in [0, jitter_s)
+    burst: Optional[GilbertElliott] = None  # bursty loss channel
+    flaps: Tuple[Window, ...] = ()  # scripted down/up windows (sim time)
+
+
+@dataclass(frozen=True)
+class NicFaultProfile:
+    """Faults inside the NIC/driver of the device under test."""
+
+    # Context-cache eviction storms: every access during a storm window
+    # forcibly misses; outside windows each access is evicted first with
+    # ``cache_evict_prob`` (models firmware churn / tenant interference).
+    cache_evict_prob: float = 0.0
+    cache_storm_windows: Tuple[Window, ...] = ()
+    # PCIe faults during TX context recovery (§4.2's DMA re-read).
+    pcie_stall_prob: float = 0.0
+    pcie_stall_cycles: int = 20_000
+    pcie_fail_prob: float = 0.0
+    # Resync-response channel between driver and NIC (Figure 7 c->d).
+    resync_resp_drop: float = 0.0
+    resync_resp_delay: float = 0.0
+    resync_resp_delay_s: float = 1e-3
+    resync_resp_dup: float = 0.0
+
+    def storm_active(self, now: float) -> bool:
+        return any(start <= now < end for start, end in self.cache_storm_windows)
+
+
+@dataclass(frozen=True)
+class DegradePolicy:
+    """Graceful-degradation knobs for :class:`repro.core.driver.NicDriver`.
+
+    All zero by default — the driver then behaves exactly like the
+    pre-degradation code (no retry timers are ever scheduled).  With
+    ``max_resync_retries > 0`` the driver re-issues an unanswered resync
+    request up to that many times with exponential backoff; an exhausted
+    or denied speculation counts as one resync *failure*.  After
+    ``disable_after_failures`` consecutive failures the flow's offload
+    is auto-disabled (permanent software fallback), optionally re-armed
+    after ``probation_s`` of simulated time.
+    """
+
+    max_resync_retries: int = 0
+    resync_timeout_s: float = 2e-3
+    resync_backoff: float = 2.0
+    disable_after_failures: int = 0
+    probation_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything injectable in one run, per direction/component."""
+
+    to_server: Optional[LinkFaultProfile] = None  # generator -> DUT wire
+    to_generator: Optional[LinkFaultProfile] = None  # DUT -> generator wire
+    nic: Optional[NicFaultProfile] = None  # DUT NIC/driver faults
+    degrade: Optional[DegradePolicy] = None  # driver degradation policy
+
+    def describe(self) -> dict:
+        """JSON-friendly summary (for run manifests and chaos logs)."""
+        return asdict(self)

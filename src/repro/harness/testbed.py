@@ -11,6 +11,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.cpu.model import CostModel, DEFAULT_COST_MODEL
+from repro.faults.plan import FaultPlan
 from repro.net.host import Host
 from repro.net.link import Link, LinkConfig
 from repro.nic import OffloadNic
@@ -33,6 +34,10 @@ class TestbedConfig:
     duplicate_to_server: float = 0.0
     loss_to_generator: float = 0.0
     reorder_to_generator: float = 0.0
+    # Richer fault injection (repro.faults): bursty loss, corruption,
+    # jitter, link flaps, NIC faults, and the degradation policy.  None
+    # leaves every draw sequence untouched.
+    faults: Optional[FaultPlan] = None
     model: CostModel = field(default_factory=lambda: DEFAULT_COST_MODEL)
     nic_cache_bytes: int = 4 * 1024 * 1024
     # Enable the runtime invariant sanitizer (repro.analysis.sanitizer)
@@ -79,6 +84,9 @@ class Testbed:
             cores=cfg.generator_cores,
             nic=OffloadNic(cache_bytes=cfg.nic_cache_bytes),
         )
+        plan = cfg.faults
+        wire_to_generator = plan.to_generator if plan is not None else None
+        wire_to_server = plan.to_server if plan is not None else None
         self.link = Link(
             self.sim,
             config_ab=LinkConfig(
@@ -86,6 +94,8 @@ class Testbed:
                 latency_s=cfg.latency_s,
                 loss=cfg.loss_to_generator,
                 reorder=cfg.reorder_to_generator,
+                corrupt=wire_to_generator.corrupt if wire_to_generator else 0.0,
+                jitter_s=wire_to_generator.jitter_s if wire_to_generator else 0.0,
             ),
             config_ba=LinkConfig(
                 bandwidth_bps=cfg.bandwidth_bps,
@@ -93,12 +103,35 @@ class Testbed:
                 loss=cfg.loss_to_server,
                 reorder=cfg.reorder_to_server,
                 duplicate=cfg.duplicate_to_server,
+                corrupt=wire_to_server.corrupt if wire_to_server else 0.0,
+                jitter_s=wire_to_server.jitter_s if wire_to_server else 0.0,
             ),
         )
         self.server.attach_link(self.link, "a")
         self.generator.attach_link(self.link, "b")
+        if plan is not None:
+            self._install_faults(plan)
         if self.obs is not None:
             self._register_probes()
+
+    def _install_faults(self, plan: FaultPlan) -> None:
+        """Arm the plan's stateful injectors.  Each gets a dedicated rng
+        substream so fault rolls never perturb the base simulation."""
+        from repro.faults.inject import LinkFaultInjector
+
+        if plan.to_generator is not None and (plan.to_generator.burst or plan.to_generator.flaps):
+            self.link.ab.fault_injector = LinkFaultInjector(
+                plan.to_generator, self.sim.substream("faults:link:to_generator")
+            )
+        if plan.to_server is not None and (plan.to_server.burst or plan.to_server.flaps):
+            self.link.ba.fault_injector = LinkFaultInjector(
+                plan.to_server, self.sim.substream("faults:link:to_server")
+            )
+        if plan.nic is not None:
+            self.server.nic.install_faults(plan.nic, self.sim.substream("faults:nic:server"))
+        if plan.degrade is not None:
+            self.server.nic.driver.configure_degradation(plan.degrade)
+            self.generator.nic.driver.configure_degradation(plan.degrade)
 
     # ------------------------------------------------------------------
     def _register_probes(self) -> None:
@@ -107,6 +140,10 @@ class Testbed:
         obs = self.obs
         obs.probe("sim.events_fired", lambda: self.sim.events_fired)
         obs.probe("sim.now_ns", lambda: self.sim.now_ns)
+        # Per-direction wire fault totals (drop/reorder/dup/corrupt, plus
+        # injector counters when a FaultPlan armed one).
+        obs.probe("link.to_generator", self.link.ab.counters)
+        obs.probe("link.to_server", self.link.ba.counters)
         for host in (self.server, self.generator):
             name = host.name
             obs.probe(f"host.{name}.cpu.cycles", host.cpu.cycles_by_category)
@@ -155,6 +192,7 @@ class Testbed:
                 "loss_to_server": cfg.loss_to_server,
                 "loss_to_generator": cfg.loss_to_generator,
                 "nic_cache_bytes": cfg.nic_cache_bytes,
+                "faults": cfg.faults.describe() if cfg.faults is not None else None,
             },
             "sim": {"now_ns": self.sim.now_ns, "events_fired": self.sim.events_fired},
             "metrics": self.obs.snapshot(),

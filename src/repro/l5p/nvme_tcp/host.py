@@ -41,6 +41,8 @@ class NvmeHostStats:
     pdus_placed: int = 0  # C2HData fully placed + CRC-verified by the NIC
     pdus_software: int = 0
     digest_failures: int = 0
+    io_failures: int = 0  # detected I/O or framing failures (on_error set)
+    offload_degraded: int = 0  # driver gave up on this flow's offload
     bytes_read: int = 0
     bytes_written: int = 0
     latencies: list = field(default_factory=list)
@@ -60,6 +62,10 @@ class NvmeTcpHost:
         self.ktls = None
         self.ready = False
         self.on_ready: Optional[Callable[[], None]] = None
+        # When set, detected failures (bad status, digest mismatch,
+        # framing desync) are reported here instead of raising — fault
+        # injection runs keep going and count them.
+        self.on_error: Optional[Callable[[str], None]] = None
 
         self._free_cids: deque[int] = deque(range(self.config.queue_depth))
         self._inflight: dict[int, _Request] = {}
@@ -265,6 +271,11 @@ class NvmeTcpHost:
                 return TxMsgState(start_seq=start, msg_index=idx, wire_bytes=wire)
         return None
 
+    def l5o_offload_degraded(self, direction: str, reason: str) -> None:
+        """The driver gave up on this flow's offload (paper §5.3's
+        permanent software fallback); the queue pair keeps working."""
+        self.stats.offload_degraded += 1
+
     def l5o_resync_rx_req(self, tcpsn: int) -> None:
         self._pending_resync.append(tcpsn)
 
@@ -286,6 +297,10 @@ class NvmeTcpHost:
         try:
             messages = self._assembler.push(data, meta)
         except ValueError as exc:
+            if self.on_error is not None:
+                self.stats.io_failures += 1
+                self.on_error(f"NVMe-TCP stream framing error: {exc}")
+                return
             raise RuntimeError(f"NVMe-TCP stream framing error: {exc}") from None
         for msg in messages:
             self._on_pdu(msg)
@@ -370,6 +385,11 @@ class NvmeTcpHost:
         latency = self.host.sim.now - req.issued_at
         self.stats.latencies.append(latency)
         if status != 0 or req.data_failures:
+            if self.on_error is not None:
+                self.stats.io_failures += 1
+                self.on_error(f"NVMe I/O cid={cid} failed (status={status})")
+                self._drain_waiting()
+                return
             raise RuntimeError(f"NVMe I/O cid={cid} failed (status={status})")
         if req.opcode == P.OPC_READ:
             self.stats.bytes_read += req.length

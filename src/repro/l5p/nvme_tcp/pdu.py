@@ -202,6 +202,10 @@ class NvmeAdapter(L5pAdapter):
         self._place_ok = False
         self.place_failures += 1
 
+    def software_cpb(self, model) -> float:
+        # Degraded NVMe/TCP sends only recompute the CRC32C data digest.
+        return model.cpb_crc32c
+
     def parse_header(self, header: bytes, static_state) -> Optional[MessageDesc]:
         try:
             total = pdu_total_len(header)

@@ -68,6 +68,7 @@ class TlsStats:
     bytes_tx: int = 0
     bytes_rx: int = 0
     auth_failures: int = 0
+    offload_degraded: int = 0  # driver gave up on this flow's offload
 
     @property
     def records_rx(self) -> int:
@@ -319,6 +320,12 @@ class KtlsSocket:
 
     def l5o_resync_rx_req(self, tcpsn: int) -> None:
         self._pending_resync.append(tcpsn)
+
+    def l5o_offload_degraded(self, direction: str, reason: str) -> None:
+        """The driver gave up on this flow's offload (paper §5.3's
+        permanent software fallback); the socket keeps working through
+        the software crypto path."""
+        self.stats.offload_degraded += 1
 
     # ------------------------------------------------------------------
     # receive path

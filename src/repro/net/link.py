@@ -24,6 +24,8 @@ class LinkConfig:
     reorder: float = 0.0  # probability a packet is held back
     duplicate: float = 0.0  # probability a packet is delivered twice
     reorder_delay_s: float = 100e-6  # how long a held-back packet lags
+    corrupt: float = 0.0  # probability of a single-byte payload flip
+    jitter_s: float = 0.0  # uniform extra delivery delay in [0, jitter_s)
 
 
 class _Port:
@@ -35,12 +37,17 @@ class _Port:
         self.rng = rng
         self.name = name
         self.receiver: Optional[Callable[[Packet], None]] = None
+        # Optional stateful drop source (repro.faults.LinkFaultInjector):
+        # consulted per packet, before the i.i.d. rolls below.  Kept
+        # duck-typed so this module stays import-free of repro.faults.
+        self.fault_injector = None
         self._egress_free_at = 0.0
         self.sent_packets = 0
         self.sent_bytes = 0
         self.dropped_packets = 0
         self.reordered_packets = 0
         self.duplicated_packets = 0
+        self.corrupted_packets = 0
 
     def transmit(self, pkt: Packet) -> None:
         if self.receiver is None:
@@ -53,17 +60,55 @@ class _Port:
         self._egress_free_at = start + pkt.wire_bytes * 8 / cfg.bandwidth_bps
         arrival = self._egress_free_at + cfg.latency_s
 
+        # Stateful faults (burst loss, link flaps) drop before the i.i.d.
+        # knobs and draw from their own rng substream, so attaching an
+        # injector never perturbs the base draw sequence.
+        if self.fault_injector is not None and self.fault_injector.should_drop(self.sim.now):
+            self.dropped_packets += 1
+            return
         if cfg.loss and self.rng.random() < cfg.loss:
             self.dropped_packets += 1
             return
         if cfg.reorder and self.rng.random() < cfg.reorder:
             self.reordered_packets += 1
             arrival += cfg.reorder_delay_s * (0.5 + self.rng.random())
+        if cfg.jitter_s:
+            arrival += cfg.jitter_s * self.rng.random()
+        if cfg.corrupt and self.rng.random() < cfg.corrupt:
+            pkt = self._corrupt(pkt)
         self.sim.at(arrival, self.receiver, pkt)
         if cfg.duplicate and self.rng.random() < cfg.duplicate:
             # A duplicated frame is an independent copy on the wire.
             self.duplicated_packets += 1
             self.sim.at(arrival + 1e-9, self.receiver, pkt.clone())
+
+    def _corrupt(self, pkt: Packet) -> Packet:
+        """Flip one payload byte on an independent copy of the frame.
+
+        The sender's retransmit buffers must keep the pristine bytes, so
+        corruption — like duplication — operates on a clone.
+        """
+        if not pkt.payload:
+            return pkt
+        self.corrupted_packets += 1
+        bad = pkt.clone()
+        data = bytearray(bad.payload)
+        data[self.rng.randrange(len(data))] ^= 0xFF
+        bad.payload = bytes(data)
+        return bad
+
+    def counters(self) -> dict:
+        out = {
+            "sent": self.sent_packets,
+            "sent_bytes": self.sent_bytes,
+            "dropped": self.dropped_packets,
+            "reordered": self.reordered_packets,
+            "duplicated": self.duplicated_packets,
+            "corrupted": self.corrupted_packets,
+        }
+        if self.fault_injector is not None:
+            out.update(self.fault_injector.counters())
+        return out
 
     @property
     def utilization_bytes(self) -> int:

@@ -28,11 +28,30 @@ class ContextCache:
         self.hits = 0
         self.misses = 0
         self.obs = None  # repro.obs handle, wired by OffloadNic.bind()
+        # Injected faults (repro.faults NicFaultProfile), wired by
+        # OffloadNic.install_faults(): eviction storms force misses.
+        self.faults = None
+        self.fault_rng = None
+        self.clock = None  # () -> simulated now, for storm windows
+        self.fault_evictions = 0
 
     def access(self, ctx: HwContext) -> bool:
         """Touch a context; returns True on hit."""
         key = ctx.ctx_id
         obs = self.obs
+        faults = self.faults
+        if faults is not None and key in self._lru:
+            storm = self.clock is not None and faults.storm_active(self.clock())
+            if storm or (
+                faults.cache_evict_prob and self.fault_rng.random() < faults.cache_evict_prob
+            ):
+                # Forced eviction (firmware churn / tenant interference):
+                # the entry is gone before the lookup, so this access —
+                # and during a storm, every access — takes the miss path.
+                self._lru.pop(key)
+                self.fault_evictions += 1
+                if obs is not None:
+                    obs.count("nic.cache.fault_evictions")
         if key in self._lru:
             self._lru.move_to_end(key)
             self.hits += 1
@@ -69,3 +88,4 @@ class ContextCache:
     def reset_stats(self) -> None:
         self.hits = 0
         self.misses = 0
+        self.fault_evictions = 0

@@ -35,6 +35,10 @@ class OffloadNic(PassthroughNic):
         self.datagram_engine = DatagramEngine(self)
         self.contexts_installed = 0
         self.obs = None  # repro.obs handle, wired at bind()
+        # Injected device faults (repro.faults NicFaultProfile) and their
+        # dedicated rng substream; None means a fault-free device.
+        self.faults = None
+        self.fault_rng = None
 
     def bind(self, host) -> None:
         super().bind(host)
@@ -42,6 +46,16 @@ class OffloadNic(PassthroughNic):
         # with the components that have no path back to the simulator.
         self.obs = host.sim.obs if host is not None else None
         self.cache.obs = self.obs
+        self.cache.clock = (lambda: host.sim.now) if host is not None else None
+
+    def install_faults(self, profile, rng) -> None:
+        """Arm a NicFaultProfile-shaped object (duck-typed) against this
+        device.  ``rng`` must be a dedicated substream so fault rolls
+        never perturb the simulation's other draw sequences."""
+        self.faults = profile
+        self.fault_rng = rng
+        self.cache.faults = profile
+        self.cache.fault_rng = rng
 
     # ------------------------------------------------------------------
     # context lifecycle (called by the driver)
@@ -126,6 +140,12 @@ class OffloadNic(PassthroughNic):
             "boundary_resyncs": 0,
             "tx_recoveries": 0,
             "tx_recovery_bytes": 0,
+            "resync_retries": 0,
+            "resync_failures": 0,
+            "auto_disables": 0,
+            "tx_sw_fallbacks": 0,
+            "tx_recovery_failures": 0,
+            "offload_disabled_flows": 0,
         }
         contexts = list(self.driver.tx_contexts.values()) + list(self.driver.rx_contexts.values())
         for ctx in contexts:
@@ -136,4 +156,10 @@ class OffloadNic(PassthroughNic):
             stats["boundary_resyncs"] += ctx.boundary_resyncs
             stats["tx_recoveries"] += ctx.tx_recoveries
             stats["tx_recovery_bytes"] += ctx.tx_recovery_bytes
+            stats["resync_retries"] += ctx.resync_retries
+            stats["resync_failures"] += ctx.resync_failures
+            stats["auto_disables"] += ctx.auto_disables
+            stats["tx_sw_fallbacks"] += ctx.tx_sw_fallbacks
+            stats["tx_recovery_failures"] += ctx.tx_recovery_failures
+            stats["offload_disabled_flows"] += 1 if ctx.offload_disabled else 0
         return stats

@@ -23,6 +23,10 @@ class PcieModel:
     def __init__(self, capacity_bps: float = PCIE_GEN3_X16_BPS):
         self.capacity_bps = capacity_bps
         self.bytes_by_category: dict[str, int] = defaultdict(int)
+        # Injected-fault outcomes (repro.faults NicFaultProfile): stalled
+        # and failed reads on the TX-recovery DMA path.
+        self.stalls = 0
+        self.read_failures = 0
 
     def count(self, category: str, nbytes: int) -> None:
         if nbytes < 0:
@@ -41,3 +45,5 @@ class PcieModel:
 
     def reset_stats(self) -> None:
         self.bytes_by_category.clear()
+        self.stalls = 0
+        self.read_failures = 0

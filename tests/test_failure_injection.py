@@ -1,9 +1,14 @@
 """Failure injection across the stack: corrupted wire bytes must be
-detected by every L5P, offloaded or not, and errors must surface."""
+detected by every L5P, offloaded or not, and errors must surface.
+
+Uses the public ``repro.faults`` helpers (``corrupting_link`` /
+``flip_payload_byte``) that grew out of this file's original ad-hoc
+versions."""
 
 import pytest
 
 from helpers import make_pair
+from repro.faults import corrupting_link, flip_payload_byte
 from repro.l5p.nvme_tcp import NvmeConfig, NvmeTcpHost, NvmeTcpTarget
 from repro.l5p.rpc import RpcClient, RpcConfig, RpcServer
 from repro.l5p.tls import KtlsSocket, TlsConfig
@@ -11,29 +16,18 @@ from repro.nic import OffloadNic
 from repro.storage.blockdev import BlockDevice
 
 
-def corrupting_link(pair, side, predicate, mutate):
-    """Wrap one link direction: packets matching predicate get mutated."""
-    port = pair.link.ab if side == "b" else pair.link.ba
-    original = port.receiver
-    state = {"hits": 0}
+def first_bigger_than(threshold):
+    """One-shot predicate: the first packet with a payload above
+    ``threshold`` bytes matches; everything after passes clean."""
+    fired = []
 
-    def wrapped(pkt):
-        if predicate(pkt, state):
-            mutate(pkt)
-            state["hits"] += 1
-        original(pkt)
+    def predicate(pkt):
+        if len(pkt.payload) > threshold and not fired:
+            fired.append(True)
+            return True
+        return False
 
-    pair.link.attach(side, wrapped)
-    return state
-
-
-def flip_payload_byte(offset=50):
-    def mutate(pkt):
-        data = bytearray(pkt.payload)
-        data[offset % len(data)] ^= 0xFF
-        pkt.payload = bytes(data)
-
-    return mutate
+    return predicate
 
 
 class TestTlsCorruption:
@@ -55,13 +49,7 @@ class TestTlsCorruption:
         client.on_ready = lambda: client.send(payload)
 
         # Corrupt the first full-size record-bearing packet.
-        def first_big(pkt, state):
-            if len(pkt.payload) > 900 and not state.get("hit"):
-                state["hit"] = True
-                return True
-            return False
-
-        state = corrupting_link(pair, "b", first_big, flip_payload_byte())
+        state = corrupting_link(pair.link, "b", first_bigger_than(900), flip_payload_byte())
         pair.sim.run(until=1.0)
         assert state["hits"] == 1
         assert errors, "authentication failure must surface"
@@ -82,18 +70,35 @@ class TestNvmeCorruption:
 
         nvme.on_ready = go
 
-        def first_big(pkt, state):
-            if len(pkt.payload) > 1000 and not state.get("hit"):
-                state["hit"] = True
-                return True
-            return False
-
         # Corrupt one C2HData-bearing packet toward the initiator.
-        corrupting_link(pair, "a", first_big, flip_payload_byte())
+        corrupting_link(pair.link, "a", first_bigger_than(1000), flip_payload_byte())
         with pytest.raises(RuntimeError, match="failed"):
             pair.sim.run(until=2.0)
         assert "data" not in outcome
         assert nvme.stats.digest_failures > 0
+
+    def test_on_error_hook_reports_instead_of_raising(self):
+        pair = make_pair(client_nic=OffloadNic(), server_nic=OffloadNic())
+        device = BlockDevice(pair.sim)
+        NvmeTcpTarget(pair.server, device, config=NvmeConfig()).start()
+        nvme = NvmeTcpHost(pair.client, config=NvmeConfig())
+        errors = []
+        nvme.on_error = errors.append
+        nvme.connect("server")
+        outcome = {}
+
+        def go():
+            nvme.read(0, 65536, lambda data, lat: outcome.setdefault("bad", data))
+            nvme.read(131072, 4096, lambda data, lat: outcome.setdefault("good", data))
+
+        nvme.on_ready = go
+        corrupting_link(pair.link, "a", first_bigger_than(1000), flip_payload_byte())
+        pair.sim.run(until=2.0)  # must not raise
+        assert errors and "failed" in errors[0]
+        assert nvme.stats.io_failures == 1
+        assert "bad" not in outcome
+        # The queue pair survives the failed request and keeps serving.
+        assert outcome["good"] == device.peek(131072, 4096)
 
 
 class TestRpcCorruption:
@@ -105,13 +110,7 @@ class TestRpcCorruption:
         got = []
         client.call(1, {}, lambda v, lat: got.append(v))
 
-        def first_big(pkt, state):
-            if len(pkt.payload) > 1000 and not state.get("hit"):
-                state["hit"] = True
-                return True
-            return False
-
-        corrupting_link(pair, "a", first_big, flip_payload_byte())
+        corrupting_link(pair.link, "a", first_bigger_than(1000), flip_payload_byte())
         pair.sim.run(until=1.0)
         assert got == []  # corrupt response dropped
         assert client.stats["errors"] == 1

@@ -1,0 +1,60 @@
+"""Chaos harness smoke: determinism for fixed seeds, the heavy
+scenario's guaranteed auto-disable, and a clean (OK) verdict."""
+
+import json
+
+from repro.faults.chaos import HEAVY_PLAN, main, run_chaos, run_tls
+
+
+class TestChaosDeterminism:
+    def test_identical_seeds_identical_summaries(self):
+        a = run_chaos(seeds=2, workloads=("tls", "nvme"), duration=6e-3, heavy=False)
+        b = run_chaos(seeds=2, workloads=("tls", "nvme"), duration=6e-3, heavy=False)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = run_chaos(seeds=1, workloads=("tls",), duration=6e-3, heavy=False, base_seed=1)
+        b = run_chaos(seeds=1, workloads=("tls",), duration=6e-3, heavy=False, base_seed=2)
+        assert a["runs"][0]["link_to_server"] != b["runs"][0]["link_to_server"]
+
+
+class TestChaosVerdicts:
+    def test_soak_is_clean_and_verifies_content(self):
+        report = run_chaos(seeds=2, workloads=("tls", "nvme"), duration=8e-3, heavy=True)
+        assert report["ok"]
+        totals = report["totals"]
+        assert totals["runs"] == 6  # 2 seeds x 2 workloads + 2 heavy
+        assert totals["verified"] > 0
+        assert totals["mismatches"] == 0
+        assert totals["sanitizer_violations"] == 0
+
+    def test_heavy_scenario_fires_auto_disable(self):
+        from repro.analysis import sanitizer
+        from repro.faults.chaos import HEAVY_SEED
+
+        with sanitizer.enabled():
+            result = run_tls(HEAVY_SEED, HEAVY_PLAN, duration=10e-3)
+        assert result["auto_disabled"] > 0
+        assert result["offload_degraded"] > 0
+        assert result["mismatches"] == 0
+
+
+class TestChaosCli:
+    def test_main_writes_json_and_exits_zero(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        code = main(
+            ["--seeds", "1", "--workloads", "tls", "--duration", "6e-3", "--json", str(out)]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "-> OK" in text
+        report = json.loads(out.read_text())
+        assert report["ok"] is True
+        assert report["totals"]["runs"] == 2  # one seeded + one heavy
+
+    def test_main_rejects_unknown_workload(self, capsys):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            main(["--workloads", "bogus"])
+        assert "unknown workloads" in capsys.readouterr().err

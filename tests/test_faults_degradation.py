@@ -1,0 +1,211 @@
+"""Graceful degradation under sustained failure (paper §5.3): bounded
+resync retries with backoff, per-flow auto-disable ("give up"), probation
+re-enable, and TX-recovery PCIe faults falling back to software sends."""
+
+import pytest
+
+from helpers import make_pair
+from repro.core.context import RxState
+from repro.faults import (
+    DegradePolicy,
+    GilbertElliott,
+    LinkFaultInjector,
+    LinkFaultProfile,
+    NicFaultProfile,
+)
+from repro.l5p.tls import KtlsSocket, TlsConfig
+from repro.nic import OffloadNic
+
+
+PAYLOAD = bytes(i % 251 for i in range(600_000))
+
+
+def bursty_pair(seed=11, mean_loss=0.08, burst_len=12):
+    """A pair whose client->server direction suffers bursty loss — long
+    enough bursts to jump past record boundaries and force Figure 7
+    speculation (uniform loss mostly re-locks via Figure 8b instead)."""
+    pair = make_pair(seed=seed, client_nic=OffloadNic(), server_nic=OffloadNic())
+    profile = LinkFaultProfile(burst=GilbertElliott.for_mean_loss(mean_loss, burst_len=burst_len))
+    pair.link.ab.fault_injector = LinkFaultInjector(profile, pair.sim.substream("faults:wire"))
+    return pair
+
+
+def tls_transfer(pair, server_cfg, client_cfg, until=20.0):
+    """Client streams PAYLOAD to the server; returns (received, client,
+    server) with the sockets' errors collected, not raised."""
+    received = bytearray()
+    sockets = {}
+    progress = {"sent": 0, "errors": []}
+
+    def on_accept(conn):
+        tls = KtlsSocket(pair.server, conn, "server", server_cfg)
+        tls.on_data = received.extend
+        tls.on_error = progress["errors"].append
+        sockets["server"] = tls
+
+    pair.server.tcp.listen(443, on_accept)
+    conn = pair.client.tcp.connect("server", 443)
+    client = KtlsSocket(pair.client, conn, "client", client_cfg)
+    client.on_error = progress["errors"].append
+    sockets["client"] = client
+
+    def feed():
+        while progress["sent"] < len(PAYLOAD):
+            sent = client.send(PAYLOAD[progress["sent"] : progress["sent"] + 64 * 1024])
+            if sent == 0:
+                return
+            progress["sent"] += sent
+
+    client.on_ready = feed
+    client.on_writable = feed
+    pair.sim.run(until=until)
+    return bytes(received), sockets["client"], sockets["server"]
+
+
+class TestRetryExhaustionAutoDisable:
+    def test_dropped_responses_exhaust_retries_and_disable(self):
+        pair = bursty_pair()
+        # Every resync response vanishes: each speculation retries with
+        # backoff, fails, and the first failure gives the flow up.
+        pair.server.nic.install_faults(
+            NicFaultProfile(resync_resp_drop=1.0), pair.sim.substream("faults:test")
+        )
+        pair.server.nic.driver.configure_degradation(
+            DegradePolicy(max_resync_retries=2, resync_timeout_s=2e-4, disable_after_failures=1)
+        )
+        received, _, server = tls_transfer(pair, TlsConfig(rx_offload=True), TlsConfig(tx_offload=True))
+        ctx = server._rx_ctx
+        assert ctx.resync_requests > 0, "loss must trigger speculation"
+        assert ctx.resync_retries >= 2, "unanswered speculation must be retried"
+        assert ctx.resync_failures >= 1
+        assert ctx.offload_disabled
+        assert ctx.auto_disables == 1
+        assert server.stats.offload_degraded == 1
+        # The flow survives on the software path, byte-for-byte intact.
+        assert received == PAYLOAD
+        stats = pair.server.nic.offload_stats()
+        assert stats["auto_disables"] == 1
+        assert stats["offload_disabled_flows"] == 1
+
+    def test_degradation_defaults_are_off(self):
+        pair = make_pair(seed=3, loss_to_server=0.03, client_nic=OffloadNic(), server_nic=OffloadNic())
+        received, _, server = tls_transfer(pair, TlsConfig(rx_offload=True), TlsConfig(tx_offload=True))
+        ctx = server._rx_ctx
+        assert received == PAYLOAD
+        assert ctx.resync_retries == 0 and ctx.resync_failures == 0
+        assert not ctx.offload_disabled
+
+
+class TestProbationReenable:
+    def test_probation_restores_offload(self):
+        pair = bursty_pair()
+        faults = NicFaultProfile(resync_resp_drop=1.0)
+        pair.server.nic.install_faults(faults, pair.sim.substream("faults:test"))
+        pair.server.nic.driver.configure_degradation(
+            DegradePolicy(
+                max_resync_retries=1,
+                resync_timeout_s=2e-4,
+                disable_after_failures=1,
+                probation_s=2e-3,
+            )
+        )
+        received, _, server = tls_transfer(pair, TlsConfig(rx_offload=True), TlsConfig(tx_offload=True))
+        ctx = server._rx_ctx
+        assert ctx.auto_disables >= 1
+        # Probation re-armed the offload after the quiet period...
+        assert not ctx.offload_disabled
+        assert ctx.consecutive_resync_failures == 0
+        # ...and the context came back through SEARCHING, so it re-locks
+        # before offloading again (it may have re-locked already).
+        assert ctx.rx_state in (RxState.SEARCHING, RxState.TRACKING, RxState.OFFLOADING)
+        assert received == PAYLOAD
+
+    def test_denied_speculation_counts_toward_give_up(self):
+        # White-box: a denial (Figure 7 d1) is one consecutive failure.
+        pair = make_pair(seed=1, client_nic=OffloadNic(), server_nic=OffloadNic())
+        driver = pair.server.nic.driver
+        driver.configure_degradation(DegradePolicy(disable_after_failures=2))
+        received, _, server = tls_transfer(
+            pair, TlsConfig(rx_offload=True), TlsConfig(tx_offload=True), until=5.0
+        )
+        ctx = server._rx_ctx
+        assert received == PAYLOAD
+        for expect_disabled in (False, True):
+            ctx.enter_searching()
+            ctx.rx_state = RxState.TRACKING
+            ctx.speculation_seq = ctx.expected_seq
+            ctx.track_next = ctx.expected_seq
+            driver.l5o_resync_rx_resp(ctx, ctx.expected_seq, False)
+            assert ctx.offload_disabled is expect_disabled
+        assert ctx.consecutive_resync_failures == 2
+        assert server.stats.offload_degraded == 1
+        assert driver.lookup_rx(ctx.flow) is None
+
+
+class TestTxRecoveryFaults:
+    def _run(self, profile):
+        pair = make_pair(
+            seed=9, loss_to_server=0.03, client_nic=OffloadNic(), server_nic=OffloadNic()
+        )
+        # TX recovery happens on the *sender* (client) NIC when loss
+        # forces retransmits of offloaded records.
+        pair.client.nic.install_faults(profile, pair.sim.substream("faults:test"))
+        received, client, _ = tls_transfer(pair, TlsConfig(), TlsConfig(tx_offload=True))
+        return pair, received, client
+
+    def test_pcie_read_failure_falls_back_to_software_send(self):
+        pair, received, client = self._run(NicFaultProfile(pcie_fail_prob=1.0))
+        ctx = pair.client.nic.driver.tx_contexts[client._tx_ctx.ctx_id]
+        assert ctx.tx_recovery_failures > 0, "loss must force TX recoveries"
+        assert ctx.tx_sw_fallbacks == ctx.tx_recovery_failures
+        assert ctx.tx_recoveries == 0  # every recovery failed over PCIe
+        assert pair.client.nic.pcie.read_failures == ctx.tx_recovery_failures
+        # Degraded sends still put correct bytes on the wire.
+        assert received == PAYLOAD
+        # The software path paid the crypto bill on the client.
+        assert pair.client.cpu.cycles_by_category().get("crypto", 0) > 0
+
+    def test_pcie_stall_recovers_but_burns_cycles(self):
+        pair, received, client = self._run(
+            NicFaultProfile(pcie_stall_prob=1.0, pcie_stall_cycles=30_000)
+        )
+        ctx = client._tx_ctx
+        assert received == PAYLOAD
+        assert ctx.tx_recoveries > 0
+        assert ctx.tx_sw_fallbacks == 0
+        assert pair.client.nic.pcie.stalls == ctx.tx_recoveries
+
+
+class TestResyncResponseChannel:
+    @pytest.mark.parametrize(
+        "profile",
+        [
+            NicFaultProfile(resync_resp_dup=1.0),
+            NicFaultProfile(resync_resp_delay=1.0, resync_resp_delay_s=3e-4),
+        ],
+        ids=["duplicated", "delayed"],
+    )
+    def test_dup_and_delay_are_harmless(self, profile):
+        pair = bursty_pair()
+        pair.server.nic.install_faults(profile, pair.sim.substream("faults:test"))
+        received, _, server = tls_transfer(pair, TlsConfig(rx_offload=True), TlsConfig(tx_offload=True))
+        ctx = server._rx_ctx
+        assert received == PAYLOAD
+        assert ctx.resync_requests > 0
+        assert not ctx.offload_disabled
+        # Confirmations still land: offload keeps recovering.
+        assert ctx.resyncs_completed > 0
+
+
+class TestCacheFaults:
+    def test_eviction_storm_forces_misses(self):
+        pair = make_pair(seed=4, client_nic=OffloadNic(), server_nic=OffloadNic())
+        pair.server.nic.install_faults(
+            NicFaultProfile(cache_storm_windows=((0.0, 100.0),)),
+            pair.sim.substream("faults:test"),
+        )
+        received, _, _ = tls_transfer(pair, TlsConfig(rx_offload=True), TlsConfig(tx_offload=True))
+        cache = pair.server.nic.cache
+        assert received == PAYLOAD
+        assert cache.fault_evictions > 0
+        assert cache.hits == 0, "every access inside the storm must miss"

@@ -1,0 +1,155 @@
+"""Wire-level fault injection: Gilbert–Elliott burst loss, scripted
+link flaps, payload corruption, jitter, and the per-port counters the
+testbed exposes as obs probes."""
+
+import random
+
+import pytest
+
+from repro.faults import (
+    FaultPlan,
+    GilbertElliott,
+    LinkFaultInjector,
+    LinkFaultProfile,
+)
+from repro.net.link import Link, LinkConfig
+from repro.net.packet import FlowKey, Packet
+from repro.sim import Simulator
+
+
+FLOW = FlowKey("a", 1, "b", 2)
+
+
+def drive_port(link_cfg=None, profile=None, npackets=2000, seed=7, payload=b"x" * 100):
+    """Push ``npackets`` through one link direction; returns
+    (port, delivered packets list)."""
+    sim = Simulator(seed=seed)
+    link = Link(sim, config_ab=link_cfg or LinkConfig())
+    delivered = []
+    link.attach("b", delivered.append)
+    if profile is not None:
+        link.ab.fault_injector = LinkFaultInjector(profile, sim.substream("faults:test"))
+    for i in range(npackets):
+        sim.schedule(i * 1e-6, link.ab.transmit, Packet(FLOW, seq=i, payload=payload))
+    sim.run(until=1.0)
+    return link.ab, delivered
+
+
+class TestGilbertElliott:
+    def test_mean_loss_math(self):
+        ge = GilbertElliott(p_good_to_bad=0.01, p_bad_to_good=0.2, loss_bad=0.5)
+        pi_bad = 0.01 / 0.21
+        assert ge.mean_loss() == pytest.approx(pi_bad * 0.5)
+
+    def test_for_mean_loss_round_trips(self):
+        for mean in (0.005, 0.01, 0.03):
+            ge = GilbertElliott.for_mean_loss(mean, burst_len=6)
+            assert ge.mean_loss() == pytest.approx(mean)
+            assert ge.p_bad_to_good == pytest.approx(1 / 6)
+
+    def test_for_mean_loss_rejects_unreachable(self):
+        with pytest.raises(ValueError):
+            GilbertElliott.for_mean_loss(0.6, loss_bad=0.5)
+
+    def test_burst_loss_rate_and_burstiness(self):
+        ge = GilbertElliott.for_mean_loss(0.05, burst_len=8)
+        port, delivered = drive_port(profile=LinkFaultProfile(burst=ge), npackets=20_000)
+        rate = port.dropped_packets / port.sent_packets
+        assert rate == pytest.approx(0.05, abs=0.02)
+        assert port.fault_injector.burst_drops == port.dropped_packets
+        # Bursty: drops cluster, so consecutive drops are far more common
+        # than under i.i.d. loss at the same rate.
+        got = {p.seq for p in delivered}
+        dropped = [i for i in range(20_000) if i not in got]
+        consecutive = sum(1 for a, b in zip(dropped, dropped[1:]) if b == a + 1)
+        assert consecutive > 0.2 * len(dropped)
+
+
+class TestLinkFlaps:
+    def test_flap_window_drops_everything_inside(self):
+        profile = LinkFaultProfile(flaps=((0.5e-3, 1.0e-3),))
+        port, delivered = drive_port(profile=profile, npackets=2000)
+        # Transmissions at i*1us: those in [500us, 1000us) all die.
+        assert port.fault_injector.flap_drops == 500
+        got = {p.seq for p in delivered}
+        assert not any(500 <= s < 1000 for s in got)
+        assert 499 in got and 1000 in got
+
+
+class TestCorruptionAndJitter:
+    def test_corrupt_flips_exactly_one_byte_on_a_copy(self):
+        pristine = b"y" * 64
+        port, delivered = drive_port(
+            link_cfg=LinkConfig(corrupt=1.0), npackets=50, payload=pristine
+        )
+        assert port.corrupted_packets == 50
+        for pkt in delivered:
+            diff = [i for i in range(64) if pkt.payload[i] != pristine[i]]
+            assert len(diff) == 1
+            assert pkt.payload[diff[0]] == pristine[diff[0]] ^ 0xFF
+
+    def test_jitter_spreads_arrivals(self):
+        sim = Simulator(seed=3)
+        link = Link(sim, config_ab=LinkConfig(jitter_s=100e-6))
+        arrivals = []
+        link.attach("b", lambda pkt: arrivals.append(sim.now))
+        base = Link(Simulator(seed=3), config_ab=LinkConfig())
+        base_arrivals = []
+        base.attach("b", lambda pkt: base_arrivals.append(pkt))
+        link.ab.transmit(Packet(FLOW, seq=0, payload=b"z" * 100))
+        sim.run(until=1.0)
+        cfg = link.ab.config
+        baseline = 100 * 8 / cfg.bandwidth_bps + cfg.latency_s
+        assert len(arrivals) == 1
+        assert baseline < arrivals[0] <= baseline + 100e-6
+
+    def test_counters_dict(self):
+        profile = LinkFaultProfile(flaps=((0.0, 1e-4),))
+        port, _ = drive_port(link_cfg=LinkConfig(corrupt=0.5), profile=profile, npackets=500)
+        counters = port.counters()
+        assert counters["sent"] == 500
+        assert counters["dropped"] == counters["flap_drops"]
+        # i*1e-6 accumulates float error at the window edge: allow +/-1.
+        assert 99 <= counters["flap_drops"] <= 101
+        assert counters["corrupted"] == port.corrupted_packets > 0
+        assert counters["burst_drops"] == 0
+
+
+class TestDeterminismAndProbes:
+    def test_same_seed_same_faults(self):
+        ge = GilbertElliott.for_mean_loss(0.03)
+        runs = []
+        for _ in range(2):
+            port, delivered = drive_port(
+                link_cfg=LinkConfig(corrupt=0.01), profile=LinkFaultProfile(burst=ge)
+            )
+            runs.append((port.counters(), [p.seq for p in delivered]))
+        assert runs[0] == runs[1]
+
+    def test_injector_draws_do_not_perturb_base_link_rng(self):
+        # The exact same loss/reorder pattern must come out of the base
+        # config whether or not a (drop-free) injector is attached.
+        cfg = LinkConfig(loss=0.05, reorder=0.02)
+        _, plain = drive_port(link_cfg=LinkConfig(loss=0.05, reorder=0.02))
+        _, with_injector = drive_port(link_cfg=cfg, profile=LinkFaultProfile(burst=None))
+        assert [p.seq for p in plain] == [p.seq for p in with_injector]
+
+    def test_testbed_exposes_port_counters_as_probes(self):
+        from repro.harness.testbed import Testbed, TestbedConfig
+
+        plan = FaultPlan(to_server=LinkFaultProfile(burst=GilbertElliott.for_mean_loss(0.02)))
+        tb = Testbed(TestbedConfig(seed=5, loss_to_generator=0.01, faults=plan, metrics=True))
+        probes = tb.metrics_report()["metrics"]["probes"]
+        for direction in ("link.to_server", "link.to_generator"):
+            assert {"sent", "dropped", "reordered", "duplicated", "corrupted"} <= set(
+                probes[direction]
+            )
+        assert "burst_drops" in probes["link.to_server"]
+        assert "burst_drops" not in probes["link.to_generator"]
+
+    def test_random_plan_is_seed_deterministic(self):
+        from repro.faults.chaos import random_plan
+
+        a = random_plan(random.Random("chaos:plan:tls:3"))
+        b = random_plan(random.Random("chaos:plan:tls:3"))
+        assert a == b
