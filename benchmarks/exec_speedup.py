@@ -1,0 +1,90 @@
+"""Wall-clock probe for the parallel experiment-execution engine.
+
+Runs the Figure 19 scalability grid twice — serially and through
+``repro.exec.run_grid`` with N workers — times both, verifies the merged
+results are identical, and writes ``benchmarks/out/exec_speedup.json``.
+
+This is a *probe*, not a pytest benchmark: it measures wall-clock (host
+time, not simulated time), so it lives outside ``src/repro`` where the
+SIM001 lint rule forbids wall-clock reads.  Speedup depends on the host:
+with ``cpu_count`` cores, expect roughly ``min(workers, cpu_count)``×
+minus merge overhead (≥1.8× at 4 workers on a 4-core host); on a 1-core
+host the parallel run is slightly *slower* and the JSON records that
+honestly.  See docs/performance.md.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/exec_speedup.py [--workers 4] [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+from repro.exec import run_grid
+from repro.experiments.scalability import run_scale_point
+
+# The full Figure 19 grid (benchmarks/test_fig19_scalability.py).
+CONNECTIONS = (64, 512, 2048)
+QUICK_CONNECTIONS = (64, 2048)
+VARIANTS = ("https", "offload+zc", "http")
+
+
+def run_point(point):
+    conns, variant = point
+    return run_scale_point(conns, variant=variant, measure=8e-3)
+
+
+def measure(points, workers):
+    start = time.perf_counter()
+    results = run_grid(points, run_point, workers=workers)
+    return time.perf_counter() - start, results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=4, help="parallel worker count (default 4)")
+    parser.add_argument("--quick", action="store_true", help="use the quick (2-connection) grid")
+    parser.add_argument(
+        "--out",
+        default=os.path.join(os.path.dirname(__file__), "out", "exec_speedup.json"),
+        help="output JSON path",
+    )
+    args = parser.parse_args(argv)
+
+    conns = QUICK_CONNECTIONS if args.quick else CONNECTIONS
+    points = [(c, v) for c in conns for v in VARIANTS]
+    print(f"grid: fig19 ({len(points)} points), workers={args.workers}, cpu_count={os.cpu_count()}")
+
+    serial_s, serial_results = measure(points, workers=1)
+    print(f"serial:   {serial_s:.2f}s")
+    parallel_s, parallel_results = measure(points, workers=args.workers)
+    print(f"parallel: {parallel_s:.2f}s  ({serial_s / parallel_s:.2f}x)")
+
+    identical = serial_results == parallel_results
+    if not identical:
+        print("ERROR: serial and parallel merged results differ (determinism contract broken)")
+
+    report = {
+        "grid": "fig19_quick" if args.quick else "fig19",
+        "points": len(points),
+        "workers": args.workers,
+        "cpu_count": os.cpu_count(),
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "speedup": round(serial_s / parallel_s, 3),
+        "identical": identical,
+    }
+    os.makedirs(os.path.dirname(args.out), exist_ok=True)
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    return 0 if identical else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,6 +3,7 @@ TLS offload, and software TLS (single sender core, many streams), plus
 the PCIe bandwidth the NIC spends reconstructing TX contexts."""
 
 from benchlib import QUICK, loss_pct
+from repro.exec import run_grid_dict
 from repro.experiments.iperf_tls import run_iperf
 from repro.harness.report import Table
 
@@ -14,20 +15,22 @@ STREAMS = 16
 MODES = ("tcp", "tls-offload", "tls-sw")
 
 
+def run_point(point):
+    loss, mode = point
+    return run_iperf(
+        mode,
+        direction="tx",
+        streams=STREAMS,
+        loss=loss,
+        warmup=4e-3,
+        measure=8e-3,
+        seed=17,
+    )
+
+
 def sweep():
-    out = {}
-    for loss in LOSS_POINTS:
-        for mode in MODES:
-            out[(loss, mode)] = run_iperf(
-                mode,
-                direction="tx",
-                streams=STREAMS,
-                loss=loss,
-                warmup=4e-3,
-                measure=8e-3,
-                seed=17,
-            )
-    return out
+    points = [(loss, mode) for loss in LOSS_POINTS for mode in MODES]
+    return run_grid_dict(points, run_point)
 
 
 def test_fig16(benchmark, emit):

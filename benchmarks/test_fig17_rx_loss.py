@@ -3,6 +3,7 @@ classification of TLS records into entirely / partially / not offloaded
 (the effectiveness of the NIC's context recovery)."""
 
 from benchlib import QUICK, loss_pct
+from repro.exec import run_grid_dict
 from repro.experiments.iperf_tls import run_iperf
 from repro.harness.report import Table
 
@@ -11,20 +12,22 @@ STREAMS = 64  # scaled from the paper's 128 for simulation cost
 MODES = ("tcp", "tls-offload", "tls-sw")
 
 
+def run_point(point):
+    loss, mode = point
+    return run_iperf(
+        mode,
+        direction="rx",
+        streams=STREAMS,
+        loss=loss,
+        warmup=4e-3,
+        measure=8e-3,
+        seed=23,
+    )
+
+
 def sweep():
-    out = {}
-    for loss in LOSS_POINTS:
-        for mode in MODES:
-            out[(loss, mode)] = run_iperf(
-                mode,
-                direction="rx",
-                streams=STREAMS,
-                loss=loss,
-                warmup=4e-3,
-                measure=8e-3,
-                seed=23,
-            )
-    return out
+    points = [(loss, mode) for loss in LOSS_POINTS for mode in MODES]
+    return run_grid_dict(points, run_point)
 
 
 def classify(run):

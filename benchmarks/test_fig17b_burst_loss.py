@@ -9,6 +9,7 @@ equal to Figure 17's points but clusters the drops (mean burst length
 the NIC had to speculate."""
 
 from benchlib import QUICK, loss_pct
+from repro.exec import run_grid_dict
 from repro.experiments.iperf_tls import run_iperf
 from repro.faults import FaultPlan, GilbertElliott, LinkFaultProfile
 from repro.harness.report import Table
@@ -26,20 +27,22 @@ def burst_plan(mean_loss):
     return FaultPlan(to_server=LinkFaultProfile(burst=burst))
 
 
+def run_point(point):
+    loss, mode = point
+    return run_iperf(
+        mode,
+        direction="rx",
+        streams=STREAMS,
+        warmup=4e-3,
+        measure=8e-3,
+        seed=29,
+        faults=burst_plan(loss),
+    )
+
+
 def sweep():
-    out = {}
-    for loss in LOSS_POINTS:
-        for mode in MODES:
-            out[(loss, mode)] = run_iperf(
-                mode,
-                direction="rx",
-                streams=STREAMS,
-                warmup=4e-3,
-                measure=8e-3,
-                seed=29,
-                faults=burst_plan(loss),
-            )
-    return out
+    points = [(loss, mode) for loss in LOSS_POINTS for mode in MODES]
+    return run_grid_dict(points, run_point)
 
 
 def classify(run):

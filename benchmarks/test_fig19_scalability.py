@@ -7,6 +7,7 @@ real 4 MiB / ~20K-flow cache.
 """
 
 from benchlib import QUICK
+from repro.exec import run_grid_dict
 from repro.experiments.scalability import run_scale_point
 from repro.harness.report import Table
 
@@ -16,12 +17,14 @@ CONNECTIONS = (64, 2048) if QUICK else (64, 512, 2048)
 VARIANTS = ("https", "offload+zc", "http")
 
 
+def run_point(point):
+    conns, variant = point
+    return run_scale_point(conns, variant=variant, measure=8e-3)
+
+
 def sweep():
-    out = {}
-    for conns in CONNECTIONS:
-        for variant in VARIANTS:
-            out[(conns, variant)] = run_scale_point(conns, variant=variant, measure=8e-3)
-    return out
+    points = [(conns, variant) for conns in CONNECTIONS for variant in VARIANTS]
+    return run_grid_dict(points, run_point)
 
 
 def test_fig19(benchmark, emit):

@@ -4,10 +4,10 @@ Two halves keep the simulation honest while the codebase is refactored
 aggressively (see ROADMAP.md):
 
 - :mod:`repro.analysis.lint` — project-specific AST lint rules
-  (``SIM001``-``SIM004``) run via ``python -m repro.analysis``.  They
+  (``SIM001``-``SIM005``) run via ``python -m repro.analysis``.  They
   encode source-level invariants: determinism (no wall clock, no global
   randomness), centralized 32-bit sequence arithmetic, no mutable
-  defaults, and complete L5P adapter surfaces.
+  defaults, complete L5P adapter surfaces, and documented packages.
 - :mod:`repro.analysis.sanitizer` — an opt-in runtime invariant checker
   (``SAN*`` codes) that validates, per packet, the paper's Table 3
   preconditions and the Figure 7 resynchronization state machine.

@@ -150,7 +150,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="Project lint: determinism and offload-invariant rules (SIM001-SIM004).",
+        description="Project lint: determinism and offload-invariant rules (SIM001-SIM005).",
     )
     parser.add_argument("paths", nargs="*", type=Path, help="files/directories to lint (default: the repro package)")
     parser.add_argument("--select", help="comma-separated rule codes to run (default: all)")

@@ -10,6 +10,7 @@ from __future__ import annotations
 from repro.analysis.lint import LintRule
 from repro.analysis.rules.adapter_protocol import AdapterProtocolRule
 from repro.analysis.rules.mutable_defaults import MutableDefaultsRule
+from repro.analysis.rules.pkg_docstrings import PackageDocstringRule
 from repro.analysis.rules.seqarith import SeqArithmeticRule
 from repro.analysis.rules.wallclock import WallClockRule
 
@@ -20,4 +21,5 @@ def all_rules() -> list[LintRule]:
         SeqArithmeticRule(),
         MutableDefaultsRule(),
         AdapterProtocolRule(),
+        PackageDocstringRule(),
     ]

@@ -1,0 +1,33 @@
+"""SIM005 — every package must say what it models.
+
+The repo mirrors the paper's layering (core/nic/tcp/l5p/...), and the
+``__init__.py`` docstring is where a package states which part of the
+design it implements and which paper sections apply.  A package without
+one forces readers back to commit archaeology; docs/architecture.md
+links to these docstrings as the per-layer entry points.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.lint import Finding, LintRule, SourceModule
+
+
+class PackageDocstringRule(LintRule):
+    code = "SIM005"
+    name = "pkg-docstrings"
+    description = "package __init__.py must open with a docstring describing the package"
+
+    def check(self, module: SourceModule) -> Iterable[Finding]:
+        if module.path.name != "__init__.py":
+            return
+        docstring = ast.get_docstring(module.tree)
+        if docstring is None or not docstring.strip():
+            package = module.path.parent.name or "<root>"
+            yield module.finding(
+                module.tree,
+                self.code,
+                f"package `{package}` has no docstring; say what it models and cite the design",
+            )

@@ -1,4 +1,11 @@
-"""Workload applications: iperf, fio, nginx/wrk, Redis-on-Flash/memtier."""
+"""Workload applications: iperf, fio, nginx/wrk, Redis-on-Flash/memtier.
+
+These model the traffic generators of the paper's evaluation (§6): each
+app drives sockets on a :class:`~repro.harness.Testbed` host and reports
+the numbers its real counterpart prints (goodput, op/s, latency
+percentiles).  They contain no offload logic — the NIC never sees an
+"application", only the byte streams these produce.
+"""
 
 from repro.apps.iperf import IperfClient, IperfServer
 from repro.apps.fio import FioJob

@@ -139,9 +139,18 @@ class RxEngine:
     def _search(self, ctx: HwContext, pkt: Packet) -> None:
         if not self.enable_speculation:
             return  # ablation: the flow stays un-offloaded forever
-        base, buffer = ctx.scan_buffer_for(pkt.seq, pkt.payload)
         end = sq.add(pkt.seq, len(pkt.payload))
-        self._scan_from(ctx, base, buffer, end, start_at=0)
+        if sq.le(end, ctx.expected_seq):
+            # Retransmission entirely from the known past (Figure 8a
+            # applies in every state): bypass without scanning.  Those
+            # bytes were already delivered; speculating on them could get
+            # a stale header position confirmed and rewind the context.
+            return
+        base, buffer = ctx.scan_buffer_for(pkt.seq, pkt.payload)
+        # A packet straddling expected_seq is scanned only from the first
+        # byte the context has not yet accounted for, for the same reason.
+        start = sq.sub(ctx.expected_seq, base)
+        self._scan_from(ctx, base, buffer, end, start_at=max(start, 0))
 
     def _scan_from(self, ctx: HwContext, base: int, buffer: bytes, pkt_end: int, start_at: int) -> None:
         adapter = ctx.adapter

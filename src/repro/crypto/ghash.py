@@ -62,6 +62,13 @@ def _build_table(h: int) -> list[list[int]]:
     return table
 
 
+def precompute_table(h: int) -> list[list[int]]:
+    """Build the multiplication-by-H table once, for reuse across many
+    :class:`Ghash` instances keyed by the same H (the per-connection key
+    schedule the paper's HW context caches, §3.2)."""
+    return _build_table(h)
+
+
 class Ghash:
     """Incremental GHASH over a byte stream.
 
@@ -71,9 +78,12 @@ class Ghash:
     responsible for segment padding, so :meth:`pad_to_block` is exposed).
     """
 
-    def __init__(self, h: int):
+    def __init__(self, h: int, table: list[list[int]] | None = None):
         self.h = h
-        self._table = _build_table(h)
+        # Building the Shoup table costs ~100x one block multiply; callers
+        # hashing many messages under one H (GCM: one per record) should
+        # build it once via precompute_table() and pass it in.
+        self._table = _build_table(h) if table is None else table
         self._y = 0
         self._buf = b""
 

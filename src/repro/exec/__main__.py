@@ -1,0 +1,7 @@
+"""Entry point: ``python -m repro.exec`` (see :mod:`repro.exec.cli`)."""
+
+import sys
+
+from repro.exec.cli import main
+
+sys.exit(main())

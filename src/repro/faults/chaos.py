@@ -260,28 +260,61 @@ def run_nvme(seed: int, plan: FaultPlan, duration: float) -> dict:
 _WORKLOADS = {"tls": run_tls, "nvme": run_nvme}
 
 
+def chaos_point(
+    workload: str = "tls", seed: int = 1, duration: float = 15e-3, heavy: bool = False
+) -> dict:
+    """One soak point — a pure function of its arguments, so the scenario
+    grid can run points in any process in any order (`repro.exec`).  The
+    fault plan is derived from ``(workload, seed)`` exactly as the serial
+    loop always derived it; ``heavy`` selects the deterministic §5.3
+    auto-disable scenario instead."""
+    if workload not in _WORKLOADS:
+        raise ValueError(f"unknown workload {workload!r} (expected one of {sorted(_WORKLOADS)})")
+    plan = HEAVY_PLAN if heavy else random_plan(random.Random(f"chaos:plan:{workload}:{seed}"))
+    with sanitizer.enabled():
+        result = _WORKLOADS[workload](seed, plan, duration)
+    result["plan"] = plan.describe()
+    if heavy:
+        result["heavy"] = True
+    return result
+
+
+def _grid_point(point: tuple) -> dict:
+    """Picklable grid runner: ``(workload, seed, duration, heavy)``."""
+    workload, seed, duration, heavy = point
+    return chaos_point(workload=workload, seed=seed, duration=duration, heavy=heavy)
+
+
 def run_chaos(
     seeds: int = 10,
     workloads: tuple = ("tls", "nvme"),
     duration: float = 15e-3,
     heavy: bool = True,
     base_seed: int = 1,
+    workers: Optional[int] = None,
 ) -> dict:
-    """The full soak; returns a JSON-friendly report."""
-    runs = []
-    with sanitizer.enabled():
-        for seed in range(base_seed, base_seed + seeds):
-            for name in workloads:
-                plan = random_plan(random.Random(f"chaos:plan:{name}:{seed}"))
-                result = _WORKLOADS[name](seed, plan, duration)
-                result["plan"] = plan.describe()
-                runs.append(result)
-        if heavy:
-            for name in workloads:
-                result = _WORKLOADS[name](HEAVY_SEED, HEAVY_PLAN, duration)
-                result["plan"] = HEAVY_PLAN.describe()
-                result["heavy"] = True
-                runs.append(result)
+    """The full soak; returns a JSON-friendly report.
+
+    ``workers`` fans the scenario grid out over processes (default: the
+    ``REPRO_EXEC_WORKERS`` environment knob; 1 = the serial path).  The
+    report is keyed and ordered by scenario, so any worker count yields
+    byte-identical output.
+    """
+    from repro.exec import run_grid
+
+    points = [
+        (name, seed, duration, False)
+        for seed in range(base_seed, base_seed + seeds)
+        for name in workloads
+    ]
+    if heavy:
+        points.extend((name, HEAVY_SEED, duration, True) for name in workloads)
+    runs = run_grid(
+        points,
+        _grid_point,
+        workers=workers,
+        key=lambda p: f"{p[0]}:seed={p[1]}" + (":heavy" if p[3] else ""),
+    )
     totals = {
         "runs": len(runs),
         "verified": sum(r["verified"] for r in runs),
@@ -312,6 +345,12 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument(
         "--no-heavy", action="store_true", help="skip the deterministic auto-disable scenario"
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="parallel worker processes (default: $REPRO_EXEC_WORKERS or 1)",
+    )
     parser.add_argument("--json", metavar="PATH", help="write the full report as JSON")
     args = parser.parse_args(argv)
     workloads = tuple(w for w in args.workloads.split(",") if w)
@@ -325,6 +364,7 @@ def main(argv: Optional[list] = None) -> int:
         duration=args.duration,
         heavy=not args.no_heavy,
         base_seed=args.base_seed,
+        workers=args.workers,
     )
     for run in report["runs"]:
         tag = "HEAVY" if run.get("heavy") else f"seed={run['seed']}"

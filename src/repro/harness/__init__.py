@@ -1,4 +1,11 @@
-"""Evaluation harness: testbed topology builder and result reporting."""
+"""Evaluation harness: testbed topology builder and result reporting.
+
+:class:`Testbed` assembles the paper's two-machine setup (§6: hosts,
+100 Gb/s link, offload-capable NICs, CPU cost model) from one
+:class:`TestbedConfig`; :class:`Table` renders the figure tables the
+``benchmarks/`` tree prints.  Experiment runners in
+:mod:`repro.experiments` are thin compositions of these pieces.
+"""
 
 from repro.harness.testbed import Testbed, TestbedConfig
 from repro.harness.report import Table

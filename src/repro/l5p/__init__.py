@@ -1,1 +1,8 @@
-"""Layer-5 protocols: kernel TLS, NVMe-TCP, and their composition."""
+"""Layer-5 protocols: kernel TLS, NVMe-TCP, and their composition.
+
+Each L5P implements the adapter contract of :mod:`repro.core.types`
+(paper Table 3) and is therefore autonomously offloadable without the
+NIC terminating TCP: :mod:`repro.l5p.tls` (§5.2), in-kernel NVMe-TCP in
+:mod:`repro.l5p.nvme_tcp` (§5.1, and §5.3 when layered over TLS), and
+the §7 sketches (:mod:`repro.l5p.rpc`, DTLS via :mod:`repro.udp`).
+"""

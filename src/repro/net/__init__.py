@@ -1,4 +1,10 @@
-"""Network substrate: packets, links, and hosts."""
+"""Network substrate: packets, links, and hosts.
+
+:class:`Packet` carries a TCP segment plus the :class:`SkbMeta` offload
+sidecar the paper threads from driver to L5P (§4.3); :class:`Link`
+models the 100 Gb/s wire with serialization delay and the fault
+injection hooks of :mod:`repro.faults`.
+"""
 
 from repro.net.packet import FlowKey, Packet, SkbMeta, MSS, WIRE_OVERHEAD
 from repro.net.link import Link, LinkConfig

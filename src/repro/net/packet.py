@@ -53,9 +53,6 @@ class SkbMeta:
         return replace(self)
 
 
-_packet_counter = 0
-
-
 @dataclass
 class Packet:
     """One TCP/IP packet in flight."""
@@ -74,12 +71,6 @@ class Packet:
     # Driver/NIC sidecar (not on the wire):
     meta: SkbMeta = field(default_factory=SkbMeta)
     tx_ctx_id: Optional[int] = None  # offload context tag from the L5P
-    pkt_id: int = 0
-
-    def __post_init__(self) -> None:
-        global _packet_counter
-        _packet_counter += 1
-        self.pkt_id = _packet_counter
 
     def clone(self) -> "Packet":
         """An independent copy, as a duplicated wire frame would be."""

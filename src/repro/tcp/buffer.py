@@ -9,6 +9,7 @@ care not to coalesce packets with different offload results" (§4.3).
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass
 
 from repro.net.packet import SkbMeta
@@ -72,7 +73,9 @@ class SendBuffer:
                 f"[{self.base_seq}, {self.end_seq})"
             )
         start = self._head + offset
-        return bytes(self._data[start : start + length])
+        # memoryview avoids the intermediate bytearray copy a plain slice
+        # would make; peek() runs once per (re)transmitted segment.
+        return bytes(memoryview(self._data)[start : start + length])
 
     def ack_to(self, seq: int) -> int:
         """Release bytes up to ``seq`` (new snd_una); returns bytes freed."""
@@ -142,39 +145,65 @@ class ReassemblyQueue:
 
     def _insert_trimmed(self, skb: Skb) -> None:
         """Insert, trimming against existing segments (existing data wins)."""
-        out: list[Skb] = []
+        rcv = self.rcv_nxt
+        end_off = sq.sub(skb.end_seq, rcv)
         pending = [skb]
         for existing in self._segments:
+            if sq.sub(existing.seq, rcv) >= end_off:
+                break  # sorted: no later segment can overlap the new data
             next_pending: list[Skb] = []
             for piece in pending:
                 next_pending.extend(_subtract(piece, existing))
             pending = next_pending
             if not pending:
-                break
-        out = self._segments + pending
-        out.sort(key=lambda s: sq.sub(s.seq, self.rcv_nxt))
-        self._segments = [s for s in out if len(s)]
+                return
+        # Surviving pieces are disjoint from every existing segment (all
+        # start offsets distinct), so an ordered insert reproduces what a
+        # full re-sort would.
+        for piece in pending:
+            insort(self._segments, piece, key=lambda s: sq.sub(s.seq, rcv))
 
     def _pop_ready(self) -> list[Skb]:
-        ready: list[Skb] = []
-        while self._segments and self._segments[0].seq == self.rcv_nxt:
-            skb = self._segments.pop(0)
-            ready.append(skb)
-            self.rcv_nxt = skb.end_seq
+        segs = self._segments
+        taken = 0
+        rcv = self.rcv_nxt
+        while taken < len(segs) and segs[taken].seq == rcv:
+            rcv = segs[taken].end_seq
+            taken += 1
+        if not taken:
+            return []
+        ready = segs[:taken]
+        del segs[:taken]
+        self.rcv_nxt = rcv
         return ready
 
 
+_MOD = sq.MOD
+_HALF = 1 << 31
+
+
 def _subtract(piece: Skb, existing: Skb) -> list[Skb]:
-    """Parts of ``piece`` not covered by ``existing`` (0, 1, or 2 pieces)."""
-    p_start, p_end = piece.seq, piece.end_seq
-    e_start, e_end = existing.seq, existing.end_seq
-    if sq.le(p_end, e_start) or sq.ge(p_start, e_end):
-        return [piece]  # disjoint
+    """Parts of ``piece`` not covered by ``existing`` (0, 1, or 2 pieces).
+
+    The mod-2^32 comparisons (repro.tcp.seq semantics) are hand-inlined:
+    this runs once per (piece, overlap candidate) pair and dominates
+    reassembly cost under loss.
+    """
+    p_start = piece.seq
+    p_end = (p_start + len(piece.data)) % _MOD
+    e_start = existing.seq
+    e_end = (e_start + len(existing.data)) % _MOD
+    # sq.le(p_end, e_start) or sq.ge(p_start, e_end): disjoint.
+    head_gap = (p_end - e_start) % _MOD
+    tail_gap = (p_start - e_end) % _MOD
+    if head_gap == 0 or head_gap >= _HALF or tail_gap < _HALF:
+        return [piece]
     result = []
-    if sq.lt(p_start, e_start):
-        keep = sq.sub(e_start, p_start)
+    keep = (e_start - p_start) % _MOD
+    if 0 < keep < _HALF:  # sq.lt(p_start, e_start): head survives
         result.append(Skb(p_start, piece.data[:keep], piece.meta.copy()))
-    if sq.gt(p_end, e_end):
-        drop = sq.sub(e_end, p_start)
+    over = (p_end - e_end) % _MOD
+    if 0 < over < _HALF:  # sq.gt(p_end, e_end): tail survives
+        drop = (e_end - p_start) % _MOD
         result.append(Skb(e_end, piece.data[drop:], piece.meta.copy()))
     return result

@@ -1,4 +1,9 @@
-"""UDP substrate (paper §7): datagram transport for DTLS-class L5Ps."""
+"""UDP substrate (paper §7): datagram transport for DTLS-class L5Ps.
+
+Datagrams make offload *easier* than TCP — no byte-stream resegmentation,
+so every message boundary is a packet boundary; the §7 discussion
+reduces to the TX path plus per-record replay protection.
+"""
 
 from repro.udp.stack import UdpStack
 

@@ -1,4 +1,8 @@
-"""Shared utilities: unit constants, statistics, byte-stream helpers."""
+"""Shared utilities: unit constants, statistics, byte-stream helpers.
+
+Deliberately boring and dependency-free: everything else in ``repro``
+may import from here, never the reverse.
+"""
 
 from repro.util.units import GBPS, GIB, KIB, MIB, gbps, parse_size
 from repro.util.stats import Summary, trimmed_mean

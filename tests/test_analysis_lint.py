@@ -10,6 +10,7 @@ from repro.analysis.lint import default_target, load_module, main, run_rules
 from repro.analysis.rules import all_rules
 from repro.analysis.rules.adapter_protocol import AdapterProtocolRule
 from repro.analysis.rules.mutable_defaults import MutableDefaultsRule
+from repro.analysis.rules.pkg_docstrings import PackageDocstringRule
 from repro.analysis.rules.seqarith import SeqArithmeticRule
 from repro.analysis.rules.wallclock import WallClockRule
 
@@ -203,6 +204,29 @@ class TestAdapterProtocol:
 
 
 # ----------------------------------------------------------------------
+# SIM005: package docstrings
+# ----------------------------------------------------------------------
+class TestPackageDocstrings:
+    def test_missing_init_docstring_fires(self, tmp_path):
+        path = write(tmp_path, "__init__.py", "from . import something\n")
+        findings = rule_findings(PackageDocstringRule(), path)
+        assert [f.code for f in findings] == ["SIM005"]
+        assert findings[0].line == 1
+
+    def test_blank_init_docstring_fires(self, tmp_path):
+        path = write(tmp_path, "__init__.py", '"""   """\n')
+        assert [f.code for f in rule_findings(PackageDocstringRule(), path)] == ["SIM005"]
+
+    def test_documented_package_is_fine(self, tmp_path):
+        path = write(tmp_path, "__init__.py", '"""The widget package."""\n')
+        assert rule_findings(PackageDocstringRule(), path) == []
+
+    def test_plain_module_without_docstring_is_fine(self, tmp_path):
+        path = write(tmp_path, "module.py", "x = 1\n")
+        assert rule_findings(PackageDocstringRule(), path) == []
+
+
+# ----------------------------------------------------------------------
 # suppression, the real tree, and the CLI
 # ----------------------------------------------------------------------
 class TestRunner:
@@ -228,7 +252,13 @@ class TestRunner:
         assert findings == [], "\n".join(f.format() for f in findings)
 
     def test_all_rules_registered(self):
-        assert sorted(rule.code for rule in all_rules()) == ["SIM001", "SIM002", "SIM003", "SIM004"]
+        assert sorted(rule.code for rule in all_rules()) == [
+            "SIM001",
+            "SIM002",
+            "SIM003",
+            "SIM004",
+            "SIM005",
+        ]
 
     def test_cli_exit_zero_on_clean_tree(self, capsys):
         assert main([]) == 0
