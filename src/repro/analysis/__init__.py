@@ -3,11 +3,19 @@
 Two halves keep the simulation honest while the codebase is refactored
 aggressively (see ROADMAP.md):
 
-- :mod:`repro.analysis.lint` — project-specific AST lint rules
-  (``SIM001``-``SIM005``) run via ``python -m repro.analysis``.  They
-  encode source-level invariants: determinism (no wall clock, no global
-  randomness), centralized 32-bit sequence arithmetic, no mutable
-  defaults, complete L5P adapter surfaces, and documented packages.
+- :mod:`repro.analysis.lint` + :mod:`repro.analysis.pipeline` — a
+  multi-pass static-analysis framework (``SIM001``-``SIM012``) run via
+  ``python -m repro.analysis``.  Four pass families encode source-level
+  invariants: *core* hygiene (wall clock/global randomness, centralized
+  32-bit sequence arithmetic, mutable defaults, adapter surface,
+  package docstrings), *determinism* dataflow (shared RNG streams,
+  unordered iteration feeding scheduling/metrics, missing
+  same-timestamp tiebreakers), the *contract* checker for the paper's
+  Table-3 offloadability preconditions over ``repro.l5p`` plugins, and
+  *consistency* between emitted metric names and
+  ``benchmarks/baseline.json``.  Output formats: text, JSON, SARIF
+  (:mod:`repro.analysis.sarif`); an mtime+hash findings cache keeps the
+  full run inside the CI budget.
 - :mod:`repro.analysis.sanitizer` — an opt-in runtime invariant checker
   (``SAN*`` codes) that validates, per packet, the paper's Table 3
   preconditions and the Figure 7 resynchronization state machine.

@@ -1,0 +1,241 @@
+"""The analysis pass pipeline: caching, suppressions, project passes.
+
+Execution model
+---------------
+Per-module rules (:class:`~repro.analysis.lint.LintRule`) run over each
+file's AST independently; their post-suppression findings — including
+the ``SIM998`` unused-suppression warnings derived from that file's
+``# sim: noqa[...]`` comments — are cached keyed on the file's
+``(mtime, size)`` with a sha256 fallback, so an unchanged tree re-lints
+in milliseconds (the CI budget for the full suite is 60 s).
+
+Project rules (:class:`~repro.analysis.lint.ProjectRule`) see the whole
+scanned file set through a :class:`ModuleSet` and parse only the files
+they ask for, on demand; their findings are never cached (they depend
+on artifacts outside the scanned Python files, e.g.
+``benchmarks/baseline.json``).
+
+The cache is invalidated wholesale whenever the rule implementations
+change: the cache key includes a digest of every source file in
+``repro/analysis`` plus the selected rule codes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from repro.analysis.lint import (
+    SYNTAX_ERROR_CODE,
+    UNUSED_SUPPRESSION_CODE,
+    Finding,
+    LintRule,
+    ProjectRule,
+    SourceModule,
+    iter_python_files,
+    load_module,
+)
+
+CACHE_VERSION = 1
+CACHE_ENV = "REPRO_ANALYSIS_CACHE"
+
+
+def default_cache_path() -> Path:
+    """``$REPRO_ANALYSIS_CACHE`` or ``.repro_analysis_cache.json`` in CWD."""
+    override = os.environ.get(CACHE_ENV, "").strip()
+    if override:
+        return Path(override)
+    return Path(".repro_analysis_cache.json")
+
+
+def _rules_signature(rules: Sequence[LintRule]) -> str:
+    """Digest of the selected rule codes plus every analysis source file,
+    so editing any rule (or the pipeline itself) invalidates the cache."""
+    digest = hashlib.sha256()
+    for code in sorted(rule.code for rule in rules):
+        digest.update(code.encode())
+    analysis_dir = Path(__file__).resolve().parent
+    for source in sorted(analysis_dir.rglob("*.py")):
+        if "__pycache__" in source.parts:
+            continue
+        digest.update(source.name.encode())
+        digest.update(source.read_bytes())
+    return digest.hexdigest()
+
+
+class ModuleSet:
+    """Lazy, memoized access to the scanned files for project rules."""
+
+    def __init__(self, paths: Sequence[Path]):
+        self.paths: list[Path] = list(paths)
+        self._loaded: dict[Path, Optional[SourceModule]] = {}
+
+    def load(self, path: Path) -> Optional[SourceModule]:
+        """Parse ``path`` (memoized); None when it cannot be parsed."""
+        if path not in self._loaded:
+            try:
+                self._loaded[path] = load_module(path)
+            except (SyntaxError, OSError, UnicodeDecodeError):
+                self._loaded[path] = None
+        return self._loaded[path]
+
+    def prime(self, path: Path, module: SourceModule) -> None:
+        self._loaded[path] = module
+
+
+def _apply_suppressions(module: SourceModule, findings: Iterable[Finding]) -> list[Finding]:
+    """Drop suppressed findings, then flag stale ``# sim: noqa`` lines.
+
+    Legacy ``# noqa`` comments suppress silently (ruff compatibility);
+    the project ``# sim: noqa[...]`` syntax is tracked, and any line
+    whose waiver matched no finding yields a ``SIM998`` so suppressions
+    cannot outlive the violation they excused.
+    """
+    kept: list[Finding] = []
+    used_sim_lines: set[int] = set()
+    for finding in findings:
+        legacy = module.noqa.get(finding.line)
+        sim = module.sim_noqa.get(finding.line)
+        if sim is not None and (not sim or finding.code in sim):
+            used_sim_lines.add(finding.line)
+            continue
+        if legacy is not None and (not legacy or finding.code in legacy):
+            continue
+        kept.append(finding)
+    for line in sorted(set(module.sim_noqa) - used_sim_lines):
+        codes = module.sim_noqa[line]
+        label = ",".join(sorted(codes)) if codes else "all rules"
+        kept.append(
+            Finding(
+                path=str(module.path),
+                line=line,
+                col=1,
+                code=UNUSED_SUPPRESSION_CODE,
+                message=f"unused suppression: `# sim: noqa[{label}]` matched no finding; remove it",
+            )
+        )
+    return kept
+
+
+def _check_file(path: Path, rules: Sequence[LintRule], modules: ModuleSet) -> list[Finding]:
+    try:
+        module = load_module(path)
+    except SyntaxError as exc:
+        return [
+            Finding(str(path), exc.lineno or 1, (exc.offset or 0) + 1, SYNTAX_ERROR_CODE, f"syntax error: {exc.msg}")
+        ]
+    modules.prime(path, module)
+    raw: list[Finding] = []
+    for rule in rules:
+        raw.extend(rule.check(module))
+    return _apply_suppressions(module, raw)
+
+
+class _Cache:
+    """Findings cache keyed on file identity (mtime+size, sha256 fallback)."""
+
+    def __init__(self, path: Optional[Path], rules_sig: str):
+        self.path = path
+        self.rules_sig = rules_sig
+        self.files: dict = {}
+        self.dirty = False
+        if path is None or not path.exists():
+            return
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (ValueError, OSError):
+            return
+        if data.get("version") == CACHE_VERSION and data.get("rules_sig") == rules_sig:
+            self.files = data.get("files", {})
+
+    def lookup(self, path: Path) -> Optional[list[Finding]]:
+        if self.path is None:
+            return None
+        entry = self.files.get(str(path))
+        if entry is None:
+            return None
+        try:
+            stat = path.stat()
+        except OSError:
+            return None
+        if (stat.st_mtime_ns, stat.st_size) != (entry.get("mtime_ns"), entry.get("size")):
+            # mtime moved (fresh checkout, touch): trust the content hash.
+            if _sha256(path) != entry.get("sha256"):
+                return None
+            entry["mtime_ns"] = stat.st_mtime_ns
+            entry["size"] = stat.st_size
+            self.dirty = True
+        return [Finding(*row) for row in entry.get("findings", [])]
+
+    def store(self, path: Path, findings: Sequence[Finding]) -> None:
+        if self.path is None:
+            return
+        try:
+            stat = path.stat()
+        except OSError:
+            return
+        self.files[str(path)] = {
+            "mtime_ns": stat.st_mtime_ns,
+            "size": stat.st_size,
+            "sha256": _sha256(path),
+            "findings": [[f.path, f.line, f.col, f.code, f.message] for f in findings],
+        }
+        self.dirty = True
+
+    def save(self) -> None:
+        if self.path is None or not self.dirty:
+            return
+        payload = {"version": CACHE_VERSION, "rules_sig": self.rules_sig, "files": self.files}
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self.path.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+        except OSError:
+            pass  # caching is best-effort; the analysis result stands
+
+
+def _sha256(path: Path) -> str:
+    digest = hashlib.sha256()
+    digest.update(path.read_bytes())
+    return digest.hexdigest()
+
+
+def run_analysis(
+    paths: Sequence[Path],
+    rules: Optional[Sequence[LintRule]] = None,
+    cache_path: Optional[Path] = None,
+) -> list[Finding]:
+    """Run the full pass pipeline; returns findings sorted by location."""
+    if rules is None:
+        from repro.analysis.rules import all_rules
+
+        rules = all_rules()
+    module_rules = [r for r in rules if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+
+    files = list(iter_python_files(paths))
+    modules = ModuleSet(files)
+    cache = _Cache(cache_path, _rules_signature(rules))
+
+    findings: list[Finding] = []
+    for file_path in files:
+        cached = cache.lookup(file_path)
+        if cached is not None:
+            findings.extend(cached)
+            continue
+        file_findings = _check_file(file_path, module_rules, modules)
+        cache.store(file_path, file_findings)
+        findings.extend(file_findings)
+
+    for rule in project_rules:
+        for finding in rule.check_project(modules):
+            module = modules.load(Path(finding.path)) if finding.path.endswith(".py") else None
+            if module is not None and module.suppressed(finding):
+                continue
+            findings.append(finding)
+
+    cache.save()
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings

@@ -1,0 +1,115 @@
+"""SIM008 — same-timestamp events need a deterministic tiebreaker.
+
+``repro.sim`` orders events by ``(time, seq)``: the monotonically
+increasing scheduling ordinal breaks ties between events scheduled for
+the same instant, so run order is a pure function of scheduling order.
+A priority queue ordered by time *alone* falls back on the payload's
+``__lt__`` (or raises) when timestamps collide — and with float
+timestamps from rate arithmetic, they collide constantly.  Two such
+sites are flagged:
+
+- ``heappush(q, (time, payload))`` — a bare 2-tuple with no sequence
+  tiebreaker between the timestamp and the payload;
+- an ``__lt__`` that compares a single time-like attribute
+  (``self.time < other.time``) instead of a ``(time, seq)`` tuple.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Iterator
+
+from repro.analysis.lint import Finding, LintRule, SourceModule
+
+#: Names that plausibly carry a scheduling ordinal or tie-break key.
+_TIEBREAK_RE = re.compile(r"(seq|ordinal|order|count|counter|tie|index|idx|prio)", re.IGNORECASE)
+#: Attribute names that read as a timestamp.
+_TIME_RE = re.compile(r"^(time|t|now|when|deadline|timestamp|ts|at)$", re.IGNORECASE)
+
+
+def _terminal_name(node: ast.expr) -> str:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return ""
+
+
+def _is_tiebreaker(node: ast.expr) -> bool:
+    """Calls (``next(counter)``), int constants, and seq-ish names pass."""
+    if isinstance(node, ast.Call):
+        return True
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return True
+    if isinstance(node, ast.UnaryOp):
+        return _is_tiebreaker(node.operand)
+    return bool(_TIEBREAK_RE.search(_terminal_name(node)))
+
+
+class EventTiebreakRule(LintRule):
+    code = "SIM008"
+    name = "event-tiebreak"
+    description = "same-timestamp event ordering must carry an explicit sequence tiebreaker"
+    family = "determinism"
+
+    def check(self, module: SourceModule) -> Iterable[Finding]:
+        yield from self._heappush_tuples(module)
+        yield from self._lt_single_attr(module)
+
+    def _heappush_tuples(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", "")
+            if name != "heappush" or len(node.args) != 2:
+                continue
+            entry = node.args[1]
+            if not isinstance(entry, ast.Tuple) or len(entry.elts) != 2:
+                continue
+            if _is_tiebreaker(entry.elts[1]):
+                continue
+            yield module.finding(
+                node,
+                self.code,
+                "heap entry `(time, payload)` has no tiebreaker: same-timestamp pops "
+                "fall back on payload comparison (or raise); push "
+                "`(time, seq, payload)` with a monotonically increasing seq",
+            )
+
+    def _lt_single_attr(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for stmt in node.body:
+                if not isinstance(stmt, ast.FunctionDef) or stmt.name != "__lt__":
+                    continue
+                body = [s for s in stmt.body if not _is_docstring(s)]
+                if len(body) != 1 or not isinstance(body[0], ast.Return):
+                    continue
+                compare = body[0].value
+                if not isinstance(compare, ast.Compare) or len(compare.ops) != 1:
+                    continue
+                if not isinstance(compare.ops[0], (ast.Lt, ast.LtE)):
+                    continue
+                left, right = compare.left, compare.comparators[0]
+                if not (isinstance(left, ast.Attribute) and isinstance(right, ast.Attribute)):
+                    continue
+                if left.attr != right.attr or not _TIME_RE.match(left.attr):
+                    continue
+                yield module.finding(
+                    stmt,
+                    self.code,
+                    f"`{node.name}.__lt__` orders by `{left.attr}` alone: events at the same "
+                    "timestamp have no stable order; compare `(time, seq)` tuples like "
+                    "`repro.sim.event.Event`",
+                )
+
+
+def _is_docstring(stmt: ast.stmt) -> bool:
+    return (
+        isinstance(stmt, ast.Expr)
+        and isinstance(stmt.value, ast.Constant)
+        and isinstance(stmt.value.value, str)
+    )

@@ -1,0 +1,256 @@
+"""SIM009–SIM011 — the Table-3 offloadability contract, machine-checked.
+
+The paper's Table 3 names the preconditions an L5P must satisfy before
+its data-intensive operation can ride the NIC: a plaintext magic
+pattern plus length field for receive resynchronization (§3.3), an
+incrementally computable transform with constant-size state (§3.2),
+and recovery/degradation upcalls so software can take over when the
+offload loses its place (§4, §5.3).  ``repro.l5p`` is growing into a
+generic plugin surface; these rules make the preconditions structural
+properties of the code, checked on every class that claims the
+surface, instead of conventions a new plugin can silently skip:
+
+- **SIM009** (magic-framing): a direct ``L5pAdapter`` subclass must
+  declare a non-trivial magic pattern (``magic_len``/``header_len``
+  not literal zero), ``check_magic`` must be able to say *no* (not a
+  bare ``return True``), and ``parse_header`` must have a rejection
+  path (``return None`` or ``raise``) — otherwise speculative resync
+  locks onto garbage.
+- **SIM010** (incremental-transform): a ``MsgTransform.process`` that
+  accumulates the raw ``data`` into instance state while returning
+  nothing derived from it is whole-message buffering — the state the
+  NIC would need grows with the message, violating the constant-size
+  context budget (208 B/flow, §6.4).
+- **SIM011** (upcall-wiring): a class implementing any of the Listing-2
+  upcalls (``l5o_get_tx_msgstate``/``l5o_resync_rx_req``) must
+  implement the full set including ``l5o_offload_degraded``, so the
+  driver's §5.3 graceful-degradation path (``repro.faults``) always
+  has someone to notify.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Optional
+
+from repro.analysis.lint import Finding, LintRule, SourceModule
+
+_ADAPTER_BASE = "L5pAdapter"
+_TRANSFORM_BASE = "MsgTransform"
+#: Modules defining the abstract surfaces themselves.
+_TYPES_HOME = "repro/core/types.py"
+_DRIVER_HOME = "repro/core/driver.py"
+
+_UPCALLS = ("l5o_get_tx_msgstate", "l5o_resync_rx_req")
+_DEGRADE_UPCALL = "l5o_offload_degraded"
+
+
+def _base_names(node: ast.ClassDef) -> set:
+    names = set()
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            names.add(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.add(base.attr)
+    return names
+
+
+def _class_attr_value(node: ast.ClassDef, name: str) -> Optional[ast.expr]:
+    for stmt in node.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    return stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            if stmt.target.id == name:
+                return stmt.value
+    return None
+
+
+def _method(node: ast.ClassDef, name: str) -> Optional[ast.FunctionDef]:
+    for stmt in node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)) and stmt.name == name:
+            return stmt
+    return None
+
+
+def _method_names(node: ast.ClassDef) -> set:
+    return {
+        stmt.name
+        for stmt in node.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def _body_sans_docstring(fn: ast.FunctionDef) -> list:
+    body = list(fn.body)
+    if (
+        body
+        and isinstance(body[0], ast.Expr)
+        and isinstance(body[0].value, ast.Constant)
+        and isinstance(body[0].value.value, str)
+    ):
+        body = body[1:]
+    return body
+
+
+class MagicFramingRule(LintRule):
+    code = "SIM009"
+    name = "l5p-magic-framing"
+    description = "L5P adapters must declare a discriminating magic pattern and rejectable header framing"
+    family = "contract"
+
+    def check(self, module: SourceModule) -> Iterable[Finding]:
+        if module.posix_path.endswith(_TYPES_HOME):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef) or _ADAPTER_BASE not in _base_names(node):
+                continue
+            yield from self._check_adapter(module, node)
+
+    def _check_adapter(self, module: SourceModule, node: ast.ClassDef) -> Iterator[Finding]:
+        for attr in ("magic_len", "header_len"):
+            value = _class_attr_value(node, attr)
+            if isinstance(value, ast.Constant) and value.value == 0:
+                yield module.finding(
+                    value,
+                    self.code,
+                    f"adapter `{node.name}` declares `{attr} = 0`: without a plaintext "
+                    "magic/length pattern the NIC cannot resynchronize after a drop (Table 3)",
+                )
+        check_magic = _method(node, "check_magic")
+        if check_magic is not None:
+            body = _body_sans_docstring(check_magic)
+            if (
+                len(body) == 1
+                and isinstance(body[0], ast.Return)
+                and isinstance(body[0].value, ast.Constant)
+                and body[0].value.value is True
+            ):
+                yield module.finding(
+                    check_magic,
+                    self.code,
+                    f"`{node.name}.check_magic` accepts every window: a magic pattern must be "
+                    "able to reject a candidate header, or speculation locks onto garbage (§3.3)",
+                )
+        parse_header = _method(node, "parse_header")
+        if parse_header is not None and not self._can_reject(parse_header):
+            yield module.finding(
+                parse_header,
+                self.code,
+                f"`{node.name}.parse_header` has no rejection path (`return None` or `raise`): "
+                "length framing requires the header validator to refuse garbage (Table 3)",
+            )
+
+    @staticmethod
+    def _can_reject(fn: ast.FunctionDef) -> bool:
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Raise):
+                return True
+            if isinstance(node, ast.Return):
+                if node.value is None:
+                    return True
+                if isinstance(node.value, ast.Constant) and node.value.value is None:
+                    return True
+                # Delegation (`return other_parse(...)` / conditional exprs)
+                # can carry the rejection; accept any non-constructor call.
+                if isinstance(node.value, ast.IfExp):
+                    return True
+                if isinstance(node.value, ast.Call):
+                    name = (
+                        node.value.func.attr
+                        if isinstance(node.value.func, ast.Attribute)
+                        else getattr(node.value.func, "id", "")
+                    )
+                    if name not in ("MessageDesc",):
+                        return True
+        return False
+
+
+class IncrementalTransformRule(LintRule):
+    code = "SIM010"
+    name = "l5p-incremental-transform"
+    description = "MsgTransform.process must stay incremental, not buffer the whole message"
+    family = "contract"
+
+    def check(self, module: SourceModule) -> Iterable[Finding]:
+        if module.posix_path.endswith(_TYPES_HOME):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef) or _TRANSFORM_BASE not in _base_names(node):
+                continue
+            process = _method(node, "process")
+            if process is None or not process.args.args or len(process.args.args) < 2:
+                continue
+            data_param = process.args.args[1].arg  # (self, data, ...)
+            if self._buffers_whole_payload(process, data_param) and not self._returns_payload(
+                process, data_param
+            ):
+                yield module.finding(
+                    process,
+                    self.code,
+                    f"`{node.name}.process` accumulates `{data_param}` into instance state and "
+                    "returns nothing derived from it: that is whole-message buffering, not an "
+                    "incremental transform (Table 3: constant-size per-message state)",
+                )
+
+    @staticmethod
+    def _buffers_whole_payload(fn: ast.FunctionDef, data_param: str) -> bool:
+        """``self.X += data`` / ``self.X.append(data)`` with the raw param."""
+        for node in ast.walk(fn):
+            if (
+                isinstance(node, ast.AugAssign)
+                and isinstance(node.target, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == data_param
+            ):
+                return True
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("append", "extend")
+                and isinstance(node.func.value, ast.Attribute)
+                and len(node.args) == 1
+                and isinstance(node.args[0], ast.Name)
+                and node.args[0].id == data_param
+            ):
+                return True
+        return False
+
+    @staticmethod
+    def _returns_payload(fn: ast.FunctionDef, data_param: str) -> bool:
+        """Any return whose value is not a trivial empty constant."""
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Return) or node.value is None:
+                continue
+            if isinstance(node.value, ast.Constant) and node.value.value in (None, b"", ""):
+                continue
+            return True
+        return False
+
+
+class UpcallWiringRule(LintRule):
+    code = "SIM011"
+    name = "l5p-upcall-wiring"
+    description = "Listing-2 implementors must wire the full upcall set incl. l5o_offload_degraded"
+    family = "contract"
+
+    def check(self, module: SourceModule) -> Iterable[Finding]:
+        if module.posix_path.endswith(_DRIVER_HOME):
+            return  # the L5pOps Protocol definition itself
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            defined = _method_names(node)
+            if not defined.intersection(_UPCALLS):
+                continue
+            required = set(_UPCALLS) | {_DEGRADE_UPCALL}
+            missing = sorted(required - defined)
+            if missing:
+                yield module.finding(
+                    node,
+                    self.code,
+                    f"`{node.name}` implements the Listing-2 upcall surface but is missing "
+                    f"{', '.join(missing)}: the driver's graceful-degradation path (§5.3) "
+                    "must be able to notify every L5P endpoint",
+                )

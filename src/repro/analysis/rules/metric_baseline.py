@@ -1,0 +1,132 @@
+"""SIM012 — baseline metrics must stay reachable from benchmark code.
+
+``python -m repro.obs.regress`` diffs ``benchmarks/out/<name>.json``
+against ``benchmarks/baseline.json``.  The gate's weak spot is a
+*rename*: change ``offload_gbps`` to ``offload_goodput`` in the
+benchmark and the baseline key silently stops matching anything —
+depending on gate options the stale baseline row becomes a zero
+baseline that every future regression sails past.  This pass makes the
+rename loud at lint time.
+
+For every directory in the scanned set that contains a
+``baseline.json``, each baseline benchmark entry is checked two ways:
+
+- the benchmark **name** (``_quick`` suffix stripped) must appear as a
+  string constant in some scanned module in that directory — otherwise
+  nothing can ever emit it;
+- every baseline **metric key**'s final dotted segment (the static
+  counter name, e.g. ``tcp_gbps`` of ``loss0.tcp_gbps``) must appear
+  inside a string constant of the emitting module(s), including
+  f-string fragments — otherwise the counter was renamed or removed.
+
+This is a :class:`~repro.analysis.lint.ProjectRule`: it runs once over
+the scanned set and parses only the modules living next to a
+``baseline.json``.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+from typing import Iterable, Iterator, Optional
+
+from repro.analysis.lint import Finding, ProjectRule, SourceModule
+
+_BASELINE_FILENAME = "baseline.json"
+_QUICK_SUFFIX = "_quick"
+
+
+def _string_constants(module: SourceModule) -> set:
+    """Every string constant in the module, f-string fragments included."""
+    out: set = set()
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            out.add(node.value)
+    return out
+
+
+def _line_of_constant(module: SourceModule, needle: str) -> int:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str) and needle in node.value:
+            return getattr(node, "lineno", 1)
+    return 1
+
+
+class MetricBaselineRule(ProjectRule):
+    code = "SIM012"
+    name = "metric-baseline-consistency"
+    description = "every baseline.json metric must be producible by a scanned benchmark module"
+    family = "consistency"
+
+    def check_project(self, modules) -> Iterable[Finding]:
+        by_dir: dict = {}
+        for path in modules.paths:
+            by_dir.setdefault(path.parent, []).append(path)
+        for directory, files in sorted(by_dir.items()):
+            baseline_path = directory / _BASELINE_FILENAME
+            if baseline_path.exists():
+                yield from self._check_baseline(baseline_path, files, modules)
+
+    # ------------------------------------------------------------------
+    def _check_baseline(self, baseline_path: Path, files: list, modules) -> Iterator[Finding]:
+        try:
+            baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+        except (ValueError, OSError) as exc:
+            yield Finding(str(baseline_path), 1, 1, self.code, f"unreadable baseline: {exc}")
+            return
+        benchmarks = baseline.get("benchmarks")
+        if not isinstance(benchmarks, dict):
+            yield Finding(
+                str(baseline_path), 1, 1, self.code, "baseline has no `benchmarks` mapping"
+            )
+            return
+
+        constants: dict = {}  # path -> set of string constants
+        for path in files:
+            module = modules.load(path)
+            if module is not None:
+                constants[path] = _string_constants(module)
+
+        for name, entry in sorted(benchmarks.items()):
+            base = name[: -len(_QUICK_SUFFIX)] if name.endswith(_QUICK_SUFFIX) else name
+            emitters = [path for path, consts in sorted(constants.items()) if base in consts]
+            if not emitters:
+                yield Finding(
+                    str(baseline_path),
+                    1,
+                    1,
+                    self.code,
+                    f"baseline entry `{name}`: no scanned benchmark module contains the "
+                    f"string `{base}` — nothing can emit it, so the gate row is dead",
+                )
+                continue
+            metrics = entry.get("metrics", {})
+            if not isinstance(metrics, dict):
+                continue
+            missing = sorted(
+                {
+                    leaf
+                    for leaf in (key.rsplit(".", 1)[-1] for key in metrics)
+                    if not self._leaf_reachable(leaf, emitters, constants)
+                }
+            )
+            for leaf in missing:
+                anchor = emitters[0]
+                yield Finding(
+                    str(anchor),
+                    _line_of_constant(modules.load(anchor), base),
+                    1,
+                    self.code,
+                    f"baseline `{name}` expects metric `*.{leaf}` but no string constant in "
+                    f"{', '.join(p.name for p in emitters)} mentions `{leaf}`: the counter was "
+                    "renamed or removed — update benchmarks/baseline.json to match",
+                )
+
+    @staticmethod
+    def _leaf_reachable(leaf: str, emitters: list, constants: dict) -> bool:
+        for path in emitters:
+            for const in constants[path]:
+                if leaf in const:
+                    return True
+        return False

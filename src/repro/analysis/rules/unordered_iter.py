@@ -1,0 +1,108 @@
+"""SIM007 — unordered iteration must not feed scheduling or metrics.
+
+``dict`` iteration follows insertion order and ``set`` iteration is
+arbitrary (and, for strings, hash-randomized across interpreter runs).
+When the loop body schedules simulator events or emits metric samples,
+that ordering becomes part of the run's observable behavior: two hosts
+inserting flows in different orders fire same-timestamp events in
+different orders, and the 162-metric regress gate can no longer prove
+bit-identity.  Any such loop must iterate a ``sorted(...)`` view (or
+another explicitly ordered sequence).
+
+The rule is deliberately narrow: plain bookkeeping loops over dict
+views are fine; only loops whose body reaches an *order-sensitive
+sink* — ``schedule``/``at``/``call_soon``/``heappush`` (event order) or
+``inc``/``dec``/``observe``/``emit`` (metric emission) — are flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Optional
+
+from repro.analysis.lint import Finding, LintRule, SourceModule
+
+#: Method/function names whose call order is observable run output.
+_SCHEDULING_SINKS = {"schedule", "at", "call_soon", "heappush"}
+_METRIC_SINKS = {"inc", "dec", "observe", "emit"}
+_SINKS = _SCHEDULING_SINKS | _METRIC_SINKS
+
+
+def _unordered_iterable(node: ast.expr) -> Optional[str]:
+    """A human label when ``node`` iterates an unordered/fragile view."""
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in ("keys", "values", "items"):
+            return f".{func.attr}()"
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return f"{func.id}(...)"
+    if isinstance(node, ast.Set):
+        return "a set literal"
+    if isinstance(node, ast.SetComp):
+        return "a set comprehension"
+    return None
+
+
+def _sink_in(nodes: Iterable[ast.AST]) -> Optional[str]:
+    for root in nodes:
+        for node in ast.walk(root):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = None
+            if isinstance(func, ast.Attribute):
+                name = func.attr
+            elif isinstance(func, ast.Name):
+                name = func.id
+            if name in _SINKS:
+                return name
+    return None
+
+
+class UnorderedIterRule(LintRule):
+    code = "SIM007"
+    name = "unordered-iteration"
+    description = "dict/set iteration feeding event scheduling or metric emission needs an explicit sort"
+    family = "determinism"
+
+    def check(self, module: SourceModule) -> Iterable[Finding]:
+        yield from self._loops(module)
+        yield from self._comprehensions(module)
+
+    def _loops(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.For, ast.AsyncFor)):
+                continue
+            label = _unordered_iterable(node.iter)
+            if label is None:
+                continue
+            sink = _sink_in(node.body)
+            if sink is None:
+                continue
+            kind = "event scheduling" if sink in _SCHEDULING_SINKS else "metric emission"
+            yield module.finding(
+                node,
+                self.code,
+                f"iterating {label} feeds {kind} (`{sink}`) in container order; "
+                "wrap the iterable in `sorted(...)` with an explicit key",
+            )
+
+    def _comprehensions(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                continue
+            for gen in node.generators:
+                label = _unordered_iterable(gen.iter)
+                if label is None:
+                    continue
+                elements = [node.key, node.value] if isinstance(node, ast.DictComp) else [node.elt]
+                sink = _sink_in(elements)
+                if sink is None:
+                    continue
+                kind = "event scheduling" if sink in _SCHEDULING_SINKS else "metric emission"
+                yield module.finding(
+                    node,
+                    self.code,
+                    f"comprehension over {label} feeds {kind} (`{sink}`) in container order; "
+                    "wrap the iterable in `sorted(...)` with an explicit key",
+                )

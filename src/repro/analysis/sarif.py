@@ -1,0 +1,75 @@
+"""SARIF 2.1.0 output for the analysis pipeline.
+
+CI uploads this as an artifact (and code-scanning UIs ingest it), so
+every registered rule gets a ``reportingDescriptor`` with its family
+and description, and each finding becomes a ``result`` with a physical
+location.  The emitter is deliberately minimal: one run, one tool, no
+fixes/graphs — enough to be valid under the 2.1.0 schema.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.lint import SYNTAX_ERROR_CODE, UNUSED_SUPPRESSION_CODE, Finding, LintRule
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+
+#: Pipeline-level pseudo-rules that are not in the registry but can
+#: appear in findings.
+_PSEUDO_RULES = (
+    (UNUSED_SUPPRESSION_CODE, "unused-suppression", "a `# sim: noqa[...]` comment matched no finding"),
+    (SYNTAX_ERROR_CODE, "syntax-error", "the file could not be parsed"),
+)
+
+
+def _descriptor(code: str, name: str, description: str, family: str = "pipeline") -> dict:
+    return {
+        "id": code,
+        "name": name,
+        "shortDescription": {"text": description or name},
+        "properties": {"family": family},
+    }
+
+
+def to_sarif(findings: Sequence[Finding], rules: Sequence[LintRule]) -> dict:
+    """Render findings as a SARIF 2.1.0 log (a JSON-ready dict)."""
+    descriptors = [_descriptor(r.code, r.name, r.description, r.family) for r in rules]
+    known = {r.code for r in rules}
+    for code, name, description in _PSEUDO_RULES:
+        if code not in known:
+            descriptors.append(_descriptor(code, name, description))
+    results = []
+    for finding in findings:
+        results.append(
+            {
+                "ruleId": finding.code,
+                "level": "warning" if finding.code == UNUSED_SUPPRESSION_CODE else "error",
+                "message": {"text": finding.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": finding.path.replace("\\", "/")},
+                            "region": {"startLine": finding.line, "startColumn": finding.col},
+                        }
+                    }
+                ],
+            }
+        )
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-analysis",
+                        "informationUri": "https://github.com/",
+                        "rules": descriptors,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

@@ -17,6 +17,7 @@ from repro.exec.engine import (
     GridError,
     PointFailure,
     default_workers,
+    min_parallel_points,
     point_seed,
     run_grid,
     run_grid_dict,
@@ -26,6 +27,7 @@ __all__ = [
     "GridError",
     "PointFailure",
     "default_workers",
+    "min_parallel_points",
     "point_seed",
     "run_grid",
     "run_grid_dict",

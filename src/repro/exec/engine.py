@@ -31,14 +31,42 @@ an immediate ``GridError`` naming the offending point, not a hang.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import os
 import pickle
 import traceback
 from typing import Any, Callable, Optional, Sequence
 
+logger = logging.getLogger(__name__)
+
 #: Environment knob: default worker count for every grid in the process.
 WORKERS_ENV = "REPRO_EXEC_WORKERS"
+
+#: Environment knob: grids smaller than this run serially even when
+#: ``workers > 1`` — pool fork/teardown costs tens of milliseconds, which
+#: dwarfs any speedup on a handful of sub-millisecond points.
+MIN_POINTS_ENV = "REPRO_EXEC_MIN_POINTS"
+DEFAULT_MIN_PARALLEL_POINTS = 4
+
+
+def min_parallel_points() -> int:
+    """Grid-size floor for the pool from ``REPRO_EXEC_MIN_POINTS``.
+
+    Below the floor :func:`run_grid` bypasses the pool entirely (results
+    are bit-identical either way, so only wall-clock is at stake).  Set
+    to ``0`` or ``1`` to disable the bypass and always honor ``workers``.
+    """
+    raw = os.environ.get(MIN_POINTS_ENV, "").strip()
+    if not raw:
+        return DEFAULT_MIN_PARALLEL_POINTS
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(f"{MIN_POINTS_ENV} must be an integer, got {raw!r}") from None
+    if value < 0:
+        raise ValueError(f"{MIN_POINTS_ENV} must be >= 0, got {value}")
+    return value
 
 
 def default_workers() -> int:
@@ -116,7 +144,10 @@ def run_grid(
 
     ``workers=None`` reads ``REPRO_EXEC_WORKERS`` (default 1 = serial);
     ``workers=1`` is the plain sequential path, guaranteed unchanged from
-    pre-engine behavior.  ``key`` labels points in failure reports (the
+    pre-engine behavior.  Grids smaller than ``REPRO_EXEC_MIN_POINTS``
+    (default 4) also take the serial path even with ``workers > 1`` —
+    the pool would cost more to start than it saves — with an INFO log
+    noting the bypass.  ``key`` labels points in failure reports (the
     point itself is used when it is primitive/tuple, else its index).
     Raises :class:`GridError` after all points have been attempted if any
     failed.
@@ -127,6 +158,15 @@ def run_grid(
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     workers = min(workers, max(1, len(points)))
+    if workers > 1 and len(points) < min_parallel_points():
+        logger.info(
+            "run_grid: %d point(s) < %s=%d; running serially (pool startup "
+            "would cost more than it saves; results are identical either way)",
+            len(points),
+            MIN_POINTS_ENV,
+            min_parallel_points(),
+        )
+        workers = 1
 
     failed: dict[int, PointFailure] = {}
     results: list[Any] = [None] * len(points)

@@ -184,7 +184,14 @@ class CompressedStream:
         self._pending_resync: list[int] = []
         self.ready = role == "receiver"
         self.on_ready: Optional[Callable[[], None]] = None
-        self.stats = {"tx": 0, "rx": 0, "rx_placed": 0, "rx_software": 0, "digest_fail": 0}
+        self.stats = {
+            "tx": 0,
+            "rx": 0,
+            "rx_placed": 0,
+            "rx_software": 0,
+            "digest_fail": 0,
+            "offload_degraded": 0,
+        }
 
         conn.on_data = self._on_skb
         if role == "receiver":
@@ -295,6 +302,12 @@ class CompressedStream:
 
     def l5o_resync_rx_req(self, tcpsn: int) -> None:
         self._pending_resync.append(tcpsn)
+
+    def l5o_offload_degraded(self, direction: str, reason: str) -> None:
+        """The driver gave up on this flow's offload (§5.3): every
+        following message takes the software decompress path, which the
+        stats already count — just make the transition observable."""
+        self.stats["offload_degraded"] += 1
 
     def _answer_resyncs(self, msg) -> None:
         if not self._pending_resync or self._rx_ctx is None:

@@ -64,6 +64,7 @@ class _TargetConn:
         self._tx_msg_count = 0
         self._pending_writes: dict[int, tuple[int, bytearray, int]] = {}  # cid -> (slba, buf, received)
         self.commands_served = 0
+        self.offload_degraded = 0
 
         if target.tls_config is not None:
             from repro.l5p.nvme_tls import NvmeTlsAdapter, PlainTxMap
@@ -264,3 +265,8 @@ class _TargetConn:
 
     def l5o_resync_rx_req(self, tcpsn: int) -> None:
         pass  # the target installs no RX contexts
+
+    def l5o_offload_degraded(self, direction: str, reason: str) -> None:
+        """Driver auto-disabled this connection's TX CRC offload (§5.3);
+        subsequent PDUs carry software-computed digests."""
+        self.offload_degraded += 1

@@ -139,7 +139,14 @@ class RpcClient(_RpcPeer):
         self._rx_ctx = None
         self._pending_rr: list[tuple[int, bytearray]] = []
         self._pending_resync: list[int] = []
-        self.stats = {"calls": 0, "responses": 0, "placed": 0, "software": 0, "errors": 0}
+        self.stats = {
+            "calls": 0,
+            "responses": 0,
+            "placed": 0,
+            "software": 0,
+            "errors": 0,
+            "offload_degraded": 0,
+        }
         if config.rx_offload:
             if getattr(host.nic, "driver", None) is None:
                 raise RuntimeError("RPC offload requires an OffloadNic")
@@ -224,6 +231,11 @@ class RpcClient(_RpcPeer):
 
     def l5o_resync_rx_req(self, tcpsn: int) -> None:
         self._pending_resync.append(tcpsn)
+
+    def l5o_offload_degraded(self, direction: str, reason: str) -> None:
+        """Driver auto-disabled this flow's RX offload (§5.3); responses
+        fall back to the software CRC/copy path counted in `stats`."""
+        self.stats["offload_degraded"] += 1
 
     def _answer_resyncs(self, msg) -> None:
         if not self._pending_resync or self._rx_ctx is None:

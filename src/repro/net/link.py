@@ -134,7 +134,13 @@ class Link:
         config_ba = config_ba or LinkConfig(
             bandwidth_bps=config_ab.bandwidth_bps, latency_s=config_ab.latency_s
         )
-        rng = sim.substream("link")
+        # Both ports deliberately share the "link" substream: the
+        # interleaved draw order is part of the frozen 162-metric
+        # baseline, and splitting the stream per direction would change
+        # every lossy run's drop pattern.  Deterministic (draw order is
+        # packet order, which is event order), but grandfathered — new
+        # components must take one substream per consumer.
+        rng = sim.substream("link")  # sim: noqa[SIM006]
         self.ab = _Port(sim, config_ab, rng, "a->b")
         self.ba = _Port(sim, config_ba, rng, "b->a")
 

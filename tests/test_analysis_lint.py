@@ -2,16 +2,27 @@
 silent on the real tree, and the CLI reports rule code + file:line with
 the right exit status."""
 
+import json
 import textwrap
 from pathlib import Path
 
 
 from repro.analysis.lint import default_target, load_module, main, run_rules
+from repro.analysis.pipeline import run_analysis
 from repro.analysis.rules import all_rules
 from repro.analysis.rules.adapter_protocol import AdapterProtocolRule
+from repro.analysis.rules.event_tiebreak import EventTiebreakRule
+from repro.analysis.rules.l5p_contract import (
+    IncrementalTransformRule,
+    MagicFramingRule,
+    UpcallWiringRule,
+)
+from repro.analysis.rules.metric_baseline import MetricBaselineRule
 from repro.analysis.rules.mutable_defaults import MutableDefaultsRule
 from repro.analysis.rules.pkg_docstrings import PackageDocstringRule
+from repro.analysis.rules.rng_dataflow import RngSharingRule
 from repro.analysis.rules.seqarith import SeqArithmeticRule
+from repro.analysis.rules.unordered_iter import UnorderedIterRule
 from repro.analysis.rules.wallclock import WallClockRule
 
 
@@ -227,6 +238,358 @@ class TestPackageDocstrings:
 
 
 # ----------------------------------------------------------------------
+# SIM006: RNG stream sharing (determinism dataflow pass)
+# ----------------------------------------------------------------------
+class TestRngSharing:
+    def test_module_level_rng_fires(self, tmp_path):
+        path = write(tmp_path, "bad.py", """\
+            import random
+
+            rng = random.Random(7)
+            """)
+        findings = rule_findings(RngSharingRule(), path)
+        assert [f.code for f in findings] == ["SIM006"]
+        assert "module-level RNG" in findings[0].message
+        assert findings[0].line == 3
+
+    def test_master_stream_passed_fires(self, tmp_path):
+        path = write(tmp_path, "bad.py", """\
+            def wire(sim, link):
+                link.attach(sim.random)
+            """)
+        findings = rule_findings(RngSharingRule(), path)
+        assert [f.code for f in findings] == ["SIM006"]
+        assert "master stream" in findings[0].message
+
+    def test_master_stream_stored_fires(self, tmp_path):
+        path = write(tmp_path, "bad.py", """\
+            def wire(self, sim):
+                self.rng = sim.random
+            """)
+        assert len(rule_findings(RngSharingRule(), path)) == 1
+
+    def test_stdlib_random_module_is_not_a_master_stream(self, tmp_path):
+        # `random.random` is the stdlib function (SIM001's beat, not ours).
+        path = write(tmp_path, "ok.py", """\
+            import random
+
+            def roll(sampler):
+                return sampler(random.random)
+            """)
+        assert rule_findings(RngSharingRule(), path) == []
+
+    def test_substream_shared_by_two_callees_fires(self, tmp_path):
+        path = write(tmp_path, "bad.py", """\
+            def build(sim, Link):
+                rng = sim.substream("net")
+                a = Link(rng)
+                b = Link(rng)
+                return a, b
+            """)
+        findings = rule_findings(RngSharingRule(), path)
+        assert [f.code for f in findings] == ["SIM006"]
+        assert "2 callees" in findings[0].message
+        assert findings[0].line == 2  # anchored at the binding
+
+    def test_one_substream_per_consumer_is_fine(self, tmp_path):
+        path = write(tmp_path, "good.py", """\
+            def build(sim, Link):
+                a = Link(sim.substream("net:a"))
+                b = Link(sim.substream("net:b"))
+                return a, b
+            """)
+        assert rule_findings(RngSharingRule(), path) == []
+
+    def test_simulator_home_module_is_exempt(self, tmp_path):
+        home = tmp_path / "repro" / "sim"
+        home.mkdir(parents=True)
+        path = home / "simulator.py"
+        path.write_text("import random\n\n_boot = random.Random(0)\n")
+        assert rule_findings(RngSharingRule(), path) == []
+
+
+# ----------------------------------------------------------------------
+# SIM007: unordered iteration feeding scheduling/metrics
+# ----------------------------------------------------------------------
+class TestUnorderedIter:
+    def test_dict_values_feeding_schedule_fires(self, tmp_path):
+        path = write(tmp_path, "bad.py", """\
+            def drain(sim, flows):
+                for flow in flows.values():
+                    sim.schedule(0.1, flow.fire)
+            """)
+        findings = rule_findings(UnorderedIterRule(), path)
+        assert [f.code for f in findings] == ["SIM007"]
+        assert "event scheduling" in findings[0].message
+
+    def test_set_literal_feeding_metrics_fires(self, tmp_path):
+        path = write(tmp_path, "bad.py", """\
+            def count(counter):
+                for name in {"rx", "tx"}:
+                    counter.inc(name)
+            """)
+        findings = rule_findings(UnorderedIterRule(), path)
+        assert [f.code for f in findings] == ["SIM007"]
+        assert "metric emission" in findings[0].message
+
+    def test_comprehension_over_set_call_fires(self, tmp_path):
+        path = write(tmp_path, "bad.py", """\
+            def enqueue(heappush, heap, items):
+                return [heappush(heap, x) for x in set(items)]
+            """)
+        assert [f.code for f in rule_findings(UnorderedIterRule(), path)] == ["SIM007"]
+
+    def test_sorted_view_is_fine(self, tmp_path):
+        path = write(tmp_path, "good.py", """\
+            def drain(sim, flows):
+                for fid in sorted(flows):
+                    sim.schedule(0.1, flows[fid].fire)
+            """)
+        assert rule_findings(UnorderedIterRule(), path) == []
+
+    def test_bookkeeping_loop_without_sink_is_fine(self, tmp_path):
+        path = write(tmp_path, "good.py", """\
+            def total(flows):
+                acc = 0
+                for flow in flows.values():
+                    acc += flow.bytes
+                return acc
+            """)
+        assert rule_findings(UnorderedIterRule(), path) == []
+
+
+# ----------------------------------------------------------------------
+# SIM008: same-timestamp event tiebreakers
+# ----------------------------------------------------------------------
+class TestEventTiebreak:
+    def test_bare_time_payload_heap_entry_fires(self, tmp_path):
+        path = write(tmp_path, "bad.py", """\
+            import heapq
+
+            def push(heap, when, event):
+                heapq.heappush(heap, (when, event))
+            """)
+        findings = rule_findings(EventTiebreakRule(), path)
+        assert [f.code for f in findings] == ["SIM008"]
+        assert "tiebreaker" in findings[0].message
+
+    def test_seq_tiebreaker_is_fine(self, tmp_path):
+        path = write(tmp_path, "good.py", """\
+            import heapq
+
+            def push(heap, when, seq, event):
+                heapq.heappush(heap, (when, seq, event))
+                heapq.heappush(heap, (when, seq))
+            """)
+        assert rule_findings(EventTiebreakRule(), path) == []
+
+    def test_counter_call_tiebreaker_is_fine(self, tmp_path):
+        path = write(tmp_path, "good.py", """\
+            import heapq
+
+            def push(heap, when, counter):
+                heapq.heappush(heap, (when, next(counter)))
+            """)
+        assert rule_findings(EventTiebreakRule(), path) == []
+
+    def test_lt_on_time_alone_fires(self, tmp_path):
+        path = write(tmp_path, "bad.py", """\
+            class Timer:
+                def __lt__(self, other):
+                    return self.deadline < other.deadline
+            """)
+        findings = rule_findings(EventTiebreakRule(), path)
+        assert [f.code for f in findings] == ["SIM008"]
+        assert "Timer.__lt__" in findings[0].message
+
+    def test_lt_on_time_seq_tuple_is_fine(self, tmp_path):
+        path = write(tmp_path, "good.py", """\
+            class Event:
+                def __lt__(self, other):
+                    return (self.time, self.seq) < (other.time, other.seq)
+            """)
+        assert rule_findings(EventTiebreakRule(), path) == []
+
+
+# ----------------------------------------------------------------------
+# SIM009-SIM011: the Table-3 offloadability contract
+# ----------------------------------------------------------------------
+class TestMagicFraming:
+    def test_trivial_adapter_fires_on_all_three_axes(self, tmp_path):
+        path = write(tmp_path, "bad.py", """\
+            from repro.core.types import L5pAdapter, MessageDesc
+
+            class TrustingAdapter(L5pAdapter):
+                name = "trusting"
+                magic_len = 0
+                header_len = 8
+
+                def check_magic(self, window, static_state):
+                    return True
+
+                def parse_header(self, header, static_state):
+                    return MessageDesc(kind="x", header_len=8, body_len=0,
+                                       trailer_len=0, raw_header=header, info={})
+            """)
+        findings = rule_findings(MagicFramingRule(), path)
+        assert [f.code for f in findings] == ["SIM009"] * 3
+        messages = "\n".join(f.message for f in findings)
+        assert "magic_len = 0" in messages
+        assert "check_magic" in messages
+        assert "rejection path" in messages
+
+    def test_discriminating_adapter_is_fine(self, tmp_path):
+        path = write(tmp_path, "good.py", """\
+            from repro.core.types import L5pAdapter, MessageDesc
+
+            MAGIC = b"\\xc0\\x17"
+
+            class FramedAdapter(L5pAdapter):
+                name = "framed"
+                magic_len = 2
+                header_len = 8
+
+                def check_magic(self, window, static_state):
+                    return window[:2] == MAGIC
+
+                def parse_header(self, header, static_state):
+                    if header[:2] != MAGIC:
+                        return None
+                    return MessageDesc(kind="x", header_len=8, body_len=0,
+                                       trailer_len=0, raw_header=header, info={})
+            """)
+        assert rule_findings(MagicFramingRule(), path) == []
+
+
+class TestIncrementalTransform:
+    def test_whole_message_buffering_fires(self, tmp_path):
+        path = write(tmp_path, "bad.py", """\
+            from repro.core.types import MsgTransform
+
+            class Hoarder(MsgTransform):
+                def __init__(self):
+                    self.buf = b""
+
+                def process(self, data):
+                    self.buf += data
+            """)
+        findings = rule_findings(IncrementalTransformRule(), path)
+        assert [f.code for f in findings] == ["SIM010"]
+        assert "whole-message buffering" in findings[0].message
+
+    def test_incremental_passthrough_is_fine(self, tmp_path):
+        path = write(tmp_path, "good.py", """\
+            from repro.core.types import MsgTransform
+
+            class Streamer(MsgTransform):
+                def process(self, data):
+                    self.digest.update(data)
+                    return data
+            """)
+        assert rule_findings(IncrementalTransformRule(), path) == []
+
+
+class TestUpcallWiring:
+    def test_partial_upcall_surface_fires(self, tmp_path):
+        path = write(tmp_path, "bad.py", """\
+            class Endpoint:
+                def l5o_get_tx_msgstate(self, tcpsn):
+                    return None
+            """)
+        findings = rule_findings(UpcallWiringRule(), path)
+        assert [f.code for f in findings] == ["SIM011"]
+        assert "l5o_offload_degraded" in findings[0].message
+        assert "l5o_resync_rx_req" in findings[0].message
+
+    def test_full_upcall_surface_is_fine(self, tmp_path):
+        path = write(tmp_path, "good.py", """\
+            class Endpoint:
+                def l5o_get_tx_msgstate(self, tcpsn):
+                    return None
+
+                def l5o_resync_rx_req(self, tcpsn):
+                    pass
+
+                def l5o_offload_degraded(self, direction, reason):
+                    pass
+            """)
+        assert rule_findings(UpcallWiringRule(), path) == []
+
+    def test_unrelated_class_is_fine(self, tmp_path):
+        path = write(tmp_path, "good.py", """\
+            class Plain:
+                def tick(self):
+                    pass
+            """)
+        assert rule_findings(UpcallWiringRule(), path) == []
+
+
+# ----------------------------------------------------------------------
+# SIM012: baseline metrics stay reachable (cross-artifact pass)
+# ----------------------------------------------------------------------
+class TestMetricBaseline:
+    def bench_dir(self, tmp_path, baseline: dict, module_body: str) -> Path:
+        bench = tmp_path / "bench"
+        bench.mkdir()
+        (bench / "baseline.json").write_text(json.dumps(baseline))
+        write(bench, "emit.py", module_body)
+        return bench
+
+    def test_renamed_metric_leaf_fires(self, tmp_path):
+        bench = self.bench_dir(
+            tmp_path,
+            {"benchmarks": {"demo": {"metrics": {"run.tcp_gbps": 1.0, "run.drops": 2}}}},
+            """\
+            NAME = "demo"
+            METRIC = "run.drops"
+            """,
+        )
+        findings = run_rules([bench], rules=[MetricBaselineRule()])
+        assert [f.code for f in findings] == ["SIM012"]
+        assert "tcp_gbps" in findings[0].message
+        assert findings[0].path.endswith("emit.py")
+
+    def test_orphaned_benchmark_entry_fires_at_baseline(self, tmp_path):
+        bench = self.bench_dir(
+            tmp_path,
+            {"benchmarks": {"ghost": {"metrics": {}}}},
+            'NAME = "something-else"\n',
+        )
+        findings = run_rules([bench], rules=[MetricBaselineRule()])
+        assert [f.code for f in findings] == ["SIM012"]
+        assert findings[0].path.endswith("baseline.json")
+        assert "ghost" in findings[0].message
+
+    def test_quick_suffix_maps_to_base_name(self, tmp_path):
+        bench = self.bench_dir(
+            tmp_path,
+            {"benchmarks": {"demo_quick": {"metrics": {"run.drops": 2}}}},
+            """\
+            NAME = "demo"
+            METRIC = "run.drops"
+            """,
+        )
+        assert run_rules([bench], rules=[MetricBaselineRule()]) == []
+
+    def test_fstring_fragment_reaches_leaf(self, tmp_path):
+        bench = self.bench_dir(
+            tmp_path,
+            {"benchmarks": {"demo": {"metrics": {"loss3.tcp_gbps": 9.0}}}},
+            """\
+            NAME = "demo"
+
+            def key(pct):
+                return f"loss{pct}.tcp_gbps"
+            """,
+        )
+        assert run_rules([bench], rules=[MetricBaselineRule()]) == []
+
+    def test_directory_without_baseline_is_ignored(self, tmp_path):
+        write(tmp_path, "emit.py", 'NAME = "demo"\n')
+        assert run_rules([tmp_path], rules=[MetricBaselineRule()]) == []
+
+
+# ----------------------------------------------------------------------
 # suppression, the real tree, and the CLI
 # ----------------------------------------------------------------------
 class TestRunner:
@@ -253,12 +616,56 @@ class TestRunner:
 
     def test_all_rules_registered(self):
         assert sorted(rule.code for rule in all_rules()) == [
-            "SIM001",
-            "SIM002",
-            "SIM003",
-            "SIM004",
-            "SIM005",
+            f"SIM{n:03d}" for n in range(1, 13)
         ]
+
+    def test_sim_noqa_suppresses_specific_code(self, tmp_path):
+        path = write(tmp_path, "waived.py", """\
+            import time
+
+            def stamp():
+                return time.time()  # sim: noqa[SIM001]
+            """)
+        assert codes_for(path) == []
+
+    def test_bare_sim_noqa_suppresses_everything(self, tmp_path):
+        path = write(tmp_path, "waived.py", "def f(items=[]):  # sim: noqa\n    return items\n")
+        assert codes_for(path) == []
+
+    def test_unused_sim_noqa_warns_sim998(self, tmp_path):
+        path = write(tmp_path, "stale.py", "x = 1  # sim: noqa[SIM001]\n")
+        findings = run_rules([path])
+        assert [f.code for f in findings] == ["SIM998"]
+        assert "SIM001" in findings[0].message
+        assert findings[0].line == 1
+
+    def test_unused_legacy_noqa_stays_silent(self, tmp_path):
+        # flake8-style comments are honored but never staleness-checked.
+        path = write(tmp_path, "stale.py", "x = 1  # noqa: SIM001\n")
+        assert codes_for(path) == []
+
+    def test_suppression_roundtrip(self, tmp_path):
+        """Waive a finding, fix the code, and the waiver itself warns."""
+        path = write(tmp_path, "round.py", """\
+            import time
+
+            def stamp():
+                return time.time()  # sim: noqa[SIM001]
+            """)
+        assert codes_for(path) == []
+        path.write_text("import time\n\n\ndef stamp(now):\n    return now  # sim: noqa[SIM001]\n")
+        assert codes_for(path) == ["SIM998"]
+
+    def test_docstring_mention_of_noqa_is_not_a_suppression(self, tmp_path):
+        path = write(tmp_path, "docs.py", '''\
+            """Explains the waiver syntax.
+
+            Write ``# sim: noqa[SIM001]`` on the offending line.
+            """
+
+            x = 1
+            ''')
+        assert codes_for(path) == []
 
     def test_cli_exit_zero_on_clean_tree(self, capsys):
         assert main([]) == 0
@@ -297,3 +704,85 @@ class TestRunner:
     def test_syntax_error_reported_not_crash(self, tmp_path):
         path = write(tmp_path, "broken.py", "def f(:\n")
         assert codes_for(path) == ["SIM999"]
+
+
+# ----------------------------------------------------------------------
+# pipeline: findings cache and output formats
+# ----------------------------------------------------------------------
+BAD_BODY = "import time\n\n\ndef stamp():\n    return time.time()\n"
+
+
+class TestPipeline:
+    def test_cache_round_trip_and_invalidation(self, tmp_path):
+        path = write(tmp_path, "bad.py", BAD_BODY)
+        cache = tmp_path / "cache.json"
+        first = run_analysis([path], cache_path=cache)
+        assert [f.code for f in first] == ["SIM001"]
+        assert cache.exists()
+
+        cached = run_analysis([path], cache_path=cache)
+        assert [f.as_dict() for f in cached] == [f.as_dict() for f in first]
+
+        path.write_text("def stamp(now):\n    return now\n")
+        assert run_analysis([path], cache_path=cache) == []
+
+    def test_cache_survives_mtime_touch(self, tmp_path):
+        import os
+
+        path = write(tmp_path, "bad.py", BAD_BODY)
+        cache = tmp_path / "cache.json"
+        run_analysis([path], cache_path=cache)
+        os.utime(path, (0, 0))  # content unchanged, mtime moved
+        findings = run_analysis([path], cache_path=cache)
+        assert [f.code for f in findings] == ["SIM001"]
+
+    def test_cache_ignored_for_different_rule_selection(self, tmp_path):
+        path = write(tmp_path, "bad.py", BAD_BODY)
+        cache = tmp_path / "cache.json"
+        assert [f.code for f in run_analysis([path], cache_path=cache)] == ["SIM001"]
+        # A different rule set must not reuse the all-rules cache entries.
+        only_sim3 = [r for r in all_rules() if r.code == "SIM003"]
+        assert run_analysis([path], rules=only_sim3, cache_path=cache) == []
+
+    def test_cli_json_format(self, tmp_path, capsys):
+        path = write(tmp_path, "bad.py", BAD_BODY)
+        assert main(["--format", "json", "--no-cache", str(path)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 1
+        assert payload["findings"][0]["code"] == "SIM001"
+        assert payload["findings"][0]["line"] == 5
+
+    def test_cli_sarif_format_to_file(self, tmp_path, capsys):
+        path = write(tmp_path, "bad.py", BAD_BODY)
+        out = tmp_path / "analysis.sarif"
+        assert main(["--format", "sarif", "--no-cache", "--output", str(out), str(path)]) == 1
+        assert capsys.readouterr().out == ""  # findings went to the file
+        sarif = json.loads(out.read_text())
+        assert sarif["version"] == "2.1.0"
+        run = sarif["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-analysis"
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {f"SIM{n:03d}" for n in range(1, 13)} <= rule_ids
+        assert {"SIM998", "SIM999"} <= rule_ids  # pipeline pseudo-rules
+        result = run["results"][0]
+        assert result["ruleId"] == "SIM001"
+        assert result["level"] == "error"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["region"]["startLine"] == 5
+
+    def test_sarif_unused_suppression_is_a_warning(self, tmp_path, capsys):
+        path = write(tmp_path, "stale.py", "x = 1  # sim: noqa[SIM001]\n")
+        assert main(["--format", "sarif", "--no-cache", str(path)]) == 1
+        sarif = json.loads(capsys.readouterr().out)
+        result = sarif["runs"][0]["results"][0]
+        assert result["ruleId"] == "SIM998"
+        assert result["level"] == "warning"
+
+    def test_cli_cache_flag_is_honored(self, tmp_path, capsys):
+        path = write(tmp_path, "bad.py", BAD_BODY)
+        cache = tmp_path / "lint-cache.json"
+        assert main(["--cache", str(cache), str(path)]) == 1
+        capsys.readouterr()
+        assert cache.exists()
+        assert main(["--cache", str(cache), str(path)]) == 1
+        assert "SIM001" in capsys.readouterr().out

@@ -14,11 +14,12 @@ import pytest
 from repro.exec import (
     GridError,
     default_workers,
+    min_parallel_points,
     point_seed,
     run_grid,
     run_grid_dict,
 )
-from repro.exec.engine import WORKERS_ENV
+from repro.exec.engine import DEFAULT_MIN_PARALLEL_POINTS, MIN_POINTS_ENV, WORKERS_ENV
 from repro.faults.chaos import chaos_point
 
 
@@ -78,18 +79,50 @@ def test_point_seed_is_stable_and_distinct():
     assert a != point_seed(1, ("tls", 0.05))  # point key matters
 
 
-def test_unpicklable_grid_fails_fast():
+def test_unpicklable_grid_fails_fast(monkeypatch):
+    monkeypatch.setenv(MIN_POINTS_ENV, "0")  # force the pool for a tiny grid
     points = [lambda: None, lambda: None]  # lambdas don't pickle
     with pytest.raises(GridError) as excinfo:
         run_grid(points, square, workers=2)
     assert "<pickling>" in str(excinfo.value)
 
 
+# --- the cheap-grid serial bypass ---------------------------------------
+
+def test_min_parallel_points_env(monkeypatch):
+    monkeypatch.delenv(MIN_POINTS_ENV, raising=False)
+    assert min_parallel_points() == DEFAULT_MIN_PARALLEL_POINTS
+    monkeypatch.setenv(MIN_POINTS_ENV, "8")
+    assert min_parallel_points() == 8
+    monkeypatch.setenv(MIN_POINTS_ENV, "-1")
+    with pytest.raises(ValueError):
+        min_parallel_points()
+    monkeypatch.setenv(MIN_POINTS_ENV, "lots")
+    with pytest.raises(ValueError):
+        min_parallel_points()
+
+
+def test_small_grid_bypasses_pool(monkeypatch, caplog):
+    """A grid below the floor runs serially even with workers > 1: an
+    unpicklable runner — which the pool cannot ship — still succeeds."""
+    monkeypatch.delenv(MIN_POINTS_ENV, raising=False)
+    runner = lambda p: p * p  # noqa: E731 - deliberately unpicklable
+    with caplog.at_level("INFO", logger="repro.exec.engine"):
+        assert run_grid([2, 3], runner, workers=4) == [4, 9]
+    assert any("running serially" in rec.message for rec in caplog.records)
+
+
+def test_bypass_disabled_honors_workers(monkeypatch):
+    monkeypatch.setenv(MIN_POINTS_ENV, "0")
+    assert run_grid([2, 3], square, workers=2) == [4, 9]
+
+
 # --- the determinism contract -------------------------------------------
 
-def test_serial_and_parallel_merge_byte_identical():
+def test_serial_and_parallel_merge_byte_identical(monkeypatch):
     """workers=2 output is byte-for-byte the serial output, including a
     sweep whose points arm FaultPlans and run under the sanitizer."""
+    monkeypatch.setenv(MIN_POINTS_ENV, "0")  # really exercise the pool
     seeds = [1, 2, 3]
     serial = run_grid(seeds, chaos_tls_point, workers=1)
     parallel = run_grid(seeds, chaos_tls_point, workers=2)
