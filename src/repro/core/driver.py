@@ -40,9 +40,17 @@ class NicDriver:
     _ids = itertools.count(1)
 
     def __init__(self, nic):
+        # Local import: repro.nic's package init pulls in this module,
+        # so a top-level import would be circular (same idiom as the
+        # DatagramEngine import in repro.nic.nic).
+        from repro.nic.flow_table import FlowTable
+
         self.nic = nic
-        self.tx_contexts: dict[int, HwContext] = {}
-        self.rx_contexts: dict[FlowKey, HwContext] = {}
+        # Indexed flow tables (repro.nic.flow_table): dict-shaped O(1)
+        # lookup plus dense iteration and lifetime install/remove
+        # accounting, sized for datacenter flow counts.
+        self.tx_contexts = FlowTable()
+        self.rx_contexts = FlowTable()
         self.dgram_tx_contexts: dict[FlowKey, object] = {}
         self.dgram_rx_contexts: dict[FlowKey, object] = {}
         # Ablation knob: extra delay before the L5P sees a speculation

@@ -23,6 +23,10 @@ from repro.core.walker import walk
 from repro.net.packet import Packet
 from repro.tcp import seq as sq
 
+#: Per-state packet-counter names, precomputed: formatting an f-string
+#: per received packet is measurable at datacenter flow counts.
+_RX_STATE_COUNTERS = {state: f"nic.rx.pkts.{state.value}" for state in RxState}
+
 
 class RxEngine:
     """Per-NIC receive offload engine.
@@ -47,7 +51,7 @@ class RxEngine:
         self.nic.pcie.count("rx-packet", len(pkt.payload))
         obs = self.nic.obs
         if obs is not None:
-            obs.count(f"nic.rx.pkts.{ctx.rx_state.value}")
+            obs.count(_RX_STATE_COUNTERS[ctx.rx_state])
         if ctx.rx_state == RxState.OFFLOADING:
             self._offloading(ctx, pkt)
         elif ctx.rx_state == RxState.SEARCHING:

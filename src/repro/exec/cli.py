@@ -14,6 +14,7 @@ Registered experiments::
 
     iperf   repro.experiments.iperf_tls.run_iperf     (figs 11, 16-18)
     scale   repro.experiments.scalability.run_scale_point  (fig 19)
+    mix     repro.experiments.scale_mix.run_mix_point (fig 19 XL)
     nginx   repro.experiments.nginx_bench.run_nginx   (figs 12-14)
     chaos   repro.faults.chaos.chaos_point            (fault soaks)
 """
@@ -33,6 +34,7 @@ from repro.exec.engine import GridError, default_workers, run_grid
 EXPERIMENTS = {
     "iperf": "repro.experiments.iperf_tls:run_iperf",
     "scale": "repro.experiments.scalability:run_scale_point",
+    "mix": "repro.experiments.scale_mix:run_mix_point",
     "nginx": "repro.experiments.nginx_bench:run_nginx",
     "chaos": "repro.faults.chaos:chaos_point",
 }

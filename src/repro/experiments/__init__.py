@@ -11,6 +11,7 @@ from repro.experiments.nginx_bench import NginxRun, run_nginx
 from repro.experiments.latency import run_latency_table
 from repro.experiments.rof_bench import RofRun, run_rof
 from repro.experiments.scalability import ScalePoint, run_scale_point
+from repro.experiments.scale_mix import MixPoint, run_mix_point
 
 __all__ = [
     "IperfRun",
@@ -24,4 +25,6 @@ __all__ = [
     "run_rof",
     "ScalePoint",
     "run_scale_point",
+    "MixPoint",
+    "run_mix_point",
 ]

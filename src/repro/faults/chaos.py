@@ -124,8 +124,14 @@ def _summarize(tb: Testbed, state: dict) -> dict:
     return state
 
 
-def run_tls(seed: int, plan: FaultPlan, duration: float) -> dict:
-    """Generator streams chunks to the DUT's rx-offloaded TLS socket."""
+def run_tls(seed: int, plan: FaultPlan, duration: float, connections: int = 1) -> dict:
+    """Generator streams chunks to the DUT's rx-offloaded TLS sockets.
+
+    ``connections`` opens that many concurrent client/server socket
+    pairs (each with its own chunk sequence and verifier); the chunk
+    budget is split across them, so elevated flow counts stress the
+    context cache and flow tables rather than multiplying runtime.
+    """
     from repro.l5p.tls import KtlsSocket, TlsConfig
 
     tb = _testbed(seed, plan)
@@ -139,55 +145,60 @@ def run_tls(seed: int, plan: FaultPlan, duration: float) -> dict:
         "detected_errors": 0,
         "sanitizer_violations": 0,
     }
-    rx_buf = bytearray()
-    last_idx = [-1]
+    chunks_per_conn = TLS_CHUNKS if connections <= 1 else max(8, TLS_CHUNKS // connections)
 
-    def on_data(data: bytes) -> None:
-        rx_buf.extend(data)
-        while len(rx_buf) >= CHUNK:
-            chunk = bytes(rx_buf[:CHUNK])
-            del rx_buf[:CHUNK]
-            k = int.from_bytes(chunk[:8], "big")
-            if k <= last_idx[0] or k >= TLS_CHUNKS or chunk != chunk_bytes(k):
-                state["mismatches"] += 1
-                continue
-            state["skipped"] += k - last_idx[0] - 1
-            last_idx[0] = k
-            state["verified"] += 1
+    def count_error(reason) -> None:
+        state["detected_errors"] += 1
 
-    sockets = {}
+    server_sockets = []
 
     def on_accept(conn) -> None:
         tls = KtlsSocket(tb.server, conn, "server", TlsConfig(rx_offload=True, record_size=CHUNK))
+        rx_buf = bytearray()
+        last_idx = [-1]
+
+        def on_data(data: bytes) -> None:
+            rx_buf.extend(data)
+            while len(rx_buf) >= CHUNK:
+                chunk = bytes(rx_buf[:CHUNK])
+                del rx_buf[:CHUNK]
+                k = int.from_bytes(chunk[:8], "big")
+                if k <= last_idx[0] or k >= chunks_per_conn or chunk != chunk_bytes(k):
+                    state["mismatches"] += 1
+                    continue
+                state["skipped"] += k - last_idx[0] - 1
+                last_idx[0] = k
+                state["verified"] += 1
+
         tls.on_data = on_data
-        tls.on_error = lambda reason: state.__setitem__(
-            "detected_errors", state["detected_errors"] + 1
-        )
-        sockets["server"] = tls
+        tls.on_error = count_error
+        server_sockets.append(tls)
 
     tb.server.tcp.listen(443, on_accept)
-    conn = tb.generator.tcp.connect("server", 443)
-    client = KtlsSocket(tb.generator, conn, "client", TlsConfig(tx_offload=True, record_size=CHUNK))
-    client.on_error = lambda reason: state.__setitem__(
-        "detected_errors", state["detected_errors"] + 1
-    )
+    for _ in range(connections):
+        conn = tb.generator.tcp.connect("server", 443)
+        client = KtlsSocket(
+            tb.generator, conn, "client", TlsConfig(tx_offload=True, record_size=CHUNK)
+        )
+        client.on_error = count_error
+        sent = [0]
 
-    def feed() -> None:
-        while state["sent"] < TLS_CHUNKS:
-            if client.send(chunk_bytes(state["sent"])) == 0:
-                return
-            state["sent"] += 1
+        def feed(client=client, sent=sent) -> None:
+            while sent[0] < chunks_per_conn:
+                if client.send(chunk_bytes(sent[0])) == 0:
+                    return
+                sent[0] += 1
+                state["sent"] += 1
 
-    client.on_ready = feed
-    client.on_writable = feed
+        client.on_ready = feed
+        client.on_writable = feed
     try:
         tb.run(until=duration)
     except sanitizer.InvariantViolation:
         state["sanitizer_violations"] += 1
-    server_tls = sockets.get("server")
-    if server_tls is not None:
-        state["auth_failures"] = server_tls.stats.auth_failures
-        state["offload_degraded"] = server_tls.stats.offload_degraded
+    if server_sockets:
+        state["auth_failures"] = sum(s.stats.auth_failures for s in server_sockets)
+        state["offload_degraded"] = max(s.stats.offload_degraded for s in server_sockets)
     return _summarize(tb, state)
 
 
@@ -261,28 +272,41 @@ _WORKLOADS = {"tls": run_tls, "nvme": run_nvme}
 
 
 def chaos_point(
-    workload: str = "tls", seed: int = 1, duration: float = 15e-3, heavy: bool = False
+    workload: str = "tls",
+    seed: int = 1,
+    duration: float = 15e-3,
+    heavy: bool = False,
+    connections: int = 1,
 ) -> dict:
     """One soak point — a pure function of its arguments, so the scenario
     grid can run points in any process in any order (`repro.exec`).  The
     fault plan is derived from ``(workload, seed)`` exactly as the serial
     loop always derived it; ``heavy`` selects the deterministic §5.3
-    auto-disable scenario instead."""
+    auto-disable scenario instead.  ``connections`` elevates the TLS
+    soak's concurrent flow count (the NVMe loop is keyed by queue depth
+    and ignores it)."""
     if workload not in _WORKLOADS:
         raise ValueError(f"unknown workload {workload!r} (expected one of {sorted(_WORKLOADS)})")
     plan = HEAVY_PLAN if heavy else random_plan(random.Random(f"chaos:plan:{workload}:{seed}"))
     with sanitizer.enabled():
-        result = _WORKLOADS[workload](seed, plan, duration)
+        if workload == "tls":
+            result = run_tls(seed, plan, duration, connections=connections)
+        else:
+            result = _WORKLOADS[workload](seed, plan, duration)
     result["plan"] = plan.describe()
     if heavy:
         result["heavy"] = True
+    if connections != 1:
+        result["connections"] = connections
     return result
 
 
 def _grid_point(point: tuple) -> dict:
-    """Picklable grid runner: ``(workload, seed, duration, heavy)``."""
-    workload, seed, duration, heavy = point
-    return chaos_point(workload=workload, seed=seed, duration=duration, heavy=heavy)
+    """Picklable grid runner: ``(workload, seed, duration, heavy, connections)``."""
+    workload, seed, duration, heavy, connections = point
+    return chaos_point(
+        workload=workload, seed=seed, duration=duration, heavy=heavy, connections=connections
+    )
 
 
 def run_chaos(
@@ -292,6 +316,7 @@ def run_chaos(
     heavy: bool = True,
     base_seed: int = 1,
     workers: Optional[int] = None,
+    connections: int = 1,
 ) -> dict:
     """The full soak; returns a JSON-friendly report.
 
@@ -303,12 +328,12 @@ def run_chaos(
     from repro.exec import run_grid
 
     points = [
-        (name, seed, duration, False)
+        (name, seed, duration, False, connections)
         for seed in range(base_seed, base_seed + seeds)
         for name in workloads
     ]
     if heavy:
-        points.extend((name, HEAVY_SEED, duration, True) for name in workloads)
+        points.extend((name, HEAVY_SEED, duration, True, connections) for name in workloads)
     runs = run_grid(
         points,
         _grid_point,
@@ -346,6 +371,13 @@ def main(argv: Optional[list] = None) -> int:
         "--no-heavy", action="store_true", help="skip the deterministic auto-disable scenario"
     )
     parser.add_argument(
+        "--connections",
+        type=int,
+        default=1,
+        help="concurrent TLS connections per soak point (default 1; the "
+        "nightly scale-soak lane elevates this)",
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=None,
@@ -365,6 +397,7 @@ def main(argv: Optional[list] = None) -> int:
         heavy=not args.no_heavy,
         base_seed=args.base_seed,
         workers=args.workers,
+        connections=args.connections,
     )
     for run in report["runs"]:
         tag = "HEAVY" if run.get("heavy") else f"seed={run['seed']}"

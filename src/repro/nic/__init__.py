@@ -1,8 +1,10 @@
-"""NIC hardware model: context cache, PCIe/DMA accounting, and the
-offload-capable NIC device (a ConnectX-6 Dx stand-in)."""
+"""NIC hardware model: context cache, PCIe/DMA accounting, indexed
+per-flow tables, and the offload-capable NIC device (a ConnectX-6 Dx
+stand-in)."""
 
 from repro.nic.cache import ContextCache
+from repro.nic.flow_table import FlowTable
 from repro.nic.pcie import PcieModel
 from repro.nic.nic import OffloadNic
 
-__all__ = ["ContextCache", "PcieModel", "OffloadNic"]
+__all__ = ["ContextCache", "FlowTable", "PcieModel", "OffloadNic"]

@@ -28,6 +28,14 @@ class ContextCache:
         self.hits = 0
         self.misses = 0
         self.obs = None  # repro.obs handle, wired by OffloadNic.bind()
+        # Epoch-batched counter cells (wired with the obs handle): the
+        # cache is touched once per offloaded packet, so a registry
+        # lookup per access is real cost at datacenter flow counts.
+        self._hit_cell = None
+        self._miss_cell = None
+        self._miss_bytes_cell = None
+        self._evict_cell = None
+        self._fault_evict_cell = None
         # Injected faults (repro.faults NicFaultProfile), wired by
         # OffloadNic.install_faults(): eviction storms force misses.
         self.faults = None
@@ -35,10 +43,26 @@ class ContextCache:
         self.clock = None  # () -> simulated now, for storm windows
         self.fault_evictions = 0
 
+    def wire(self, obs) -> None:
+        """Attach the run's observability handle (or ``None``) and build
+        the batched counter cells the access path increments."""
+        self.obs = obs
+        if obs is None:
+            self._hit_cell = None
+            self._miss_cell = None
+            self._miss_bytes_cell = None
+            self._evict_cell = None
+            self._fault_evict_cell = None
+            return
+        self._hit_cell = obs.cell("nic.cache.hit")
+        self._miss_cell = obs.cell("nic.cache.miss")
+        self._miss_bytes_cell = obs.cell("nic.cache.miss_dma_bytes")
+        self._evict_cell = obs.cell("nic.cache.evictions")
+        self._fault_evict_cell = obs.cell("nic.cache.fault_evictions")
+
     def access(self, ctx: HwContext) -> bool:
         """Touch a context; returns True on hit."""
         key = ctx.ctx_id
-        obs = self.obs
         faults = self.faults
         if faults is not None and key in self._lru:
             storm = self.clock is not None and faults.storm_active(self.clock())
@@ -50,26 +74,26 @@ class ContextCache:
                 # and during a storm, every access — takes the miss path.
                 self._lru.pop(key)
                 self.fault_evictions += 1
-                if obs is not None:
-                    obs.count("nic.cache.fault_evictions")
+                if self._fault_evict_cell is not None:
+                    self._fault_evict_cell.value += 1
         if key in self._lru:
             self._lru.move_to_end(key)
             self.hits += 1
-            if obs is not None:
-                obs.count("nic.cache.hit")
+            if self._hit_cell is not None:
+                self._hit_cell.value += 1
             return True
         self.misses += 1
-        if obs is not None:
-            obs.count("nic.cache.miss")
-            obs.count("nic.cache.miss_dma_bytes", self.entry_bytes)
+        if self._miss_cell is not None:
+            self._miss_cell.value += 1
+            self._miss_bytes_cell.value += self.entry_bytes
         # Fetch from host memory; evict the coldest entry if full
         # (write-back of the evicted context plus read of the new one).
         self.pcie.count("context", self.entry_bytes)
         if len(self._lru) >= self.capacity_entries:
             self._lru.popitem(last=False)
             self.pcie.count("context", self.entry_bytes)
-            if obs is not None:
-                obs.count("nic.cache.evictions")
+            if self._evict_cell is not None:
+                self._evict_cell.value += 1
         self._lru[key] = None
         return False
 

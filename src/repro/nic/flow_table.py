@@ -1,0 +1,119 @@
+"""Indexed O(1) flow tables for datacenter-scale flow counts.
+
+A :class:`FlowTable` stores per-flow entries (HW contexts, scale-engine
+flow records) in a *dense* array with a hash index on top:
+
+- ``table[key] = entry`` / ``table.get(key)`` / ``table.pop(key)`` are
+  O(1) dict-backed operations, so the table is a drop-in for the plain
+  dicts the driver used to keep;
+- entries live contiguously in a list with **swap-remove** deletion, so
+  iteration touches no holes and ``entry_at(i)`` gives O(1) positional
+  access — which is what lets a workload generator pick a uniformly
+  random *active* flow among hundreds of thousands without building a
+  list of keys per draw;
+- install/remove totals are maintained inline, so churn statistics
+  ("how many short connections lived here?") never require a scan.
+
+The dense array is the "flow table" a NIC keeps in device memory (the
+paper's 208 B per-flow contexts, §6.5); the dict is its hash index.
+Order of iteration is insertion order *disturbed only by swap-remove*,
+which is deterministic — same operation sequence, same layout — so
+simulations that iterate the table stay reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+_MISSING = object()
+
+
+class FlowTable:
+    """Dense, dict-indexed store of per-flow entries (O(1) everything)."""
+
+    __slots__ = ("_index", "_keys", "_entries", "installed_total", "removed_total")
+
+    def __init__(self) -> None:
+        self._index: dict = {}  # key -> position in the dense arrays
+        self._keys: list = []
+        self._entries: list = []
+        self.installed_total = 0  # lifetime installs (churn accounting)
+        self.removed_total = 0
+
+    # ------------------------------------------------------------------
+    # dict-shaped interface (drop-in for the driver's context dicts)
+    # ------------------------------------------------------------------
+    def __setitem__(self, key: Any, entry: Any) -> None:
+        pos = self._index.get(key)
+        if pos is not None:  # overwrite in place; not an install
+            self._entries[pos] = entry
+            return
+        self._index[key] = len(self._entries)
+        self._keys.append(key)
+        self._entries.append(entry)
+        self.installed_total += 1
+
+    def __getitem__(self, key: Any) -> Any:
+        return self._entries[self._index[key]]
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        pos = self._index.get(key)
+        return default if pos is None else self._entries[pos]
+
+    def pop(self, key: Any, default: Any = _MISSING) -> Any:
+        """Swap-remove: the last entry backfills the vacated slot."""
+        pos = self._index.pop(key, None)
+        if pos is None:
+            if default is _MISSING:
+                raise KeyError(key)
+            return default
+        entry = self._entries[pos]
+        last_key = self._keys[-1]
+        last_entry = self._entries[-1]
+        if pos < len(self._entries) - 1:
+            self._keys[pos] = last_key
+            self._entries[pos] = last_entry
+            self._index[last_key] = pos
+        self._keys.pop()
+        self._entries.pop()
+        self.removed_total += 1
+        return entry
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._index
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._keys)
+
+    def keys(self) -> Iterator[Any]:
+        return iter(self._keys)
+
+    def values(self) -> Iterator[Any]:
+        """Dense iteration: no holes, no per-key hashing."""
+        return iter(self._entries)
+
+    def items(self) -> Iterator[tuple]:
+        return iter(zip(self._keys, self._entries))
+
+    # ------------------------------------------------------------------
+    # dense positional access (the scale engine's sampling path)
+    # ------------------------------------------------------------------
+    def entry_at(self, position: int) -> Any:
+        """O(1) positional lookup into the dense array (0 <= i < len)."""
+        return self._entries[position]
+
+    def key_at(self, position: int) -> Any:
+        return self._keys[position]
+
+    @property
+    def active(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<FlowTable active={len(self._entries)} "
+            f"installed={self.installed_total} removed={self.removed_total}>"
+        )

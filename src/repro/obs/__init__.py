@@ -17,11 +17,12 @@ reproduction keeps itself honest about it.  Three pieces:
 
 from repro.obs.bench import bench_record, load_bench_json, write_bench_json
 from repro.obs.core import Obs
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import Cell, Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.trace import Tracer
 
 __all__ = [
     "Obs",
+    "Cell",
     "Counter",
     "Gauge",
     "Histogram",

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional, Sequence
 
-from repro.obs.metrics import Gauge, Histogram, MetricsRegistry, Number
+from repro.obs.metrics import Cell, Gauge, Histogram, MetricsRegistry, Number
 from repro.obs.trace import Tracer
 
 
@@ -34,6 +34,11 @@ class Obs:
     # ------------------------------------------------------------------
     def count(self, name: str, n: Number = 1) -> None:
         self.metrics.counter(name).inc(n)
+
+    def cell(self, name: str) -> Cell:
+        """Epoch-batched counter slot for per-packet hot paths; see
+        :meth:`MetricsRegistry.cell`."""
+        return self.metrics.cell(name)
 
     def gauge(self, name: str) -> Gauge:
         return self.metrics.gauge(name)

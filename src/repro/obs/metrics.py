@@ -25,6 +25,25 @@ Number = Union[int, float]
 DEFAULT_BUCKETS: tuple[float, ...] = tuple(2.0**i for i in range(17))
 
 
+class Cell:
+    """An epoch-batched counter increment slot.
+
+    The per-packet path at datacenter flow counts cannot afford a
+    registry dict lookup plus a guarded ``Counter.inc`` per packet, so
+    hot components hold a ``Cell`` and do a bare ``cell.value += n``.
+    The registry folds every cell into its backing :class:`Counter` at
+    *epoch boundaries* — any snapshot, flat view, or reset — so every
+    observable read sees exactly the totals an unbatched run would
+    report (the determinism contract in docs/performance.md).
+    """
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Number = 0
+
+
 class Counter:
     """A monotonically increasing count."""
 
@@ -132,6 +151,7 @@ class MetricsRegistry:
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
         self._probes: dict[str, Callable[[], Any]] = {}
+        self._cells: dict[str, Cell] = {}
 
     # ------------------------------------------------------------------
     # instrument lookup/creation
@@ -162,6 +182,29 @@ class MetricsRegistry:
         and may return a scalar or a (nested) dict of scalars."""
         self._probes[name] = fn
 
+    def cell(self, name: str) -> Cell:
+        """An epoch-batched increment slot feeding the counter ``name``.
+
+        Hot paths do ``cell.value += n`` (no lookup, no call); the
+        accumulated delta is folded into the backing counter by
+        :meth:`flush` — which every snapshot/flat/reset performs first,
+        so batched and unbatched accounting are indistinguishable to
+        any reader.
+        """
+        c = self._cells.get(name)
+        if c is None:
+            self._check_free(name, self._counters)  # counters share the name
+            c = self._cells[name] = Cell(name)
+        return c
+
+    def flush(self) -> None:
+        """Fold every cell's pending delta into its backing counter
+        (the epoch boundary of the batched accounting path)."""
+        for name, cell in sorted(self._cells.items()):
+            if cell.value:
+                self.counter(name).inc(cell.value)
+                cell.value = 0
+
     def _check_free(self, name: str, own: dict) -> None:
         for kind in (self._counters, self._gauges, self._histograms):
             if kind is not own and name in kind:
@@ -172,6 +215,7 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
         """One structured view of everything, probes included."""
+        self.flush()
         return {
             "counters": {name: c.value for name, c in sorted(self._counters.items())},
             "gauges": {name: g.value for name, g in sorted(self._gauges.items())},
@@ -182,6 +226,7 @@ class MetricsRegistry:
     def flat(self) -> dict[str, Any]:
         """Flattened ``dotted.name -> scalar`` view (histograms reduce to
         count/mean/max), convenient for regression baselines."""
+        self.flush()
         out: dict[str, Any] = {}
         for name, c in self._counters.items():
             out[name] = c.value
@@ -200,7 +245,11 @@ class MetricsRegistry:
 
     def reset(self) -> None:
         """Zero counters and histograms (measurement-window reset after
-        warm-up); gauges and probes track live state and are left alone."""
+        warm-up); gauges and probes track live state and are left alone.
+
+        Cells are flushed first so warm-up increments parked in a cell
+        are discarded exactly as an unbatched counter's would be."""
+        self.flush()
         for c in self._counters.values():
             c.reset()
         for h in self._histograms.values():

@@ -20,7 +20,7 @@ class Event:
     events; do not instantiate directly.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "canceled")
+    __slots__ = ("time", "seq", "fn", "args", "canceled", "_sim")
 
     def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
         self.time = time
@@ -28,10 +28,20 @@ class Event:
         self.fn = fn
         self.args = args
         self.canceled = False
+        # Back-reference to the owning Simulator while queued (set by
+        # Simulator.at, cleared when the event is popped) so cancel()
+        # can keep the live pending-event counter exact without a scan.
+        self._sim = None
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Safe to call more than once."""
+        if self.canceled:
+            return
         self.canceled = True
+        sim = self._sim
+        if sim is not None:
+            self._sim = None
+            sim._note_canceled()
 
     def fire(self) -> None:
         if not self.canceled:

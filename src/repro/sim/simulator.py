@@ -5,15 +5,22 @@ decision (loss, reordering, workload think times) is reproducible from a
 single seed, and carries the run's optional observability handle
 (``sim.obs``, a :class:`repro.obs.Obs`): components reach their metrics
 and tracer through the simulator they already hold.
+
+The event queue itself is pluggable (:mod:`repro.sim.wheel`): the
+default slotted timing wheel schedules in O(1) for datacenter-scale
+flow counts, while ``scheduler="heap"`` selects the single binary heap
+the reproduction originally shipped with.  Both fire events in exactly
+the same ``(time, seq)`` order, so the choice can never change a
+simulation result — only how fast it computes.
 """
 
 from __future__ import annotations
 
-import heapq
 import random
 from typing import Any, Callable, Optional
 
 from repro.sim.event import Event
+from repro.sim.wheel import make_scheduler
 
 
 class Simulator:
@@ -24,15 +31,21 @@ class Simulator:
     seed:
         Seed for the simulation-wide random source.  Sub-components that
         need their own stream should call :meth:`substream`.
+    scheduler:
+        Event-queue backend: ``"wheel"`` (slotted timing wheel, the
+        default) or ``"heap"`` (single binary heap).  ``None`` reads the
+        ``REPRO_SIM_SCHEDULER`` environment knob.  Event order is
+        identical either way (proven by ``tests/test_sim_wheel.py``).
     """
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0, scheduler: Optional[str] = None):
         self.now: float = 0.0
         self.seed = seed
         self.random = random.Random(seed)
-        self._queue: list[Event] = []
+        self._queue = make_scheduler(scheduler)
         self._seq = 0
         self._events_fired = 0
+        self._pending = 0  # live non-canceled count; no queue scans
         # Observability handle (repro.obs.Obs) or None = off.  Set it
         # before constructing hosts so caching components see it.
         self.obs = None
@@ -41,6 +54,11 @@ class Simulator:
     def now_ns(self) -> int:
         """The current simulated time in integer nanoseconds."""
         return round(self.now * 1e9)
+
+    @property
+    def scheduler_name(self) -> str:
+        """The active event-queue backend (``"wheel"`` or ``"heap"``)."""
+        return self._queue.name
 
     # ------------------------------------------------------------------
     # scheduling
@@ -57,7 +75,9 @@ class Simulator:
             raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
         self._seq += 1
         event = Event(time, self._seq, fn, args)
-        heapq.heappush(self._queue, event)
+        event._sim = self
+        self._queue.push(event)
+        self._pending += 1
         return event
 
     def call_soon(self, fn: Callable[..., Any], *args: Any) -> Event:
@@ -68,32 +88,35 @@ class Simulator:
         """A named, independent random stream derived from the run seed."""
         return random.Random(f"{self.seed}:{name}")
 
+    def _note_canceled(self) -> None:
+        """A queued event was canceled (called by :meth:`Event.cancel`)."""
+        self._pending -= 1
+
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Run the next pending event.  Returns False if none remain."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.canceled:
-                continue
-            self.now = event.time
-            self._events_fired += 1
-            event.fire()
-            return True
-        return False
+        event = self._queue.pop()
+        if event is None:
+            return False
+        event._sim = None
+        self._pending -= 1
+        self.now = event.time
+        self._events_fired += 1
+        event.fire()
+        return True
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Run until the queue drains, ``until`` is reached, or the event
         budget ``max_events`` is exhausted."""
         fired = 0
-        while self._queue:
+        while True:
             if max_events is not None and fired >= max_events:
                 return
-            head = self._queue[0]
-            if head.canceled:
-                heapq.heappop(self._queue)
-                continue
+            head = self._queue.peek()
+            if head is None:
+                break
             if until is not None and head.time > until:
                 self.now = until
                 return
@@ -104,12 +127,13 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of pending (non-canceled) events."""
-        return sum(1 for e in self._queue if not e.canceled)
+        """Number of pending (non-canceled) events — a live counter, so
+        observability probes stay O(1) at any flow count."""
+        return self._pending
 
     @property
     def events_fired(self) -> int:
         return self._events_fired
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Simulator now={self.now:.9f} pending={len(self._queue)}>"
+        return f"<Simulator now={self.now:.9f} pending={self._pending}>"

@@ -17,6 +17,11 @@ class TcpStack:
         self.connections: dict[FlowKey, TcpConnection] = {}
         self.listeners: dict[int, Callable[[TcpConnection], None]] = {}
         self._next_port = 40000
+        # Metric names are precomputed: at datacenter connection churn
+        # (millions of short flows) per-open f-string formatting is a
+        # measurable per-connection cost.
+        self._opened_metric = f"tcp.{host.name}.connections.opened"
+        self._closed_metric = f"tcp.{host.name}.connections.closed"
 
     # ------------------------------------------------------------------
     def listen(self, port: int, on_accept: Callable[[TcpConnection], None]) -> None:
@@ -73,12 +78,12 @@ class TcpStack:
         if self.connections.pop(conn.flow, None) is not None:
             obs = self.sim.obs
             if obs is not None:
-                obs.count(f"tcp.{self.host.name}.connections.closed")
+                obs.count(self._closed_metric)
 
     def _count_open(self) -> None:
         obs = self.sim.obs
         if obs is not None:
-            obs.count(f"tcp.{self.host.name}.connections.opened")
+            obs.count(self._opened_metric)
 
     @property
     def connection_count(self) -> int:

@@ -39,6 +39,32 @@ class TestChaosVerdicts:
         assert result["mismatches"] == 0
 
 
+class TestChaosConnections:
+    """The --connections knob: the scale-soak lane's elevated flow count."""
+
+    def test_elevated_connections_verify_cleanly(self):
+        from repro.faults.chaos import chaos_point
+
+        result = chaos_point("tls", seed=2, duration=8e-3, connections=8)
+        assert result["connections"] == 8
+        assert result["verified"] > 0
+        assert result["mismatches"] == 0
+        assert result["sanitizer_violations"] == 0
+
+    def test_default_summary_has_no_connections_key(self):
+        from repro.faults.chaos import chaos_point
+
+        result = chaos_point("tls", seed=2, duration=6e-3)
+        assert "connections" not in result
+
+    def test_connections_flow_through_run_chaos(self):
+        report = run_chaos(
+            seeds=1, workloads=("tls",), duration=6e-3, heavy=False, connections=4
+        )
+        assert report["ok"]
+        assert all(r["connections"] == 4 for r in report["runs"])
+
+
 class TestChaosCli:
     def test_main_writes_json_and_exits_zero(self, tmp_path, capsys):
         out = tmp_path / "report.json"

@@ -1,0 +1,76 @@
+"""Unit tests for the indexed O(1) flow table (repro.nic.flow_table)."""
+
+import pytest
+
+from repro.nic import FlowTable
+
+
+def test_dict_shaped_basics():
+    t = FlowTable()
+    t["a"] = 1
+    t["b"] = 2
+    assert t["a"] == 1 and t.get("b") == 2 and t.get("zz") is None
+    assert "a" in t and "zz" not in t
+    assert len(t) == 2
+    assert list(t) == ["a", "b"] == list(t.keys())
+    assert list(t.values()) == [1, 2]
+    assert list(t.items()) == [("a", 1), ("b", 2)]
+
+
+def test_overwrite_in_place_is_not_an_install():
+    t = FlowTable()
+    t["k"] = 1
+    t["k"] = 2
+    assert t["k"] == 2 and len(t) == 1
+    assert t.installed_total == 1 and t.removed_total == 0
+
+
+def test_pop_swap_removes_and_backfills():
+    t = FlowTable()
+    for i in range(4):
+        t[i] = i * 10
+    assert t.pop(1) == 10
+    # The last entry backfilled position 1: dense, deterministic layout.
+    assert list(t.items()) == [(0, 0), (3, 30), (2, 20)]
+    assert t.entry_at(1) == 30 and t.key_at(1) == 3
+    # Removing the tail entry needs no swap.
+    assert t.pop(2) == 20
+    assert list(t.keys()) == [0, 3]
+
+
+def test_pop_missing():
+    t = FlowTable()
+    assert t.pop("nope", None) is None
+    assert t.pop("nope", "dflt") == "dflt"
+    with pytest.raises(KeyError):
+        t.pop("nope")
+
+
+def test_positional_access_tracks_density():
+    t = FlowTable()
+    for i in range(100):
+        t[i] = -i
+    for i in range(0, 100, 2):
+        t.pop(i)
+    assert len(t) == t.active == 50
+    seen = {t.key_at(pos) for pos in range(len(t))}
+    assert seen == set(range(1, 100, 2))
+
+
+def test_churn_accounting_is_lifetime():
+    t = FlowTable()
+    for gen in range(3):
+        for i in range(5):
+            t[(gen, i)] = i
+        for i in range(5):
+            t.pop((gen, i))
+    assert len(t) == 0
+    assert t.installed_total == 15 and t.removed_total == 15
+
+
+def test_driver_uses_flow_tables():
+    from repro.nic import OffloadNic
+
+    nic = OffloadNic()
+    assert isinstance(nic.driver.tx_contexts, FlowTable)
+    assert isinstance(nic.driver.rx_contexts, FlowTable)

@@ -134,6 +134,57 @@ class TestMetricsRegistry:
         assert snap["probes"]["p"] == 42
 
 
+class TestCell:
+    """Epoch-batched counter cells: hot paths do ``cell.value += n``;
+    every reader sees exactly what an unbatched counter would show."""
+
+    def test_flushes_into_backing_counter_on_snapshot(self):
+        reg = MetricsRegistry()
+        cell = reg.cell("nic.tx.pkts")
+        cell.value += 3
+        cell.value += 4
+        assert reg.snapshot()["counters"]["nic.tx.pkts"] == 7
+        assert cell.value == 0  # drained at the epoch boundary
+        cell.value += 1
+        assert reg.snapshot()["counters"]["nic.tx.pkts"] == 8
+
+    def test_flat_view_flushes_too(self):
+        reg = MetricsRegistry()
+        reg.cell("c").value += 5
+        assert reg.flat()["c"] == 5
+
+    def test_same_cell_returned_and_counter_name_shared(self):
+        reg = MetricsRegistry()
+        assert reg.cell("x") is reg.cell("x")
+        reg.counter("x").inc(2)  # pre-existing counter: cells feed it
+        reg.cell("x").value += 3
+        assert reg.snapshot()["counters"]["x"] == 5
+
+    def test_name_conflicts_with_other_instrument_kinds(self):
+        reg = MetricsRegistry()
+        reg.gauge("g")
+        with pytest.raises(ValueError):
+            reg.cell("g")
+
+    def test_idle_cell_never_materializes_a_counter(self):
+        reg = MetricsRegistry()
+        reg.cell("quiet")
+        assert "quiet" not in reg.snapshot()["counters"]
+
+    def test_reset_discards_pending_increments_like_a_counter(self):
+        # Warm-up increments parked in a cell must vanish on reset
+        # exactly as an unbatched counter's would.
+        reg = MetricsRegistry()
+        reg.cell("c").value += 9
+        reg.reset()
+        assert reg.snapshot()["counters"]["c"] == 0
+
+    def test_obs_shortcut(self):
+        obs = Obs()
+        obs.cell("n").value += 2
+        assert obs.snapshot()["counters"]["n"] == 2
+
+
 class TestTracer:
     def make(self, limit=200_000):
         clock = {"now": 0.0}

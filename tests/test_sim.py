@@ -1,12 +1,25 @@
-"""Unit tests for the discrete-event simulation core."""
+"""Unit tests for the discrete-event simulation core.
+
+Every test runs against both event-queue backends (the slotted timing
+wheel and the binary heap): the scheduler is pluggable and must never
+change observable behavior.
+"""
 
 import pytest
 
 from repro.sim import Simulator
 
 
-def test_events_fire_in_time_order():
-    sim = Simulator()
+@pytest.fixture(params=["wheel", "heap"])
+def make_sim(request):
+    def _make(seed=0):
+        return Simulator(seed=seed, scheduler=request.param)
+
+    return _make
+
+
+def test_events_fire_in_time_order(make_sim):
+    sim = make_sim()
     order = []
     sim.schedule(2.0, order.append, "b")
     sim.schedule(1.0, order.append, "a")
@@ -16,8 +29,8 @@ def test_events_fire_in_time_order():
     assert sim.now == 3.0
 
 
-def test_same_time_events_fire_in_scheduling_order():
-    sim = Simulator()
+def test_same_time_events_fire_in_scheduling_order(make_sim):
+    sim = make_sim()
     order = []
     for name in "abcde":
         sim.schedule(1.0, order.append, name)
@@ -25,8 +38,8 @@ def test_same_time_events_fire_in_scheduling_order():
     assert order == list("abcde")
 
 
-def test_cancel_prevents_firing():
-    sim = Simulator()
+def test_cancel_prevents_firing(make_sim):
+    sim = make_sim()
     fired = []
     event = sim.schedule(1.0, fired.append, "x")
     sim.schedule(0.5, event.cancel)
@@ -34,8 +47,8 @@ def test_cancel_prevents_firing():
     assert fired == []
 
 
-def test_run_until_stops_clock_at_bound():
-    sim = Simulator()
+def test_run_until_stops_clock_at_bound(make_sim):
+    sim = make_sim()
     fired = []
     sim.schedule(5.0, fired.append, "late")
     sim.run(until=2.0)
@@ -45,14 +58,14 @@ def test_run_until_stops_clock_at_bound():
     assert fired == ["late"]
 
 
-def test_run_until_advances_clock_even_with_empty_queue():
-    sim = Simulator()
+def test_run_until_advances_clock_even_with_empty_queue(make_sim):
+    sim = make_sim()
     sim.run(until=4.0)
     assert sim.now == 4.0
 
 
-def test_call_soon_runs_after_pending_same_time_events():
-    sim = Simulator()
+def test_call_soon_runs_after_pending_same_time_events(make_sim):
+    sim = make_sim()
     order = []
     sim.schedule(0.0, order.append, "first")
     sim.call_soon(order.append, "second")
@@ -60,8 +73,8 @@ def test_call_soon_runs_after_pending_same_time_events():
     assert order == ["first", "second"]
 
 
-def test_cannot_schedule_in_the_past():
-    sim = Simulator()
+def test_cannot_schedule_in_the_past(make_sim):
+    sim = make_sim()
     sim.schedule(1.0, lambda: None)
     sim.run()
     with pytest.raises(ValueError):
@@ -70,8 +83,8 @@ def test_cannot_schedule_in_the_past():
         sim.schedule(-1.0, lambda: None)
 
 
-def test_nested_scheduling_from_callbacks():
-    sim = Simulator()
+def test_nested_scheduling_from_callbacks(make_sim):
+    sim = make_sim()
     seen = []
 
     def hop(n):
@@ -95,10 +108,23 @@ def test_substreams_are_deterministic_and_independent():
     assert seq1 != seq3
 
 
-def test_max_events_budget():
-    sim = Simulator()
+def test_max_events_budget(make_sim):
+    sim = make_sim()
     count = []
     for _ in range(10):
         sim.schedule(1.0, count.append, 1)
     sim.run(max_events=4)
     assert len(count) == 4
+
+
+def test_pending_is_a_live_counter(make_sim):
+    sim = make_sim()
+    events = [sim.schedule(float(i + 1), lambda: None) for i in range(5)]
+    assert sim.pending == 5
+    events[2].cancel()
+    events[2].cancel()  # idempotent: must not double-decrement
+    assert sim.pending == 4
+    sim.run(until=1.5)
+    assert sim.pending == 3
+    sim.run()
+    assert sim.pending == 0
