@@ -19,6 +19,11 @@ against the invariants the paper's correctness argument rests on:
   packet; out-of-sequence packets flow to software untouched (§4.3).
 - ``SAN-RX-OFFLOAD`` — an out-of-sequence packet is never marked
   offloaded.
+- ``SAN-NIC-LIFE`` — the NIC lifecycle machine moves only along its
+  legal edges (*running -> hung/resetting*, *hung -> resetting*,
+  *resetting -> reattaching*, *reattaching -> running*), and no packet
+  is marked offloaded while the NIC is not *running* (a hung or
+  resetting device completes nothing).
 
 Violations raise :class:`InvariantViolation` carrying flow/context/
 sequence diagnostics.  Enable via ``REPRO_SANITIZE=1`` in the
@@ -57,6 +62,17 @@ _PHASE_EDGES = {
     ("body", "trailer"),
     ("body", "header"),
     ("trailer", "header"),
+}
+
+#: Legal NIC lifecycle transitions (by ``NicState.value``): the machine
+#: RUNNING -> HUNG -> RESETTING -> REATTACHING -> RUNNING, plus the
+#: direct admin reset RUNNING -> RESETTING.
+_LIFECYCLE_EDGES = {
+    ("running", "hung"),
+    ("running", "resetting"),
+    ("hung", "resetting"),
+    ("resetting", "reattaching"),
+    ("reattaching", "running"),
 }
 
 
@@ -221,6 +237,30 @@ class Sanitizer:
                 f"expected {entry_expected})",
                 ctx=ctx,
                 seq=pkt.seq,
+            )
+
+    # ------------------------------------------------------------------
+    # hooks called from the NIC lifecycle machine (repro.nic.lifecycle)
+    # ------------------------------------------------------------------
+    def nic_state_edge(self, nic: Any, old_value: str, new_value: str) -> None:
+        self._count("SAN-NIC-LIFE")
+        if old_value == new_value or (old_value, new_value) in _LIFECYCLE_EDGES:
+            return
+        self._fail(
+            "SAN-NIC-LIFE",
+            f"illegal NIC lifecycle transition {old_value} -> {new_value}",
+        )
+
+    def lifecycle_packet(self, state_value: str, pkt: Any, entry_offloaded: bool) -> None:
+        """A packet crossed the NIC while it was not RUNNING: a dead
+        device completes nothing, so ``offloaded`` must not flip on."""
+        self._count("SAN-NIC-LIFE")
+        offloaded = getattr(pkt.meta, "offloaded", False) and not entry_offloaded
+        if offloaded and state_value != "running":
+            self._fail(
+                "SAN-NIC-LIFE",
+                f"packet marked offloaded while NIC is {state_value}",
+                seq=getattr(pkt, "seq", None),
             )
 
 

@@ -14,6 +14,7 @@ ordering as exact (the send ring guarantees it in hardware).
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from typing import Any, Optional, Protocol
 
 from repro.core.context import HwContext, RxState
@@ -69,6 +70,21 @@ class NicDriver:
         # when a later speculation lands on the same sequence number.
         self._resync_pending: dict[int, tuple[int, int]] = {}
         self._resync_token = itertools.count(1)
+        # ctx_id -> (conn, l5p_ops): who asked for each context, so a
+        # NIC reset can route re-installation (or, for the TOE
+        # personality, connection loss) back to its owner.
+        self._installs: dict[int, tuple[Any, Any]] = {}
+        # Watchdog + re-install queue (armed by the NIC lifecycle).
+        self._watchdog_profile = None
+        self._watchdog_missed = 0
+        self._reattach_queue: deque = deque()
+        self._reattach_profile = None
+        # Old TX ctx_id -> reattached successor id.  Packets are stamped
+        # with the context id at *build* time, so a packet queued before
+        # a reset can reach the wire after it, carrying the torn-down
+        # id; resolving the alias routes it to the successor, whose
+        # standard §4.2 recovery absorbs the sequence seam.
+        self._ctx_aliases: dict[int, int] = {}
 
     def configure_degradation(self, policy) -> None:
         """Arm the degradation knobs from a DegradePolicy-shaped object
@@ -110,6 +126,7 @@ class NicDriver:
             conn.tx_ctx_id = ctx_id
         else:
             self.rx_contexts[flow] = ctx
+        self._installs[ctx_id] = (conn, l5p_ops)
         self.nic.context_installed(ctx)
         return ctx
 
@@ -119,6 +136,10 @@ class NicDriver:
         else:
             self.rx_contexts.pop(ctx.flow, None)
         self._resync_pending.pop(ctx.ctx_id, None)
+        self._installs.pop(ctx.ctx_id, None)
+        if self._ctx_aliases:
+            for stale in [k for k, v in self._ctx_aliases.items() if v == ctx.ctx_id]:
+                del self._ctx_aliases[stale]
         self.nic.context_removed(ctx)
 
     def l5o_add_rr_state(self, ctx: HwContext, key: Any, state: Any) -> Any:
@@ -198,6 +219,10 @@ class NicDriver:
         if ctx_id is None:
             return None
         ctx = self.tx_contexts.get(ctx_id)
+        if ctx is None and self._ctx_aliases:
+            alias = self._ctx_aliases.get(ctx_id)
+            if alias is not None:
+                ctx = self.tx_contexts.get(alias)
         if ctx is not None and ctx.offload_disabled:
             return None  # degraded: the flow rides the software path
         return ctx
@@ -299,3 +324,132 @@ class NicDriver:
         if obs is not None:
             obs.count("driver.offload.probation_reenabled")
             obs.event("offload-probation-reenable", lane=f"ctx/{ctx.ctx_id}", cat="degrade")
+
+    # ------------------------------------------------------------------
+    # NIC lifecycle: watchdog, teardown, and paced re-installation
+    # ------------------------------------------------------------------
+    def start_watchdog(self, profile) -> None:
+        """Arm the heartbeat watchdog (NicLifecycleProfile-shaped knobs).
+        The tick charges no cycles and draws no randomness, so an armed
+        but never-firing lifecycle leaves every metric untouched."""
+        self._watchdog_profile = profile
+        self._watchdog_missed = 0
+        self.nic.host.sim.schedule(profile.heartbeat_interval_s, self._watchdog_tick)
+
+    def _watchdog_tick(self) -> None:
+        profile = self._watchdog_profile
+        if profile is None:
+            return
+        lifecycle = self.nic.lifecycle
+        from repro.nic.lifecycle import NicState
+
+        if lifecycle.state is NicState.HUNG:
+            # The device did not answer the heartbeat (stalled
+            # completion queue / dead firmware mailbox).
+            self._watchdog_missed += 1
+            obs = self.nic.obs
+            if obs is not None:
+                obs.count("driver.watchdog.missed_heartbeats")
+            if self._watchdog_missed >= profile.missed_heartbeats:
+                self._watchdog_missed = 0
+                if obs is not None:
+                    obs.count("driver.watchdog.resets_initiated")
+                lifecycle.begin_reset("watchdog")
+        else:
+            self._watchdog_missed = 0
+        self.nic.host.sim.schedule(profile.heartbeat_interval_s, self._watchdog_tick)
+
+    def nic_reset_teardown(self, personality: str = "autonomous") -> list:
+        """The NIC is resetting: every HW context it held is gone.
+
+        Autonomous personality (the paper's design): TX contexts are
+        parked as software shadows so queued "wrong bytes" keep getting
+        transformed by the host during the outage, RX flows ride the
+        L5P software path, and a re-install request per (owner,
+        direction) is returned for :meth:`begin_reattach`.
+
+        TOE personality (*PnO-TCP* / *FlexiNS* model): the connection
+        state lived on the NIC, so every offloaded connection is aborted
+        outright — nothing to re-install.
+        """
+        lifecycle = self.nic.lifecycle
+        obs = self.nic.obs
+        requests: list = []
+        killed: set = set()
+        removed = 0
+        for ctx in list(self.tx_contexts.values()):
+            self.tx_contexts.pop(ctx.ctx_id, None)
+            self._teardown_one(ctx, personality, requests, killed)
+            removed += 1
+        for ctx in list(self.rx_contexts.values()):
+            self.rx_contexts.pop(ctx.flow, None)
+            lifecycle.track_rx_fallback(ctx.flow)
+            self._teardown_one(ctx, personality, requests, killed)
+            removed += 1
+        self._resync_pending.clear()
+        if obs is not None and removed:
+            obs.count("driver.contexts.removed", removed)
+        return requests
+
+    def _teardown_one(self, ctx: HwContext, personality: str, requests: list, killed: set) -> None:
+        lifecycle = self.nic.lifecycle
+        obs = self.nic.obs
+        # In-flight DMA/descriptor abort semantics: a context mid-walk
+        # had a transform in flight; the reset aborts it on the device
+        # (one descriptor-sized PCIe transaction to reap the queue).
+        lifecycle.note_context_lost(mid_walk=ctx.desc is not None)
+        self.nic.pcie.count("reset-abort", 64)
+        if obs is not None:
+            obs.gauge("driver.contexts.active").dec()
+        conn, _l5p_ops = self._installs.pop(ctx.ctx_id, (None, None))
+        if personality == "toe":
+            if conn is not None and id(conn) not in killed and conn.state != "closed":
+                killed.add(id(conn))
+                lifecycle.note_toe_connection_lost()
+                conn.abort()
+            return
+        if ctx.direction == Direction.TX:
+            lifecycle.park_tx(ctx)
+        requests.append((ctx.l5p_ops, ctx.direction, ctx.ctx_id))
+
+    def begin_reattach(self, requests: list, profile) -> None:
+        """The function came back up: re-install offload contexts from
+        host-owned state, ``reinstall_batch`` per ``reinstall_interval_s``
+        tick so the recovering cache is not thundering-herded."""
+        self._reattach_queue = deque(requests)
+        self._reattach_profile = profile
+        # Datagram offloads (§7) are static-state-only: the driver
+        # re-writes them directly, one descriptor each, no upcall.
+        for _ in range(len(self.dgram_tx_contexts) + len(self.dgram_rx_contexts)):
+            self.nic.pcie.count("descriptor", 64)
+        self._reattach_tick()
+
+    def _reattach_tick(self) -> None:
+        lifecycle = self.nic.lifecycle
+        profile = self._reattach_profile
+        budget = getattr(profile, "reinstall_batch", 8) if profile is not None else 8
+        while budget > 0 and self._reattach_queue:
+            l5p_ops, direction, old_id = self._reattach_queue.popleft()
+            budget -= 1
+            reattach = getattr(l5p_ops, "l5o_nic_reattach", None)
+            if reattach is None:
+                lifecycle.note_reinstall_unsupported()
+                continue
+            ctx = reattach(direction.value)
+            if ctx is None:
+                lifecycle.note_reinstall_unsupported()
+                continue
+            lifecycle.note_reinstall()
+            if direction == Direction.TX:
+                # Route packets stamped with the dead id (built before
+                # the reset) to the successor; flatten chains so a storm
+                # of resets still resolves in one hop.
+                for stale, target in self._ctx_aliases.items():
+                    if target == old_id:
+                        self._ctx_aliases[stale] = ctx.ctx_id
+                self._ctx_aliases[old_id] = ctx.ctx_id
+        if self._reattach_queue:
+            interval = getattr(profile, "reinstall_interval_s", 0.0) if profile is not None else 0.0
+            self.nic.host.sim.schedule(interval, self._reattach_tick)
+        else:
+            lifecycle.reattach_complete()

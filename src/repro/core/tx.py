@@ -86,6 +86,63 @@ class TxEngine:
         pkt.meta.offloaded = True
 
     # ------------------------------------------------------------------
+    def process_software(self, ctx: HwContext, conn, pkt: Packet) -> None:
+        """Transform one outgoing packet on the *host* while the NIC is
+        down (lifecycle fallback).  Same wire bytes as :meth:`process`,
+        but: no cache access, no PCIe traffic, cycles charged to the
+        flow's core as software crypto, and the packet is never marked
+        offloaded — a hung/resetting NIC completes nothing."""
+        if not pkt.payload:
+            return
+        seq, payload = pkt.seq, pkt.payload
+        prefix = b""
+        if sq.lt(seq, ctx.created_seq):
+            split = sq.sub(ctx.created_seq, seq)
+            if split >= len(payload):
+                return
+            prefix, payload = payload[:split], payload[split:]
+            seq = ctx.created_seq
+        if seq != ctx.expected_seq:
+            # Host-side reposition from the L5P's message state: the
+            # shadow walks the prefix itself (no device to DMA into).
+            if ctx.l5p_ops is None:
+                raise ProtocolError("TX context has no L5P ops for recovery")
+            state = ctx.l5p_ops.l5o_get_tx_msgstate(seq)
+            if state is None:
+                if conn is not None and sq.le(sq.add(seq, len(payload)), conn.snd_una):
+                    ctx.pkts_bypassed += 1
+                    pkt.payload = prefix + b"\x00" * len(payload)
+                    return
+                raise ProtocolError(
+                    f"{ctx.adapter.name}: L5P has no message state covering "
+                    f"seq {seq} (released too early?)"
+                )
+            offset = sq.sub(seq, state.start_seq)
+            with allow_rewind(ctx):
+                ctx.reset_to_header()
+                ctx.msg_index = state.msg_index
+                ctx.expected_seq = state.start_seq
+                ctx.adapter.prepare_tx_recovery(ctx, state)
+                if offset:
+                    replay(ctx, state.wire_bytes[:offset])
+                    ctx.expected_seq = seq
+        result = walk(ctx, payload, emit=True)
+        if result.desynced:
+            raise ProtocolError(
+                f"{ctx.adapter.name}: transmit stream does not parse as L5P "
+                f"messages at seq {seq}"
+            )
+        pkt.payload = prefix + result.out
+        ctx.expected_seq = sq.add(seq, len(payload))
+        ctx.pkts_bypassed += 1
+        ctx.tx_sw_fallbacks += 1
+        host = self.nic.host
+        if host is not None:
+            core = host.core_for_flow(conn.flow)
+            cpb = ctx.adapter.software_cpb(host.model)
+            core.charge(host.model.cycles_crypto_setup + len(payload) * cpb, "crypto")
+
+    # ------------------------------------------------------------------
     def _recover(self, ctx: HwContext, conn, tcpsn: int, end_seq: int) -> str:
         """Reposition the context at ``tcpsn`` (driver-led, §4.2).
 

@@ -32,6 +32,9 @@ class IperfRun:
     tx_recoveries: int = 0
     resyncs: int = 0
     duration: float = 0.0
+    # NIC lifecycle stats (resets, reinstalls, fallback packet counts);
+    # empty unless the run's FaultPlan armed a NicLifecycleProfile.
+    lifecycle: dict = field(default_factory=dict)
 
     @property
     def crypto_fraction(self) -> float:
@@ -140,6 +143,7 @@ def run_iperf(
     stats_after = dut.nic.offload_stats()
 
     recovery_frac = dut.nic.pcie.utilization("recovery", measure)
+    life = getattr(dut.nic, "lifecycle", None)
     return IperfRun(
         mode=mode,
         direction=direction,
@@ -151,6 +155,7 @@ def run_iperf(
         tx_recoveries=stats_after["tx_recoveries"] - stats_before["tx_recoveries"],
         resyncs=stats_after["resyncs_completed"] - stats_before["resyncs_completed"],
         duration=measure,
+        lifecycle=life.stats() if life is not None and life.armed else {},
     )
 
 

@@ -20,6 +20,7 @@ from repro.faults.plan import (
     GilbertElliott,
     LinkFaultProfile,
     NicFaultProfile,
+    NicLifecycleProfile,
 )
 
 __all__ = [
@@ -29,6 +30,7 @@ __all__ = [
     "LinkFaultInjector",
     "LinkFaultProfile",
     "NicFaultProfile",
+    "NicLifecycleProfile",
     "corrupting_link",
     "flip_payload_byte",
 ]

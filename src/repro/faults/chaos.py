@@ -30,6 +30,7 @@ import hashlib
 import json
 import random
 import sys
+import time  # wall-clock --max-seconds deadline guard (CI wedge detector)
 from typing import Optional
 
 from repro.analysis import sanitizer
@@ -39,6 +40,7 @@ from repro.faults.plan import (
     GilbertElliott,
     LinkFaultProfile,
     NicFaultProfile,
+    NicLifecycleProfile,
 )
 from repro.harness.testbed import Testbed, TestbedConfig
 
@@ -57,6 +59,24 @@ HEAVY_PLAN = FaultPlan(
     nic=NicFaultProfile(resync_resp_drop=1.0),
     degrade=DegradePolicy(max_resync_retries=1, resync_timeout_s=5e-4, disable_after_failures=1),
 )
+
+#: Deterministic reset-storm scenario: repeated NIC hangs land mid-transfer
+#: (the TLS chunk stream spans roughly 0.3-1.4 ms of simulated time; the
+#: NVMe loop runs continuously), so every storm run exercises the full
+#: hang -> watchdog -> reset -> reattach cycle while bursty loss keeps the
+#: ordinary resync machinery busy at the same time.  Content verification
+#: must stay clean: a reset may only cost performance, never correctness.
+RESET_STORM_SEED = 777
+RESET_STORM_PLAN = FaultPlan(
+    to_server=LinkFaultProfile(burst=GilbertElliott.for_mean_loss(0.005, burst_len=4)),
+    degrade=DegradePolicy(max_resync_retries=2, resync_timeout_s=1e-3),
+    lifecycle=NicLifecycleProfile(
+        hang_windows=((6e-4, 7e-4), (3e-3, 3.2e-3), (8e-3, 8.2e-3)),
+    ),
+)
+
+#: Trace events kept per failing run for the CI crash-report artifact.
+TRACE_TAIL = 50
 
 
 def chunk_bytes(k: int) -> bytes:
@@ -95,8 +115,13 @@ def random_plan(rng: random.Random) -> FaultPlan:
 
 
 def _testbed(seed: int, plan: FaultPlan) -> Testbed:
+    # trace=True feeds the crash-report artifact's last-N event tail; the
+    # tracer only appends to a list, so metrics and determinism are
+    # unchanged (the determinism test compares full summaries).
     return Testbed(
-        TestbedConfig(seed=seed, server_cores=2, generator_cores=4, faults=plan, metrics=True)
+        TestbedConfig(
+            seed=seed, server_cores=2, generator_cores=4, faults=plan, metrics=True, trace=True
+        )
     )
 
 
@@ -121,6 +146,14 @@ def _summarize(tb: Testbed, state: dict) -> dict:
     state.update(picked)
     state["link_to_server"] = tb.link.ba.counters()
     state["sim_events"] = tb.sim.events_fired
+    lifecycle = getattr(tb.server.nic, "lifecycle", None)
+    if lifecycle is not None and lifecycle.armed:
+        state["lifecycle"] = lifecycle.stats()
+    if state["mismatches"] or state["sanitizer_violations"]:
+        # Failing run: keep the event-trace tail for the crash report.
+        tracer = getattr(tb.obs, "tracer", None)
+        if tracer is not None:
+            state["trace_tail"] = list(tracer.events[-TRACE_TAIL:])
     return state
 
 
@@ -277,17 +310,25 @@ def chaos_point(
     duration: float = 15e-3,
     heavy: bool = False,
     connections: int = 1,
+    storm: bool = False,
 ) -> dict:
     """One soak point — a pure function of its arguments, so the scenario
     grid can run points in any process in any order (`repro.exec`).  The
     fault plan is derived from ``(workload, seed)`` exactly as the serial
     loop always derived it; ``heavy`` selects the deterministic §5.3
-    auto-disable scenario instead.  ``connections`` elevates the TLS
-    soak's concurrent flow count (the NVMe loop is keyed by queue depth
-    and ignores it)."""
+    auto-disable scenario and ``storm`` the deterministic NIC reset-storm
+    scenario instead.  ``connections`` elevates the TLS soak's concurrent
+    flow count (the NVMe loop is keyed by queue depth and ignores it)."""
     if workload not in _WORKLOADS:
         raise ValueError(f"unknown workload {workload!r} (expected one of {sorted(_WORKLOADS)})")
-    plan = HEAVY_PLAN if heavy else random_plan(random.Random(f"chaos:plan:{workload}:{seed}"))
+    if heavy and storm:
+        raise ValueError("heavy and storm are distinct deterministic scenarios; pick one")
+    if heavy:
+        plan = HEAVY_PLAN
+    elif storm:
+        plan = RESET_STORM_PLAN
+    else:
+        plan = random_plan(random.Random(f"chaos:plan:{workload}:{seed}"))
     with sanitizer.enabled():
         if workload == "tls":
             result = run_tls(seed, plan, duration, connections=connections)
@@ -296,17 +337,29 @@ def chaos_point(
     result["plan"] = plan.describe()
     if heavy:
         result["heavy"] = True
+    if storm:
+        result["storm"] = True
     if connections != 1:
         result["connections"] = connections
     return result
 
 
 def _grid_point(point: tuple) -> dict:
-    """Picklable grid runner: ``(workload, seed, duration, heavy, connections)``."""
-    workload, seed, duration, heavy, connections = point
+    """Picklable grid runner: ``(workload, seed, duration, heavy, connections, storm)``."""
+    workload, seed, duration, heavy, connections, storm = point
     return chaos_point(
-        workload=workload, seed=seed, duration=duration, heavy=heavy, connections=connections
+        workload=workload,
+        seed=seed,
+        duration=duration,
+        heavy=heavy,
+        connections=connections,
+        storm=storm,
     )
+
+
+def _point_key(p: tuple) -> str:
+    tag = ":heavy" if p[3] else (":storm" if p[5] else "")
+    return f"{p[0]}:seed={p[1]}{tag}"
 
 
 def run_chaos(
@@ -317,6 +370,8 @@ def run_chaos(
     base_seed: int = 1,
     workers: Optional[int] = None,
     connections: int = 1,
+    storm: bool = True,
+    max_seconds: Optional[float] = None,
 ) -> dict:
     """The full soak; returns a JSON-friendly report.
 
@@ -324,33 +379,66 @@ def run_chaos(
     ``REPRO_EXEC_WORKERS`` environment knob; 1 = the serial path).  The
     report is keyed and ordered by scenario, so any worker count yields
     byte-identical output.
+
+    ``max_seconds`` is a *wall-clock* deadline for the whole soak (CI's
+    wedge detector).  The grid is then run in worker-sized batches; once
+    the deadline passes, remaining points are abandoned and the report
+    comes back with ``deadline_exceeded: true``, ``ok: false``, and the
+    partial runs completed so far — a wedged soak fails loudly instead of
+    hanging the pipeline.  Completed runs are unaffected (the batches are
+    the same points in the same order), so a run that finishes in time is
+    byte-identical to one with no deadline.
     """
     from repro.exec import run_grid
+    from repro.exec.engine import default_workers
 
     points = [
-        (name, seed, duration, False, connections)
+        (name, seed, duration, False, connections, False)
         for seed in range(base_seed, base_seed + seeds)
         for name in workloads
     ]
     if heavy:
-        points.extend((name, HEAVY_SEED, duration, True, connections) for name in workloads)
-    runs = run_grid(
-        points,
-        _grid_point,
-        workers=workers,
-        key=lambda p: f"{p[0]}:seed={p[1]}" + (":heavy" if p[3] else ""),
-    )
+        points.extend((name, HEAVY_SEED, duration, True, connections, False) for name in workloads)
+    if storm:
+        points.extend(
+            (name, RESET_STORM_SEED, duration, False, connections, True) for name in workloads
+        )
+
+    deadline = None
+    if max_seconds is not None:
+        deadline = time.monotonic() + max_seconds  # sim: noqa[SIM001]
+    runs: list = []
+    deadline_exceeded = False
+    if deadline is None:
+        runs = run_grid(points, _grid_point, workers=workers, key=_point_key)
+    else:
+        batch = max(1, workers if workers is not None else default_workers())
+        for start in range(0, len(points), batch):
+            if time.monotonic() >= deadline:  # sim: noqa[SIM001]
+                deadline_exceeded = True
+                break
+            runs.extend(
+                run_grid(points[start : start + batch], _grid_point, workers=workers, key=_point_key)
+            )
+
     totals = {
         "runs": len(runs),
+        "scheduled": len(points),
         "verified": sum(r["verified"] for r in runs),
         "mismatches": sum(r["mismatches"] for r in runs),
         "detected_errors": sum(r["detected_errors"] for r in runs),
         "sanitizer_violations": sum(r["sanitizer_violations"] for r in runs),
         "auto_disabled": sum(r["auto_disabled"] for r in runs),
+        "nic_resets": sum(r.get("lifecycle", {}).get("resets", 0) for r in runs),
     }
     return {
         "totals": totals,
-        "ok": totals["mismatches"] == 0 and totals["sanitizer_violations"] == 0,
+        "ok": (
+            totals["mismatches"] == 0
+            and totals["sanitizer_violations"] == 0
+            and not deadline_exceeded
+        ),
+        "deadline_exceeded": deadline_exceeded,
         "runs": runs,
     }
 
@@ -369,6 +457,24 @@ def main(argv: Optional[list] = None) -> int:
     )
     parser.add_argument(
         "--no-heavy", action="store_true", help="skip the deterministic auto-disable scenario"
+    )
+    parser.add_argument(
+        "--no-storm", action="store_true", help="skip the deterministic NIC reset-storm scenario"
+    )
+    parser.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help="wall-clock deadline for the whole soak; on breach the run "
+        "fails loudly with a partial report (CI passes this by default "
+        "so a wedged soak cannot hang the pipeline)",
+    )
+    parser.add_argument(
+        "--crash-report",
+        metavar="PATH",
+        help="on failure, write a crash-report JSON (lifecycle counters + "
+        "last-N event trace of each failing run) for the CI artifact",
     )
     parser.add_argument(
         "--connections",
@@ -398,21 +504,35 @@ def main(argv: Optional[list] = None) -> int:
         base_seed=args.base_seed,
         workers=args.workers,
         connections=args.connections,
+        storm=not args.no_storm,
+        max_seconds=args.max_seconds,
     )
     for run in report["runs"]:
-        tag = "HEAVY" if run.get("heavy") else f"seed={run['seed']}"
+        if run.get("heavy"):
+            tag = "HEAVY"
+        elif run.get("storm"):
+            tag = "STORM"
+        else:
+            tag = f"seed={run['seed']}"
+        resets = run.get("lifecycle", {}).get("resets", 0)
         print(
             f"[{run['workload']:>4} {tag:>8}] verified={run['verified']:<5} "
             f"mismatches={run['mismatches']} detected={run['detected_errors']} "
             f"resync(req/retry/fail)={run['resync_requests']}/{run['resync_retries']}"
             f"/{run['resync_failures']} auto_disabled={run['auto_disabled']} "
-            f"sanitizer={run['sanitizer_violations']}"
+            f"nic_resets={resets} sanitizer={run['sanitizer_violations']}"
         )
     totals = report["totals"]
+    if report["deadline_exceeded"]:
+        print(
+            f"!! wall-clock deadline ({args.max_seconds}s) exceeded: "
+            f"{totals['runs']}/{totals['scheduled']} scenarios completed; "
+            "partial report follows"
+        )
     print(
         f"== {totals['runs']} runs: verified={totals['verified']} "
         f"mismatches={totals['mismatches']} detected={totals['detected_errors']} "
-        f"auto_disabled={totals['auto_disabled']} "
+        f"auto_disabled={totals['auto_disabled']} nic_resets={totals['nic_resets']} "
         f"sanitizer_violations={totals['sanitizer_violations']} "
         f"-> {'OK' if report['ok'] else 'FAIL'}"
     )
@@ -420,6 +540,30 @@ def main(argv: Optional[list] = None) -> int:
         with open(args.json, "w") as fh:
             json.dump(report, fh, indent=2, sort_keys=True)
             fh.write("\n")
+    if args.crash_report and not report["ok"]:
+        crash = {
+            "totals": totals,
+            "deadline_exceeded": report["deadline_exceeded"],
+            "failing_runs": [
+                {
+                    "workload": run["workload"],
+                    "seed": run["seed"],
+                    "heavy": run.get("heavy", False),
+                    "storm": run.get("storm", False),
+                    "mismatches": run["mismatches"],
+                    "sanitizer_violations": run["sanitizer_violations"],
+                    "detected_errors": run["detected_errors"],
+                    "lifecycle": run.get("lifecycle"),
+                    "trace_tail": run.get("trace_tail", []),
+                }
+                for run in report["runs"]
+                if run["mismatches"] or run["sanitizer_violations"]
+            ],
+        }
+        with open(args.crash_report, "w") as fh:
+            json.dump(crash, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"crash report written to {args.crash_report}")
     return 0 if report["ok"] else 1
 
 

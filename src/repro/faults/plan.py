@@ -22,6 +22,33 @@ from typing import Optional, Tuple
 Window = Tuple[float, float]  # (start_s, end_s) in simulated time
 
 
+def _check_prob(cls: str, name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{cls}.{name} must be a probability in [0, 1], got {value!r}")
+
+
+def _check_nonneg(cls: str, name: str, value: float) -> None:
+    if value < 0:
+        raise ValueError(f"{cls}.{name} must be >= 0, got {value!r}")
+
+
+def _check_positive(cls: str, name: str, value: float) -> None:
+    if not value > 0:
+        raise ValueError(f"{cls}.{name} must be > 0, got {value!r}")
+
+
+def _check_windows(cls: str, name: str, windows: Tuple[Window, ...]) -> None:
+    for window in windows:
+        try:
+            start, end = window
+        except (TypeError, ValueError):
+            raise ValueError(f"{cls}.{name} entries must be (start_s, end_s) pairs, got {window!r}") from None
+        if start < 0 or end < start:
+            raise ValueError(
+                f"{cls}.{name} window {window!r} is inverted or negative (need 0 <= start <= end)"
+            )
+
+
 @dataclass(frozen=True)
 class GilbertElliott:
     """Two-state bursty-loss channel (Gilbert–Elliott).
@@ -39,6 +66,10 @@ class GilbertElliott:
     p_bad_to_good: float = 0.2
     loss_good: float = 0.0
     loss_bad: float = 0.5
+
+    def __post_init__(self) -> None:
+        for name in ("p_good_to_bad", "p_bad_to_good", "loss_good", "loss_bad"):
+            _check_prob("GilbertElliott", name, getattr(self, name))
 
     def mean_loss(self) -> float:
         denom = self.p_good_to_bad + self.p_bad_to_good
@@ -67,6 +98,11 @@ class LinkFaultProfile:
     burst: Optional[GilbertElliott] = None  # bursty loss channel
     flaps: Tuple[Window, ...] = ()  # scripted down/up windows (sim time)
 
+    def __post_init__(self) -> None:
+        _check_prob("LinkFaultProfile", "corrupt", self.corrupt)
+        _check_nonneg("LinkFaultProfile", "jitter_s", self.jitter_s)
+        _check_windows("LinkFaultProfile", "flaps", self.flaps)
+
 
 @dataclass(frozen=True)
 class NicFaultProfile:
@@ -86,6 +122,20 @@ class NicFaultProfile:
     resync_resp_delay: float = 0.0
     resync_resp_delay_s: float = 1e-3
     resync_resp_dup: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "cache_evict_prob",
+            "pcie_stall_prob",
+            "pcie_fail_prob",
+            "resync_resp_drop",
+            "resync_resp_delay",
+            "resync_resp_dup",
+        ):
+            _check_prob("NicFaultProfile", name, getattr(self, name))
+        _check_nonneg("NicFaultProfile", "pcie_stall_cycles", self.pcie_stall_cycles)
+        _check_nonneg("NicFaultProfile", "resync_resp_delay_s", self.resync_resp_delay_s)
+        _check_windows("NicFaultProfile", "cache_storm_windows", self.cache_storm_windows)
 
     def storm_active(self, now: float) -> bool:
         return any(start <= now < end for start, end in self.cache_storm_windows)
@@ -111,6 +161,71 @@ class DegradePolicy:
     disable_after_failures: int = 0
     probation_s: float = 0.0
 
+    def __post_init__(self) -> None:
+        _check_nonneg("DegradePolicy", "max_resync_retries", self.max_resync_retries)
+        _check_positive("DegradePolicy", "resync_timeout_s", self.resync_timeout_s)
+        _check_positive("DegradePolicy", "resync_backoff", self.resync_backoff)
+        _check_nonneg("DegradePolicy", "disable_after_failures", self.disable_after_failures)
+        _check_nonneg("DegradePolicy", "probation_s", self.probation_s)
+
+
+#: NIC personalities for the lifecycle fault domain.  ``autonomous`` is
+#: the paper's design: all L5P/TCP state is host-owned, so a reset only
+#: costs performance (software fallback + reinstall).  ``toe`` models a
+#: full TCP-offload engine (PnO-TCP / FlexiNS style): connection state
+#: lives on the NIC, so a reset *loses* every offloaded connection.
+LIFECYCLE_PERSONALITIES = ("autonomous", "toe")
+
+
+@dataclass(frozen=True)
+class NicLifecycleProfile:
+    """NIC lifecycle faults: firmware hangs, crashes, and reset/recovery.
+
+    Arms the ``repro.nic.lifecycle`` state machine (``RUNNING -> HUNG ->
+    RESETTING -> REATTACHING -> RUNNING``) on the DUT NIC.  Hangs are
+    scripted (``hang_windows``) and/or seeded-random (a per-simulated-
+    second crash hazard sampled every ``hazard_tick_s``).  The driver's
+    watchdog detects the hang by missed heartbeats and initiates a reset
+    whose latency is drawn uniformly from ``reset_latency_s``; recovery
+    re-installs contexts from host state in paced batches.
+    """
+
+    hang_windows: Tuple[Window, ...] = ()  # scripted firmware hangs
+    crash_prob_per_s: float = 0.0  # random crash hazard (per sim second)
+    hazard_tick_s: float = 1e-3  # how often the hazard is sampled
+    reset_latency_s: Window = (5e-4, 1.5e-3)  # uniform draw [lo, hi)
+    heartbeat_interval_s: float = 2.5e-4  # driver watchdog period
+    missed_heartbeats: int = 2  # beats missed before reset
+    reinstall_batch: int = 8  # contexts re-installed per pacing tick
+    reinstall_interval_s: float = 5e-5  # pacing tick (anti thundering-herd)
+    personality: str = "autonomous"  # or "toe": reset loses connections
+
+    def __post_init__(self) -> None:
+        _check_windows("NicLifecycleProfile", "hang_windows", self.hang_windows)
+        _check_nonneg("NicLifecycleProfile", "crash_prob_per_s", self.crash_prob_per_s)
+        _check_positive("NicLifecycleProfile", "hazard_tick_s", self.hazard_tick_s)
+        lo, hi = self.reset_latency_s
+        if lo < 0 or hi < lo:
+            raise ValueError(
+                f"NicLifecycleProfile.reset_latency_s {self.reset_latency_s!r} is inverted "
+                "or negative (need 0 <= lo <= hi)"
+            )
+        _check_positive("NicLifecycleProfile", "heartbeat_interval_s", self.heartbeat_interval_s)
+        if self.missed_heartbeats < 1:
+            raise ValueError(
+                f"NicLifecycleProfile.missed_heartbeats must be >= 1, got {self.missed_heartbeats!r}"
+            )
+        if self.reinstall_batch < 1:
+            raise ValueError(
+                f"NicLifecycleProfile.reinstall_batch must be >= 1, got {self.reinstall_batch!r}"
+            )
+        _check_nonneg("NicLifecycleProfile", "reinstall_interval_s", self.reinstall_interval_s)
+        if self.personality not in LIFECYCLE_PERSONALITIES:
+            raise ValueError(
+                f"NicLifecycleProfile.personality must be one of {LIFECYCLE_PERSONALITIES}, "
+                f"got {self.personality!r}"
+            )
+
 
 @dataclass(frozen=True)
 class FaultPlan:
@@ -120,6 +235,7 @@ class FaultPlan:
     to_generator: Optional[LinkFaultProfile] = None  # DUT -> generator wire
     nic: Optional[NicFaultProfile] = None  # DUT NIC/driver faults
     degrade: Optional[DegradePolicy] = None  # driver degradation policy
+    lifecycle: Optional[NicLifecycleProfile] = None  # DUT NIC crash/reset
 
     def describe(self) -> dict:
         """JSON-friendly summary (for run manifests and chaos logs)."""

@@ -135,6 +135,12 @@ class Testbed:
         if plan.degrade is not None:
             self.server.nic.driver.configure_degradation(plan.degrade)
             self.generator.nic.driver.configure_degradation(plan.degrade)
+        if plan.lifecycle is not None:
+            # Crash/reset fault domain on the DUT NIC (the server side —
+            # where the offload contexts under test live).
+            self.server.nic.lifecycle.arm(
+                plan.lifecycle, self.sim.substream("faults:lifecycle:server")
+            )
 
     # ------------------------------------------------------------------
     def _register_probes(self) -> None:

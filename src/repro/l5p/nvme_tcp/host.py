@@ -108,6 +108,21 @@ class NvmeTcpHost:
         self.ktls.on_record = self._on_tls_record
         self.ktls.on_ready = self._go_ready
         self.ktls.on_writable = self._on_writable
+        self.ktls.on_reattach = self._on_tls_reattach
+
+    def _on_tls_reattach(self, direction: str) -> None:
+        """Stacked NVMe-TLS: the kTLS socket re-installed its context
+        after a NIC reset; refresh our cached handles and re-register
+        in-flight READ placement state on the new RX context."""
+        if direction == Direction.RX.value:
+            self._rx_ctx = self.ktls._rx_ctx
+            if self._rx_ctx is not None and self.config.rx_offload_copy:
+                driver = self.host.nic.driver
+                for cid, req in self._inflight.items():
+                    if req.opcode == P.OPC_READ:
+                        driver.l5o_add_rr_state(self._rx_ctx, cid, req.buffer)
+        else:
+            self._tx_ctx = self.ktls._tx_ctx
 
     def _go_ready(self) -> None:
         self._install_offloads()
@@ -191,7 +206,10 @@ class NvmeTcpHost:
             if self._rx_ctx is not None and self.config.rx_offload_copy:
                 self.host.nic.driver.l5o_add_rr_state(self._rx_ctx, cid, req.buffer)
             wire = P.build_pdu(P.TYPE_CAPSULE_CMD, P.make_sqe(opcode, cid, slba, length), b"", self.digest_cls, False)
-            self._send_wire(wire)
+            # Tracked even though a READ capsule needs no transform: TX
+            # recovery must find message state covering *any* un-acked
+            # sequence (retransmits, post-reset reattach).
+            self._send_wire(wire, track=self._tx_ctx is not None)
         else:
             self.stats.writes += 1
             self.stats.bytes_written += length
@@ -275,6 +293,53 @@ class NvmeTcpHost:
         """The driver gave up on this flow's offload (paper §5.3's
         permanent software fallback); the queue pair keeps working."""
         self.stats.offload_degraded += 1
+
+    def l5o_nic_reattach(self, direction: str):
+        """Re-install this queue pair's context after a NIC reset.
+
+        TX restarts at the head of the un-acked PDU queue, RX at the
+        next PDU boundary the assembler expects; in-flight READ buffers
+        are re-registered so C2HData placement resumes (Figure 9).  In
+        stacked NVMe-TLS mode the kTLS socket owns the contexts and gets
+        the upcall instead (see :meth:`_on_tls_reattach`)."""
+        if not self.ready or self.conn is None or self.conn.state == "closed":
+            return None
+        if self.tls_config is not None:
+            return None  # the stacked KtlsSocket re-installs for us
+        driver = self.host.nic.driver
+        if direction == Direction.RX.value:
+            adapter = NvmeAdapter(self.config, place=self.config.rx_offload_copy)
+            tcpsn = self._assembler.next_msg_seq if self._assembler else self.conn.rcv_nxt
+            self._rx_ctx = driver.l5o_create(
+                self.conn,
+                adapter,
+                None,
+                tcpsn=tcpsn,
+                direction=Direction.RX,
+                l5p_ops=self,
+                msg_index=self.stats.pdus_rx,
+            )
+            if self.config.rx_offload_copy:
+                for cid, req in self._inflight.items():
+                    if req.opcode == P.OPC_READ:
+                        driver.l5o_add_rr_state(self._rx_ctx, cid, req.buffer)
+            return self._rx_ctx
+        adapter = NvmeAdapter(self.config)
+        if self._tx_msgs:
+            start, idx, _wire = self._tx_msgs[0]
+        else:
+            start, idx = self.conn.send_buffer.end_seq, self._tx_msg_count
+        self._tx_ctx = driver.l5o_create(
+            self.conn,
+            adapter,
+            None,
+            tcpsn=start,
+            direction=Direction.TX,
+            l5p_ops=self,
+            msg_index=idx,
+        )
+        self._tx_ctx.created_seq = start
+        return self._tx_ctx
 
     def l5o_resync_rx_req(self, tcpsn: int) -> None:
         self._pending_resync.append(tcpsn)

@@ -79,6 +79,7 @@ class _TargetConn:
             self.ktls.on_record = self._on_tls_record
             self.ktls.on_writable = self._flush
             self.ktls.on_ready = self._install_offloads
+            self.ktls.on_reattach = self._on_tls_reattach
         else:
             conn.on_data = self._on_skb
             conn.on_writable = self._on_writable
@@ -262,6 +263,35 @@ class _TargetConn:
             if sq.between(start, tcpsn, sq.add(start, len(wire))):
                 return TxMsgState(start_seq=start, msg_index=idx, wire_bytes=wire)
         return None
+
+    def l5o_nic_reattach(self, direction: str):
+        """Re-install the target's TX context after a NIC reset (the
+        target installs no RX contexts).  Restarts at the head of the
+        un-acked PDU queue, same proof as the initiator side."""
+        if direction != Direction.TX.value or self.conn.state == "closed":
+            return None
+        if self.ktls is not None:
+            return None  # the stacked KtlsSocket re-installs for us
+        driver = self.host.nic.driver
+        adapter = NvmeAdapter(self.config)
+        if self._tx_msgs:
+            start, idx, _wire = self._tx_msgs[0]
+        else:
+            start, idx = self.conn.send_buffer.end_seq, self._tx_msg_count
+        self._tx_ctx = driver.l5o_create(
+            self.conn,
+            adapter,
+            None,
+            tcpsn=start,
+            direction=Direction.TX,
+            l5p_ops=self,
+            msg_index=idx,
+        )
+        return self._tx_ctx
+
+    def _on_tls_reattach(self, direction: str) -> None:
+        if direction == Direction.TX.value:
+            self._tx_ctx = self.ktls._tx_ctx
 
     def l5o_resync_rx_req(self, tcpsn: int) -> None:
         pass  # the target installs no RX contexts

@@ -117,6 +117,9 @@ class KtlsSocket:
         self.on_record: Optional[Callable[[list[Run]], None]] = None
         self.on_writable: Optional[Callable[[], None]] = None
         self.on_error: Optional[Callable[[str], None]] = None
+        # Fired after a NIC reset re-installs a context (stacked L5Ps —
+        # NVMe/TLS — refresh their cached ctx handles here).
+        self.on_reattach: Optional[Callable[[str], None]] = None
 
         self.stats = TlsStats()
 
@@ -326,6 +329,57 @@ class KtlsSocket:
         permanent software fallback); the socket keeps working through
         the software crypto path."""
         self.stats.offload_degraded += 1
+
+    def l5o_nic_reattach(self, direction: str):
+        """A NIC reset destroyed this flow's context; re-install it from
+        host-owned state (the whole point of autonomy, §2).
+
+        TX restarts at the head of the un-acked record queue — everything
+        before it is fully acknowledged and pruned, so ``snd_una`` lies
+        inside the head record and bytes below ``created_seq`` pass
+        through raw (already produced by the outage-time shadow).  RX
+        restarts at the next record boundary the assembler expects; the
+        standard Figure 7 searching/resync machinery absorbs any seam.
+        Returns the new context, or None if the flow is gone."""
+        if not self.ready or self.conn.state == "closed":
+            return None
+        driver = self.host.nic.driver
+        adapter = self.adapter
+        if adapter is None:
+            from repro.l5p.tls.record import TlsAdapter
+
+            adapter = TlsAdapter()
+        if direction == Direction.TX.value:
+            if self._tx_msgs:
+                start, idx, _wire, _plain = self._tx_msgs[0]
+            else:
+                start, idx = self.conn.send_buffer.end_seq, self.tx_record_seq
+            self._tx_ctx = driver.l5o_create(
+                self.conn,
+                adapter,
+                self._tx_static_state(),
+                tcpsn=start,
+                direction=Direction.TX,
+                l5p_ops=self,
+                msg_index=idx,
+            )
+            self._tx_ctx.created_seq = start
+            ctx = self._tx_ctx
+        else:
+            tcpsn = self._assembler.next_msg_seq if self._assembler else self.conn.rcv_nxt
+            self._rx_ctx = driver.l5o_create(
+                self.conn,
+                adapter,
+                self._rx_static_state(),
+                tcpsn=tcpsn,
+                direction=Direction.RX,
+                l5p_ops=self,
+                msg_index=self.rx_record_seq,
+            )
+            ctx = self._rx_ctx
+        if self.on_reattach:
+            self.on_reattach(direction)
+        return ctx
 
     # ------------------------------------------------------------------
     # receive path

@@ -4,7 +4,8 @@ stand-in)."""
 
 from repro.nic.cache import ContextCache
 from repro.nic.flow_table import FlowTable
+from repro.nic.lifecycle import NicLifecycle, NicState
 from repro.nic.pcie import PcieModel
 from repro.nic.nic import OffloadNic
 
-__all__ = ["ContextCache", "FlowTable", "PcieModel", "OffloadNic"]
+__all__ = ["ContextCache", "FlowTable", "NicLifecycle", "NicState", "OffloadNic", "PcieModel"]

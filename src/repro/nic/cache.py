@@ -100,6 +100,14 @@ class ContextCache:
     def evict(self, ctx: HwContext) -> None:
         self._lru.pop(ctx.ctx_id, None)
 
+    def flush(self) -> int:
+        """Drop every resident entry (NIC reset: device memory is gone).
+        Returns the number of entries flushed.  No PCIe write-back is
+        charged — the device state is simply lost."""
+        flushed = len(self._lru)
+        self._lru.clear()
+        return flushed
+
     @property
     def occupancy(self) -> int:
         return len(self._lru)

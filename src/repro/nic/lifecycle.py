@@ -1,0 +1,306 @@
+"""NIC lifecycle fault domain: crash, reset, and hot recovery (§2).
+
+The paper's central robustness argument is *offload dependence*: because
+every byte of TCP/L5P state is host-owned, a NIC crash or firmware reset
+can only cost performance, never correctness.  This module makes that
+claim executable.  Each :class:`~repro.nic.nic.OffloadNic` owns a
+dormant :class:`NicLifecycle`; arming it with a
+:class:`repro.faults.plan.NicLifecycleProfile` drives the state machine
+
+    RUNNING -> HUNG -> RESETTING -> REATTACHING -> RUNNING
+
+- **HUNG** — the firmware stops responding (scripted hang window or the
+  seeded-random crash hazard).  Offload engines go dark immediately;
+  packets still flow, produced by the *driver's context shadow* in
+  software (TX) or handled by the L5P's software receive path (RX).
+- **RESETTING** — the driver's watchdog missed enough heartbeats and
+  initiated a reset: every HW context is torn down (context cache
+  flushed, flow tables drained, in-flight DMA walks aborted) while
+  traffic keeps riding the software fallback.
+- **REATTACHING** — the function came back; the driver re-installs
+  contexts from host-owned connection state via ``l5o_create`` in paced
+  batches (no thundering herd on the context cache), and each flow
+  resynchronizes through the standard Figure 7 / §4.2 machinery.
+- Back in **RUNNING**, the outage duration is recorded and offloaded
+  completions are legal again (sanitizer rule ``SAN-NIC-LIFE``).
+
+The ``toe`` personality models the rival full-TCP-offload design
+(*PnO-TCP* / *FlexiNS*): connection state lived on the NIC, so a reset
+aborts every offloaded connection instead of recovering it — the
+head-to-head contrast in ``benchmarks/test_fig_reset_recovery.py``.
+
+Armed-but-idle is metrics-neutral by construction: heartbeat and hazard
+ticks draw from a dedicated rng substream, charge no CPU cycles, and
+touch no packet, so every baseline number reproduces exactly.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Optional
+
+from repro.analysis.sanitizer import active as _sanitizer_active
+
+#: Histogram buckets (seconds) for outage duration and per-context
+#: reinstall latency — reset latencies are sub-millisecond to tens of ms.
+OUTAGE_BUCKETS = (2.5e-4, 5e-4, 1e-3, 2e-3, 4e-3, 8e-3, 1.6e-2, 3.2e-2, 1e-1)
+
+
+class NicState(Enum):
+    RUNNING = "running"
+    HUNG = "hung"
+    RESETTING = "resetting"
+    REATTACHING = "reattaching"
+
+
+class NicLifecycle:
+    """Per-NIC lifecycle state machine; dormant until :meth:`arm`."""
+
+    def __init__(self, nic):
+        self.nic = nic
+        self.state = NicState.RUNNING
+        self.profile = None  # NicLifecycleProfile-shaped, set by arm()
+        self.rng = None  # dedicated substream, set by arm()
+        # Counters mirrored as plain attributes so metrics-less runs and
+        # white-box tests can assert without an Obs registry.
+        self.hangs = 0
+        self.resets = 0
+        self.contexts_lost = 0
+        self.dma_aborts = 0
+        self.cache_flushed = 0
+        self.reinstalls = 0
+        self.reinstall_unsupported = 0
+        self.fallback_tx_pkts = 0
+        self.fallback_rx_pkts = 0
+        self.toe_connections_lost = 0
+        self.last_outage_s = 0.0
+        self._outage_start = 0.0
+        # RX flows whose torn-down contexts ride the software path; TX
+        # contexts are parked whole (the driver shadow keeps producing
+        # correct wire bytes for the queued "wrong bytes", §4.2).
+        self._parked_tx: dict[int, object] = {}
+        self._fallback_rx_flows: set = set()
+
+    # ------------------------------------------------------------------
+    @property
+    def armed(self) -> bool:
+        return self.profile is not None
+
+    @property
+    def running(self) -> bool:
+        return self.state is NicState.RUNNING
+
+    def _sim(self):
+        return self.nic.host.sim
+
+    def arm(self, profile, rng) -> None:
+        """Arm lifecycle faults from a NicLifecycleProfile-shaped object.
+
+        ``rng`` must be a dedicated substream: lifecycle draws must never
+        perturb the simulation's other sequences (armed-but-idle runs
+        reproduce every baseline metric exactly)."""
+        self.profile = profile
+        self.rng = rng
+        sim = self._sim()
+        for start, _end in profile.hang_windows:
+            if start >= sim.now:
+                sim.at(start, self._on_hang_window, start)
+        if profile.crash_prob_per_s > 0:
+            sim.schedule(profile.hazard_tick_s, self._hazard_tick)
+        self.nic.driver.start_watchdog(profile)
+
+    # ------------------------------------------------------------------
+    # state machine
+    # ------------------------------------------------------------------
+    def _set_state(self, new: NicState, reason: str) -> None:
+        old = self.state
+        if old is new:
+            return
+        san = _sanitizer_active()
+        if san is not None:
+            san.nic_state_edge(self.nic, old.value, new.value)
+        self.state = new
+        obs = self.nic.obs
+        if obs is not None:
+            obs.count(f"nic.lifecycle.state.{old.value}->{new.value}")
+            obs.event(
+                f"nic-{new.value}", lane="nic/lifecycle", cat="lifecycle", reason=reason
+            )
+
+    def _on_hang_window(self, start: float) -> None:
+        self.inject_hang("hang-window")
+
+    def _hazard_tick(self) -> None:
+        profile = self.profile
+        if profile is None:
+            return
+        p = min(1.0, profile.crash_prob_per_s * profile.hazard_tick_s)
+        if self.state is NicState.RUNNING and self.rng.random() < p:
+            self.inject_hang("crash")
+        self._sim().schedule(profile.hazard_tick_s, self._hazard_tick)
+
+    def inject_hang(self, reason: str) -> None:
+        """The firmware stops responding.  Offloads go dark at once —
+        a hung NIC processes nothing — but contexts are not torn down
+        until the watchdog notices and initiates the reset."""
+        if self.state is not NicState.RUNNING:
+            return  # already down; overlapping triggers are no-ops
+        self.hangs += 1
+        self._outage_start = self._sim().now
+        obs = self.nic.obs
+        if obs is not None:
+            obs.count("nic.lifecycle.hangs")
+        self._set_state(NicState.HUNG, reason)
+        self.nic._offloads_online = False
+
+    def begin_reset(self, reason: str) -> None:
+        """Tear the device down and schedule the function-level reset
+        (called by the driver's watchdog, or directly for a scripted
+        admin reset)."""
+        if self.state in (NicState.RESETTING, NicState.REATTACHING):
+            return
+        if self.state is NicState.RUNNING:
+            # Direct admin reset: the outage starts now.
+            self._outage_start = self._sim().now
+            self.nic._offloads_online = False
+        self.resets += 1
+        obs = self.nic.obs
+        if obs is not None:
+            obs.count("nic.lifecycle.resets")
+        self._set_state(NicState.RESETTING, reason)
+        profile = self.profile
+        personality = getattr(profile, "personality", "autonomous") if profile else "autonomous"
+        requests = self.nic.driver.nic_reset_teardown(personality)
+        self.cache_flushed += self.nic.cache.flush()
+        lo, hi = profile.reset_latency_s if profile is not None else (5e-4, 1.5e-3)
+        latency = lo if hi <= lo or self.rng is None else lo + self.rng.random() * (hi - lo)
+        self._sim().schedule(latency, self._reset_complete, requests)
+
+    def _reset_complete(self, requests: list) -> None:
+        self._set_state(NicState.REATTACHING, "reset-complete")
+        self.nic.driver.begin_reattach(requests, self.profile)
+
+    def reattach_complete(self) -> None:
+        """The driver drained its re-install queue: back to RUNNING."""
+        self._parked_tx.clear()
+        self._fallback_rx_flows.clear()
+        self._set_state(NicState.RUNNING, "reattach-complete")
+        self.nic._offloads_online = True
+        outage = self._sim().now - self._outage_start
+        self.last_outage_s = outage
+        obs = self.nic.obs
+        if obs is not None:
+            obs.observe("nic.lifecycle.outage_s", outage, buckets=OUTAGE_BUCKETS)
+
+    # ------------------------------------------------------------------
+    # teardown bookkeeping (called by the driver)
+    # ------------------------------------------------------------------
+    def park_tx(self, ctx) -> None:
+        """Keep a torn-down TX context as the driver's software shadow:
+        already-queued records carry the L5P's "wrong bytes", so the
+        host must keep transforming them until the re-installed context
+        takes over (otherwise retransmits would hit the wire raw)."""
+        self._parked_tx[ctx.ctx_id] = ctx
+
+    def track_rx_fallback(self, flow) -> None:
+        self._fallback_rx_flows.add(flow)
+
+    def note_context_lost(self, mid_walk: bool) -> None:
+        self.contexts_lost += 1
+        if mid_walk:
+            self.dma_aborts += 1
+        obs = self.nic.obs
+        if obs is not None:
+            obs.count("nic.lifecycle.contexts_lost")
+            if mid_walk:
+                obs.count("nic.lifecycle.dma_aborts")
+
+    def note_toe_connection_lost(self) -> None:
+        self.toe_connections_lost += 1
+        obs = self.nic.obs
+        if obs is not None:
+            obs.count("nic.lifecycle.toe.connections_lost")
+
+    def note_reinstall(self) -> None:
+        self.reinstalls += 1
+        obs = self.nic.obs
+        if obs is not None:
+            obs.count("nic.lifecycle.reinstalls")
+            obs.observe(
+                "nic.lifecycle.reinstall_latency_s",
+                self._sim().now - self._outage_start,
+                buckets=OUTAGE_BUCKETS,
+            )
+
+    def note_reinstall_unsupported(self) -> None:
+        self.reinstall_unsupported += 1
+        obs = self.nic.obs
+        if obs is not None:
+            obs.count("nic.lifecycle.reinstall_unsupported")
+
+    # ------------------------------------------------------------------
+    # offline datapath (the NIC is not RUNNING)
+    # ------------------------------------------------------------------
+    def fallback_tx_ctx(self, ctx_id: Optional[int]):
+        """The context shadow covering ``ctx_id`` during the outage:
+        parked (post-teardown) or still-installed (hung, pre-teardown)."""
+        if ctx_id is None:
+            return None
+        driver = self.nic.driver
+        ctx_id = driver._ctx_aliases.get(ctx_id, ctx_id)
+        ctx = self._parked_tx.get(ctx_id)
+        if ctx is None:
+            ctx = driver.tx_contexts.get(ctx_id)
+        if ctx is not None and ctx.offload_disabled:
+            return None
+        return ctx
+
+    def transmit_offline(self, conn, pkt) -> None:
+        """TX while not RUNNING: the host produces correct wire bytes
+        from the driver's shadow (software crypto), and nothing is ever
+        marked offloaded (SAN-NIC-LIFE)."""
+        ctx = self.fallback_tx_ctx(pkt.tx_ctx_id)
+        san = _sanitizer_active()
+        entry_offloaded = pkt.meta.offloaded
+        if ctx is not None:
+            in_len = len(pkt.payload)
+            self.nic.tx_engine.process_software(ctx, conn, pkt)
+            self.fallback_tx_pkts += 1
+            obs = self.nic.obs
+            if obs is not None:
+                obs.count("nic.lifecycle.fallback_pkts.tx")
+            if san is not None:
+                san.tx_packet(ctx, pkt.seq, in_len, len(pkt.payload))
+        if san is not None:
+            san.lifecycle_packet(self.state.value, pkt, entry_offloaded)
+
+    def receive_offline(self, pkt) -> None:
+        """RX while not RUNNING: packets pass through untouched; the
+        L5P's software receive path (full-record decrypt, software CRC
+        + memcpy) consumes them.  No context state is advanced."""
+        flow = pkt.flow
+        if flow in self._fallback_rx_flows or self.nic.driver.rx_contexts.get(flow) is not None:
+            self.fallback_rx_pkts += 1
+            obs = self.nic.obs
+            if obs is not None:
+                obs.count("nic.lifecycle.fallback_pkts.rx")
+        san = _sanitizer_active()
+        if san is not None:
+            san.lifecycle_packet(self.state.value, pkt, pkt.meta.offloaded)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "state": self.state.value,
+            "hangs": self.hangs,
+            "resets": self.resets,
+            "contexts_lost": self.contexts_lost,
+            "dma_aborts": self.dma_aborts,
+            "cache_flushed": self.cache_flushed,
+            "reinstalls": self.reinstalls,
+            "reinstall_unsupported": self.reinstall_unsupported,
+            "fallback_tx_pkts": self.fallback_tx_pkts,
+            "fallback_rx_pkts": self.fallback_rx_pkts,
+            "toe_connections_lost": self.toe_connections_lost,
+            "last_outage_s": self.last_outage_s,
+        }

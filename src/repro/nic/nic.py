@@ -19,6 +19,7 @@ from repro.core.tx import TxEngine
 from repro.net.device import PassthroughNic
 from repro.net.packet import Packet
 from repro.nic.cache import ContextCache
+from repro.nic.lifecycle import NicLifecycle
 from repro.nic.pcie import PcieModel
 
 
@@ -45,6 +46,11 @@ class OffloadNic(PassthroughNic):
         # dedicated rng substream; None means a fault-free device.
         self.faults = None
         self.fault_rng = None
+        # Lifecycle fault domain (crash/reset/recovery); dormant until a
+        # NicLifecycleProfile arms it.  The datapath gates on the plain
+        # bool so an unarmed device pays one attribute check.
+        self.lifecycle = NicLifecycle(self)
+        self._offloads_online = True
 
     def bind(self, host) -> None:
         super().bind(host)
@@ -92,6 +98,11 @@ class OffloadNic(PassthroughNic):
         cell = self._tx_pkts_cell
         if cell is not None:
             cell.value += 1
+        if not self._offloads_online:
+            # NIC not RUNNING: the driver's shadow transforms in software.
+            self.lifecycle.transmit_offline(conn, pkt)
+            self.output(pkt)
+            return
         ctx = self.driver.lookup_tx(pkt.tx_ctx_id)
         if ctx is not None:
             san = _sanitizer_active()
@@ -104,7 +115,7 @@ class OffloadNic(PassthroughNic):
         self.output(pkt)
 
     def transmit_datagram(self, flow, pkt: Packet) -> None:
-        ctx = self.driver.dgram_tx_contexts.get(flow)
+        ctx = self.driver.dgram_tx_contexts.get(flow) if self._offloads_online else None
         if ctx is not None:
             self.datagram_engine.process_tx(ctx, pkt)
         self.output(pkt)
@@ -117,6 +128,15 @@ class OffloadNic(PassthroughNic):
         cell = self._rx_pkts_cell
         if cell is not None:
             cell.value += 1
+        if not self._offloads_online:
+            # NIC not RUNNING: nothing is decrypted/placed; the packet
+            # passes through untouched to the L5P's software path.
+            if pkt.ipproto != "udp":
+                self.lifecycle.receive_offline(pkt)
+            if self.host is None:
+                raise RuntimeError("NIC not bound to a host")
+            self.host.deliver(pkt)
+            return
         if pkt.ipproto == "udp":
             ctx = self.driver.dgram_rx_contexts.get(pkt.flow)
             if ctx is not None:

@@ -467,6 +467,14 @@ class TcpConnection:
             self.state = CLOSED
         self._cancel_rto()
 
+    def abort(self) -> None:
+        """Kill the connection immediately (no FIN exchange).  Used by
+        the TOE-personality NIC reset: connection state that lived on
+        the device is simply gone, so the connection dies with it."""
+        if self.state == CLOSED:
+            return
+        self._abort()
+
     def _abort(self) -> None:
         self.state = CLOSED
         self._cancel_rto()

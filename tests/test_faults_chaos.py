@@ -23,10 +23,23 @@ class TestChaosVerdicts:
         report = run_chaos(seeds=2, workloads=("tls", "nvme"), duration=8e-3, heavy=True)
         assert report["ok"]
         totals = report["totals"]
-        assert totals["runs"] == 6  # 2 seeds x 2 workloads + 2 heavy
+        assert totals["runs"] == 8  # 2 seeds x 2 workloads + 2 heavy + 2 storm
         assert totals["verified"] > 0
         assert totals["mismatches"] == 0
         assert totals["sanitizer_violations"] == 0
+        # The reset-storm scenario really reset the NIC, and recovery held.
+        assert totals["nic_resets"] > 0
+
+    def test_storm_scenario_survives_resets(self):
+        from repro.faults.chaos import chaos_point
+
+        result = chaos_point("tls", seed=777, duration=8e-3, storm=True)
+        assert result["storm"] is True
+        assert result["lifecycle"]["resets"] >= 1
+        assert result["lifecycle"]["reinstalls"] > 0
+        assert result["mismatches"] == 0
+        assert result["sanitizer_violations"] == 0
+        assert result["verified"] > 0
 
     def test_heavy_scenario_fires_auto_disable(self):
         from repro.analysis import sanitizer
@@ -76,7 +89,36 @@ class TestChaosCli:
         assert "-> OK" in text
         report = json.loads(out.read_text())
         assert report["ok"] is True
-        assert report["totals"]["runs"] == 2  # one seeded + one heavy
+        assert report["totals"]["runs"] == 3  # one seeded + one heavy + one storm
+
+    def test_max_seconds_deadline_fails_loudly(self, tmp_path, capsys):
+        crash = tmp_path / "crash.json"
+        code = main(
+            [
+                "--seeds", "2", "--workloads", "tls", "--duration", "6e-3",
+                "--max-seconds", "0", "--crash-report", str(crash),
+            ]
+        )
+        assert code == 1
+        text = capsys.readouterr().out
+        assert "deadline" in text
+        assert "-> FAIL" in text
+        # The crash-report artifact records the wedge even when no run
+        # failed on correctness: CI uploads it on any red soak.
+        report = json.loads(crash.read_text())
+        assert report["deadline_exceeded"] is True
+        assert report["failing_runs"] == []
+
+    def test_no_storm_flag_drops_storm_points(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        code = main(
+            ["--seeds", "1", "--workloads", "tls", "--duration", "6e-3",
+             "--no-heavy", "--no-storm", "--json", str(out)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        report = json.loads(out.read_text())
+        assert report["totals"]["runs"] == 1
 
     def test_main_rejects_unknown_workload(self, capsys):
         import pytest

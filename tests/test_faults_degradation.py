@@ -120,6 +120,69 @@ class TestProbationReenable:
         assert ctx.rx_state in (RxState.SEARCHING, RxState.TRACKING, RxState.OFFLOADING)
         assert received == PAYLOAD
 
+    def test_repeated_disable_probation_cycles(self):
+        """Flapping offload: disable -> probation re-enable -> fail again
+        -> disable again, repeatedly.  Every cycle must count (the
+        counters are how operators see a flapping flow) and every
+        re-enable must reset the consecutive-failure budget."""
+        pair = make_pair(seed=1, client_nic=OffloadNic(), server_nic=OffloadNic())
+        driver = pair.server.nic.driver
+        driver.configure_degradation(
+            DegradePolicy(disable_after_failures=1, probation_s=1e-3)
+        )
+        received, _, server = tls_transfer(
+            pair, TlsConfig(rx_offload=True), TlsConfig(tx_offload=True), until=5.0
+        )
+        ctx = server._rx_ctx
+        assert received == PAYLOAD
+
+        def deny_once():
+            # White-box Figure 7 d1: a denied speculation is one failure,
+            # and the policy's budget is 1 -> immediate auto-disable.
+            ctx.enter_searching()
+            ctx.rx_state = RxState.TRACKING
+            ctx.speculation_seq = ctx.expected_seq
+            ctx.track_next = ctx.expected_seq
+            driver.l5o_resync_rx_resp(ctx, ctx.expected_seq, False)
+
+        for cycle in (1, 2, 3):
+            deny_once()
+            assert ctx.offload_disabled
+            assert ctx.auto_disables == cycle
+            assert driver.lookup_rx(ctx.flow) is None  # software path only
+            pair.sim.run(until=pair.sim.now + 5e-3)  # past probation
+            assert not ctx.offload_disabled, f"cycle {cycle}: probation must re-arm"
+            assert ctx.consecutive_resync_failures == 0
+            assert ctx.rx_state == RxState.SEARCHING  # re-lock before offloading
+
+        assert server.stats.offload_degraded == 3
+        stats = pair.server.nic.offload_stats()
+        assert stats["auto_disables"] == 3
+        assert stats["offload_disabled_flows"] == 0  # currently re-enabled
+
+    def test_probation_skips_destroyed_contexts(self):
+        """A context destroyed while on probation must stay dead: the
+        pending re-enable event fires into a tombstone, not a new flow."""
+        pair = make_pair(seed=1, client_nic=OffloadNic(), server_nic=OffloadNic())
+        driver = pair.server.nic.driver
+        driver.configure_degradation(
+            DegradePolicy(disable_after_failures=1, probation_s=1e-3)
+        )
+        received, _, server = tls_transfer(
+            pair, TlsConfig(rx_offload=True), TlsConfig(tx_offload=True), until=5.0
+        )
+        ctx = server._rx_ctx
+        assert received == PAYLOAD
+        ctx.enter_searching()
+        ctx.rx_state = RxState.TRACKING
+        ctx.speculation_seq = ctx.expected_seq
+        ctx.track_next = ctx.expected_seq
+        driver.l5o_resync_rx_resp(ctx, ctx.expected_seq, False)
+        assert ctx.offload_disabled
+        driver.l5o_destroy(ctx)
+        pair.sim.run(until=pair.sim.now + 5e-3)
+        assert ctx.offload_disabled, "destroyed context must not be re-armed"
+
     def test_denied_speculation_counts_toward_give_up(self):
         # White-box: a denial (Figure 7 d1) is one consecutive failure.
         pair = make_pair(seed=1, client_nic=OffloadNic(), server_nic=OffloadNic())

@@ -1,0 +1,129 @@
+"""FaultPlan construction-time validation: impossible plans raise
+``ValueError`` with a message naming the offending field, instead of
+producing silently-wrong fault behavior deep inside a soak."""
+
+import pytest
+
+from repro.faults.plan import (
+    DegradePolicy,
+    FaultPlan,
+    GilbertElliott,
+    LinkFaultProfile,
+    NicFaultProfile,
+    NicLifecycleProfile,
+)
+
+
+class TestProbabilityFields:
+    @pytest.mark.parametrize("value", [-0.1, 1.5, 2.0])
+    def test_link_corrupt_out_of_range(self, value):
+        with pytest.raises(ValueError, match=r"LinkFaultProfile\.corrupt.*probability"):
+            LinkFaultProfile(corrupt=value)
+
+    @pytest.mark.parametrize(
+        "field", ["p_good_to_bad", "p_bad_to_good", "loss_good", "loss_bad"]
+    )
+    def test_gilbert_elliott_fields_are_probabilities(self, field):
+        with pytest.raises(ValueError, match=rf"GilbertElliott\.{field}"):
+            GilbertElliott(**{field: 1.01})
+
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "cache_evict_prob",
+            "pcie_stall_prob",
+            "pcie_fail_prob",
+            "resync_resp_drop",
+            "resync_resp_delay",
+            "resync_resp_dup",
+        ],
+    )
+    def test_nic_probability_fields(self, field):
+        with pytest.raises(ValueError, match=rf"NicFaultProfile\.{field}"):
+            NicFaultProfile(**{field: -0.5})
+
+
+class TestMagnitudeFields:
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ValueError, match=r"jitter_s must be >= 0"):
+            LinkFaultProfile(jitter_s=-1e-6)
+
+    def test_degrade_timeout_must_be_positive(self):
+        with pytest.raises(ValueError, match=r"resync_timeout_s must be > 0"):
+            DegradePolicy(resync_timeout_s=0.0)
+
+    def test_degrade_backoff_must_be_positive(self):
+        with pytest.raises(ValueError, match=r"resync_backoff must be > 0"):
+            DegradePolicy(resync_backoff=0.0)
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError, match=r"max_resync_retries must be >= 0"):
+            DegradePolicy(max_resync_retries=-1)
+
+
+class TestWindows:
+    def test_inverted_flap_window(self):
+        with pytest.raises(ValueError, match=r"inverted or negative"):
+            LinkFaultProfile(flaps=((2e-3, 1e-3),))
+
+    def test_negative_storm_window(self):
+        with pytest.raises(ValueError, match=r"cache_storm_windows"):
+            NicFaultProfile(cache_storm_windows=((-1e-3, 1e-3),))
+
+    def test_malformed_window_entry(self):
+        with pytest.raises(ValueError, match=r"\(start_s, end_s\) pairs"):
+            LinkFaultProfile(flaps=((1e-3,),))
+
+
+class TestLifecycleProfile:
+    def test_inverted_hang_window(self):
+        with pytest.raises(ValueError, match=r"hang_windows"):
+            NicLifecycleProfile(hang_windows=((5e-3, 1e-3),))
+
+    def test_inverted_reset_latency(self):
+        with pytest.raises(ValueError, match=r"reset_latency_s"):
+            NicLifecycleProfile(reset_latency_s=(2e-3, 1e-3))
+
+    def test_zero_heartbeat_rejected(self):
+        with pytest.raises(ValueError, match=r"heartbeat_interval_s must be > 0"):
+            NicLifecycleProfile(heartbeat_interval_s=0.0)
+
+    @pytest.mark.parametrize("field", ["missed_heartbeats", "reinstall_batch"])
+    def test_counts_must_be_at_least_one(self, field):
+        with pytest.raises(ValueError, match=rf"{field} must be >= 1"):
+            NicLifecycleProfile(**{field: 0})
+
+    def test_unknown_personality_rejected(self):
+        with pytest.raises(ValueError, match=r"personality must be one of"):
+            NicLifecycleProfile(personality="smartnic")
+
+    def test_negative_crash_hazard_rejected(self):
+        with pytest.raises(ValueError, match=r"crash_prob_per_s must be >= 0"):
+            NicLifecycleProfile(crash_prob_per_s=-0.1)
+
+
+class TestValidPlansStillConstruct:
+    def test_zero_fault_defaults_are_valid(self):
+        plan = FaultPlan(
+            to_server=LinkFaultProfile(),
+            nic=NicFaultProfile(),
+            degrade=DegradePolicy(),
+            lifecycle=NicLifecycleProfile(),
+        )
+        described = plan.describe()
+        assert described["lifecycle"]["personality"] == "autonomous"
+
+    def test_describe_includes_lifecycle_knobs(self):
+        plan = FaultPlan(
+            lifecycle=NicLifecycleProfile(
+                hang_windows=((1e-3, 2e-3),), personality="toe"
+            )
+        )
+        described = plan.describe()
+        assert described["lifecycle"]["hang_windows"] == ((1e-3, 2e-3),)
+        assert described["lifecycle"]["personality"] == "toe"
+
+    def test_boundary_probabilities_accepted(self):
+        GilbertElliott(p_good_to_bad=0.0, p_bad_to_good=1.0, loss_bad=1.0)
+        NicFaultProfile(resync_resp_drop=1.0)
+        LinkFaultProfile(corrupt=1.0)
