@@ -13,6 +13,7 @@ from __future__ import annotations
 from repro.analysis.lint import LintRule
 from repro.analysis.rules.adapter_protocol import AdapterProtocolRule
 from repro.analysis.rules.event_tiebreak import EventTiebreakRule
+from repro.analysis.rules.hotloop import HotLoopRule
 from repro.analysis.rules.l5p_contract import (
     IncrementalTransformRule,
     MagicFramingRule,
@@ -41,4 +42,5 @@ def all_rules() -> list[LintRule]:
         IncrementalTransformRule(),
         UpcallWiringRule(),
         MetricBaselineRule(),
+        HotLoopRule(),
     ]

@@ -54,6 +54,10 @@ class HwContext:
         # Observability handle (repro.obs.Obs or None), wired by the
         # driver at creation; must exist before any property assignment.
         self.obs = None
+        # Walker counter cells, built lazily per mode by repro.core.walker
+        # so the per-run walk cost is two ``cell.value += n`` stores, not
+        # two name-formatted registry lookups (epoch-batched, PR 7).
+        self.walk_cells: dict[bool, tuple[Any, Any]] = {}
         self.ctx_id = ctx_id
         self.flow = flow
         self.direction = direction

@@ -42,6 +42,10 @@ class RxEngine:
         self.nic = nic
         self.enable_boundary_resync = True
         self.enable_speculation = True
+        # Per-state packet counters as epoch-batched cells, resolved once
+        # per engine: the steady-state cost per packet is one dict lookup
+        # and an integer add (flushed at every snapshot — PR 7 contract).
+        self._state_cells = None
 
     # ------------------------------------------------------------------
     def process(self, ctx: HwContext, pkt: Packet) -> None:
@@ -51,7 +55,12 @@ class RxEngine:
         self.nic.pcie.count("rx-packet", len(pkt.payload))
         obs = self.nic.obs
         if obs is not None:
-            obs.count(_RX_STATE_COUNTERS[ctx.rx_state])
+            cells = self._state_cells
+            if cells is None:
+                cells = self._state_cells = {
+                    state: obs.cell(name) for state, name in _RX_STATE_COUNTERS.items()
+                }
+            cells[ctx.rx_state].value += 1
         if ctx.rx_state == RxState.OFFLOADING:
             self._offloading(ctx, pkt)
         elif ctx.rx_state == RxState.SEARCHING:

@@ -107,10 +107,22 @@ def walk(ctx: HwContext, data: bytes, emit: bool = True) -> WalkResult:
     result.out = bytes(out)
     obs = ctx.obs
     if obs is not None:
-        mode = "offload" if emit else "track"
-        obs.count(f"walker.{ctx.direction.value}.{mode}.bytes", n)
+        # One batched attribution flush per walk: the per-mode cells are
+        # resolved once per context (epoch-batched Cell counters), so the
+        # steady-state cost is two integer adds, not f-string formatting
+        # plus registry lookups on every packet.
+        cells = ctx.walk_cells.get(emit)
+        if cells is None:
+            mode = "offload" if emit else "track"
+            prefix = f"walker.{ctx.direction.value}.{mode}"
+            cells = ctx.walk_cells[emit] = (
+                obs.cell(f"{prefix}.bytes"),
+                obs.cell(f"{prefix}.msgs"),
+            )
+        bytes_cell, msgs_cell = cells
+        bytes_cell.value += n
         if result.completed:
-            obs.count(f"walker.{ctx.direction.value}.{mode}.msgs", result.completed)
+            msgs_cell.value += result.completed
         if result.desynced:
             obs.count("walker.desyncs")
     return result

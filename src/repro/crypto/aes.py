@@ -147,6 +147,64 @@ class AES:
             out[4 * c : 4 * c + 4] = word.to_bytes(4, "big")
         return bytes(out)
 
+    def ctr_keystream(self, counter: int, nblocks: int) -> bytes:
+        """Keystream for ``nblocks`` consecutive CTR blocks.
+
+        ``counter`` is the 128-bit counter block as an int; successive
+        blocks increment its low 32 bits modulo 2^32 (GCM's ``inc32``).
+        Byte-identical to concatenating :meth:`encrypt_block` over the
+        same counter sequence, but the whole batch is expanded in one
+        call: no per-block bytes round-trips, and the 12 first-round
+        table lookups that depend only on the constant 96-bit nonce
+        prefix are hoisted out of the block loop.
+        """
+        rk = self._round_keys
+        rounds = self.rounds
+        T0, T1, T2, T3 = _T0, _T1, _T2, _T3
+        sbox = SBOX
+        out = bytearray(16 * nblocks)
+        low = counter & 0xFFFFFFFF
+        s0 = ((counter >> 96) & 0xFFFFFFFF) ^ rk[0]
+        s1 = ((counter >> 64) & 0xFFFFFFFF) ^ rk[1]
+        s2 = ((counter >> 32) & 0xFFFFFFFF) ^ rk[2]
+        rk3 = rk[3]
+        # First-round contributions from the constant counter prefix.
+        c0 = T0[s0 >> 24] ^ T1[(s1 >> 16) & 0xFF] ^ T2[(s2 >> 8) & 0xFF] ^ rk[4]
+        c1 = T0[s1 >> 24] ^ T1[(s2 >> 16) & 0xFF] ^ T3[s0 & 0xFF] ^ rk[5]
+        c2 = T0[s2 >> 24] ^ T2[(s0 >> 8) & 0xFF] ^ T3[s1 & 0xFF] ^ rk[6]
+        c3 = T1[(s0 >> 16) & 0xFF] ^ T2[(s1 >> 8) & 0xFF] ^ T3[s2 & 0xFF] ^ rk[7]
+        klast = 4 * rounds
+        pos = 0
+        for _ in range(nblocks):
+            s3 = low ^ rk3
+            t0 = c0 ^ T3[s3 & 0xFF]
+            t1 = c1 ^ T2[(s3 >> 8) & 0xFF]
+            t2 = c2 ^ T1[(s3 >> 16) & 0xFF]
+            t3 = c3 ^ T0[s3 >> 24]
+            for rnd in range(2, rounds):
+                k = 4 * rnd
+                u0 = T0[t0 >> 24] ^ T1[(t1 >> 16) & 0xFF] ^ T2[(t2 >> 8) & 0xFF] ^ T3[t3 & 0xFF] ^ rk[k]
+                u1 = T0[t1 >> 24] ^ T1[(t2 >> 16) & 0xFF] ^ T2[(t3 >> 8) & 0xFF] ^ T3[t0 & 0xFF] ^ rk[k + 1]
+                u2 = T0[t2 >> 24] ^ T1[(t3 >> 16) & 0xFF] ^ T2[(t0 >> 8) & 0xFF] ^ T3[t1 & 0xFF] ^ rk[k + 2]
+                u3 = T0[t3 >> 24] ^ T1[(t0 >> 16) & 0xFF] ^ T2[(t1 >> 8) & 0xFF] ^ T3[t2 & 0xFF] ^ rk[k + 3]
+                t0, t1, t2, t3 = u0, u1, u2, u3
+            w0 = (
+                (sbox[t0 >> 24] << 24) | (sbox[(t1 >> 16) & 0xFF] << 16) | (sbox[(t2 >> 8) & 0xFF] << 8) | sbox[t3 & 0xFF]
+            ) ^ rk[klast]
+            w1 = (
+                (sbox[t1 >> 24] << 24) | (sbox[(t2 >> 16) & 0xFF] << 16) | (sbox[(t3 >> 8) & 0xFF] << 8) | sbox[t0 & 0xFF]
+            ) ^ rk[klast + 1]
+            w2 = (
+                (sbox[t2 >> 24] << 24) | (sbox[(t3 >> 16) & 0xFF] << 16) | (sbox[(t0 >> 8) & 0xFF] << 8) | sbox[t1 & 0xFF]
+            ) ^ rk[klast + 2]
+            w3 = (
+                (sbox[t3 >> 24] << 24) | (sbox[(t0 >> 16) & 0xFF] << 16) | (sbox[(t1 >> 8) & 0xFF] << 8) | sbox[t2 & 0xFF]
+            ) ^ rk[klast + 3]
+            out[pos : pos + 16] = ((w0 << 96) | (w1 << 64) | (w2 << 32) | w3).to_bytes(16, "big")
+            pos += 16
+            low = (low + 1) & 0xFFFFFFFF
+        return bytes(out)
+
     def decrypt_block(self, block: bytes) -> bytes:
         """Decrypt a single 16-byte block (straightforward, non-table)."""
         if len(block) != 16:

@@ -46,23 +46,27 @@ class _GcmStream:
         self._keystream = b""
 
     def _take_keystream(self, n: int) -> bytes:
-        """Next ``n`` keystream bytes, generating blocks as needed."""
-        parts = []
+        """Next ``n`` keystream bytes, generating blocks as needed.
+
+        All blocks the request spans are expanded in one multi-block
+        CTR call (:meth:`repro.crypto.aes.AES.ctr_keystream`) instead of
+        one ``encrypt_block`` round-trip per 16 bytes.
+        """
+        head = b""
         if self._keystream:
-            parts.append(self._keystream[:n])
+            head = self._keystream[:n]
             self._keystream = self._keystream[n:]
-            n -= len(parts[0])
-        encrypt_block = self._aes.encrypt_block
-        counter = self._counter
-        while n > 0:
-            block = encrypt_block(counter.to_bytes(16, "big"))
-            counter = _inc32(counter)
-            parts.append(block[:n])
-            if n < 16:
-                self._keystream = block[n:]
-            n -= 16
-        self._counter = counter
-        return b"".join(parts)
+            n -= len(head)
+        if n <= 0:
+            return head
+        nblocks = (n + 15) >> 4
+        ks = self._aes.ctr_keystream(self._counter, nblocks)
+        # inc32 applied once per generated block.
+        self._counter = (self._counter & ~0xFFFFFFFF) | ((self._counter + nblocks) & 0xFFFFFFFF)
+        if (nblocks << 4) > n:
+            self._keystream = ks[n:]
+            ks = ks[:n]
+        return head + ks if head else ks
 
     def _xor_keystream(self, data: bytes) -> bytes:
         ks = self._take_keystream(len(data))

@@ -16,25 +16,25 @@ def _rotl(value: int, amount: int) -> int:
 
 def _compress(state: tuple[int, ...], block: bytes) -> tuple[int, ...]:
     w = list(struct.unpack(">16I", block))
+    append = w.append
     for i in range(16, 80):
-        w.append(_rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1))
+        x = w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]
+        append(((x << 1) | (x >> 31)) & 0xFFFFFFFF)
     a, b, c, d, e = state
-    for i in range(80):
-        if i < 20:
-            f, k = (b & c) | (~b & d), 0x5A827999
-        elif i < 40:
-            f, k = b ^ c ^ d, 0x6ED9EBA1
-        elif i < 60:
-            f, k = (b & c) | (b & d) | (c & d), 0x8F1BBCDC
-        else:
-            f, k = b ^ c ^ d, 0xCA62C1D6
-        a, b, c, d, e = (
-            (_rotl(a, 5) + f + e + k + w[i]) & 0xFFFFFFFF,
-            a,
-            _rotl(b, 30),
-            c,
-            d,
-        )
+    # The four 20-step stages, with the rotates inlined (the helper-call
+    # overhead doubles the cost of this inner loop).
+    for i in range(20):
+        t = ((((a << 5) | (a >> 27)) & 0xFFFFFFFF) + ((b & c) | (~b & d)) + e + 0x5A827999 + w[i]) & 0xFFFFFFFF
+        a, b, c, d, e = t, a, ((b << 30) | (b >> 2)) & 0xFFFFFFFF, c, d
+    for i in range(20, 40):
+        t = ((((a << 5) | (a >> 27)) & 0xFFFFFFFF) + (b ^ c ^ d) + e + 0x6ED9EBA1 + w[i]) & 0xFFFFFFFF
+        a, b, c, d, e = t, a, ((b << 30) | (b >> 2)) & 0xFFFFFFFF, c, d
+    for i in range(40, 60):
+        t = ((((a << 5) | (a >> 27)) & 0xFFFFFFFF) + ((b & c) | (b & d) | (c & d)) + e + 0x8F1BBCDC + w[i]) & 0xFFFFFFFF
+        a, b, c, d, e = t, a, ((b << 30) | (b >> 2)) & 0xFFFFFFFF, c, d
+    for i in range(60, 80):
+        t = ((((a << 5) | (a >> 27)) & 0xFFFFFFFF) + (b ^ c ^ d) + e + 0xCA62C1D6 + w[i]) & 0xFFFFFFFF
+        a, b, c, d, e = t, a, ((b << 30) | (b >> 2)) & 0xFFFFFFFF, c, d
     return tuple((s + v) & 0xFFFFFFFF for s, v in zip(state, (a, b, c, d, e)))
 
 

@@ -16,19 +16,23 @@ model.
 from repro.exec.engine import (
     GridError,
     PointFailure,
+    auto_chunksize,
     default_workers,
     min_parallel_points,
     point_seed,
     run_grid,
     run_grid_dict,
+    shutdown_pool,
 )
 
 __all__ = [
     "GridError",
     "PointFailure",
+    "auto_chunksize",
     "default_workers",
     "min_parallel_points",
     "point_seed",
     "run_grid",
     "run_grid_dict",
+    "shutdown_pool",
 ]

@@ -27,14 +27,31 @@ the runner is a top-level ``def`` in an importable module (no lambdas or
 closures), and points are built from plain data — tuples, dicts,
 dataclasses like ``TestbedConfig``/``FaultPlan``.  Violations surface as
 an immediate ``GridError`` naming the offending point, not a hang.
+
+Pool reuse and the cost model
+-----------------------------
+Forking a pool costs tens of milliseconds; the engine therefore keeps
+ONE process pool alive for the whole parent process and reuses it for
+every grid (``shutdown_pool`` tears it down; ``atexit`` does so on
+interpreter exit).  The pool is transparently rebuilt when the worker
+count changes, when a runner or point type lives in a module imported
+*after* the last fork (fresh forks inherit the parent's imports), or
+when a previous parallel run broke it.  A small cost model additionally
+bypasses the pool whenever parallelism provably cannot win — fewer
+points than ``REPRO_EXEC_MIN_POINTS``, or a single-CPU host where fork
+and IPC overhead is pure loss — so ``workers > 1`` never runs slower
+than serial.  ``force_pool=True`` defeats the bypass for tests that must
+exercise the worker path itself.
 """
 
 from __future__ import annotations
 
+import atexit
 import logging
 import multiprocessing
 import os
 import pickle
+import sys
 import traceback
 from typing import Any, Callable, Optional, Sequence
 
@@ -70,14 +87,24 @@ def min_parallel_points() -> int:
 
 
 def default_workers() -> int:
-    """Worker count from ``REPRO_EXEC_WORKERS``; 1 (serial) when unset."""
+    """Worker count from ``REPRO_EXEC_WORKERS``; 1 (serial) when unset.
+
+    ``auto`` means one worker per CPU.  Anything else must be a positive
+    integer — a typo'd value fails loudly here rather than silently
+    running serial (the interaction with ``REPRO_EXEC_MIN_POINTS`` and
+    the single-CPU bypass is documented in docs/performance.md).
+    """
     raw = os.environ.get(WORKERS_ENV, "").strip()
     if not raw:
         return 1
+    if raw.lower() == "auto":
+        return os.cpu_count() or 1
     try:
         value = int(raw)
     except ValueError:
-        raise ValueError(f"{WORKERS_ENV} must be an integer, got {raw!r}") from None
+        raise ValueError(
+            f"{WORKERS_ENV} must be a positive integer or 'auto', got {raw!r}"
+        ) from None
     if value < 1:
         raise ValueError(f"{WORKERS_ENV} must be >= 1, got {value}")
     return value
@@ -134,23 +161,132 @@ def _point_key(point: Any, index: int, key: Optional[Callable[[Any], Any]]) -> A
     return point if isinstance(point, (str, int, float, tuple, frozenset)) else index
 
 
+# ----------------------------------------------------------------------
+# persistent worker pool
+# ----------------------------------------------------------------------
+#: The one process pool for this parent, plus what it was forked with:
+#: worker count and the module names alive at fork time.  ``None`` until
+#: the first parallel grid; rebuilt (never duplicated) on mismatch.
+_pool: Optional[Any] = None
+_pool_workers: int = 0
+_pool_modules: frozenset = frozenset()
+_pool_pid: int = 0
+
+
+def shutdown_pool() -> None:
+    """Tear down the persistent worker pool (idempotent).
+
+    Registered with ``atexit``; also useful in tests.  A forked child
+    that inherited the handle only drops its reference — terminating
+    from a non-owner would tear down the *parent's* workers.
+    """
+    global _pool, _pool_workers, _pool_modules
+    pool, _pool = _pool, None
+    owner = _pool_pid == os.getpid()
+    _pool_workers = 0
+    _pool_modules = frozenset()
+    if pool is not None and owner:
+        try:
+            pool.terminate()
+            pool.join()
+        except Exception:  # pragma: no cover - teardown best effort
+            pass
+
+
+atexit.register(shutdown_pool)
+
+
+def _pool_for(workers: int, needed_modules: set) -> Any:
+    """The persistent pool, rebuilt if stale for this grid.
+
+    Stale means: different worker count, or the grid references modules
+    (runner / point classes) imported after the last fork — fork children
+    resolve pickled references against the modules they inherited, so a
+    fresh fork is the only way to see new ones.
+    """
+    global _pool, _pool_workers, _pool_modules, _pool_pid
+    if _pool is not None and (
+        _pool_pid != os.getpid() or _pool_workers != workers or not needed_modules <= _pool_modules
+    ):
+        shutdown_pool()
+    if _pool is None:
+        # fork: workers inherit the parent's imported modules, so runners
+        # defined in pytest-loaded benchmark modules resolve by name.
+        ctx = multiprocessing.get_context("fork")
+        modules = frozenset(sys.modules)
+        _pool = ctx.Pool(processes=workers)
+        _pool_workers = workers
+        _pool_modules = modules
+        _pool_pid = os.getpid()
+    return _pool
+
+
+def auto_chunksize(npoints: int, workers: int) -> int:
+    """Points dispatched per IPC round-trip.
+
+    ~4 chunks per worker balances dispatch overhead against stealing:
+    big grids amortize the pickling/IPC cost over many points per
+    message, while heterogeneous-cost points can still rebalance across
+    the last few chunks.  Small grids degrade to chunksize 1 (pure
+    work-stealing), which is what they had before.
+    """
+    return max(1, npoints // (workers * 4))
+
+
+def _run_serial(points: list, runner: Callable[[Any], Any]) -> list:
+    """The plain in-process path; returns raw (index, status, payload)."""
+    return [_call_point((index, runner, point)) for index, point in enumerate(points)]
+
+
+def _run_pooled(points: list, runner: Callable[[Any], Any], workers: int) -> list:
+    """Dispatch the grid to the persistent pool in auto-sized chunks.
+
+    A broken pool (a worker was killed, or a stale fork cannot resolve a
+    pickled reference) is rebuilt and the whole grid retried once —
+    points are pure functions of themselves, so re-running them cannot
+    change any result.
+    """
+    tasks = [(index, runner, point) for index, point in enumerate(points)]
+    needed = {type(point).__module__ for point in points}
+    needed.add(getattr(runner, "__module__", "__main__"))
+    chunksize = auto_chunksize(len(points), workers)
+    for attempt in (1, 2):
+        pool = _pool_for(workers, needed)
+        try:
+            return list(pool.imap_unordered(_call_point, tasks, chunksize=chunksize))
+        except Exception:
+            shutdown_pool()
+            if attempt == 2:
+                raise
+            logger.warning(
+                "run_grid: worker pool failed mid-grid; rebuilding and retrying once",
+                exc_info=True,
+            )
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
 def run_grid(
     points: Sequence[Any],
     runner: Callable[[Any], Any],
     workers: Optional[int] = None,
     key: Optional[Callable[[Any], Any]] = None,
+    force_pool: bool = False,
 ) -> list:
     """Run ``runner`` over every point; returns results in point order.
 
     ``workers=None`` reads ``REPRO_EXEC_WORKERS`` (default 1 = serial);
     ``workers=1`` is the plain sequential path, guaranteed unchanged from
-    pre-engine behavior.  Grids smaller than ``REPRO_EXEC_MIN_POINTS``
-    (default 4) also take the serial path even with ``workers > 1`` —
-    the pool would cost more to start than it saves — with an INFO log
-    noting the bypass.  ``key`` labels points in failure reports (the
-    point itself is used when it is primitive/tuple, else its index).
-    Raises :class:`GridError` after all points have been attempted if any
-    failed.
+    pre-engine behavior.  With ``workers > 1`` the cost model still takes
+    the serial path whenever the pool provably cannot win — fewer points
+    than ``REPRO_EXEC_MIN_POINTS`` (default 4), or a single-CPU host —
+    with an INFO log noting the bypass; results are bit-identical either
+    way, so only wall-clock is at stake.  ``force_pool=True`` skips the
+    cost model (tests that must cover the worker path).  Parallel grids
+    reuse one persistent forked pool across calls and dispatch in
+    :func:`auto_chunksize` batches.  ``key`` labels points in failure
+    reports (the point itself is used when it is primitive/tuple, else
+    its index).  Raises :class:`GridError` after all points have been
+    attempted if any failed.
     """
     points = list(points)
     if workers is None:
@@ -158,44 +294,42 @@ def run_grid(
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     workers = min(workers, max(1, len(points)))
-    if workers > 1 and len(points) < min_parallel_points():
-        logger.info(
-            "run_grid: %d point(s) < %s=%d; running serially (pool startup "
-            "would cost more than it saves; results are identical either way)",
-            len(points),
-            MIN_POINTS_ENV,
-            min_parallel_points(),
-        )
-        workers = 1
+    if workers > 1 and not force_pool:
+        if len(points) < min_parallel_points():
+            logger.info(
+                "run_grid: %d point(s) < %s=%d; running serially (pool startup "
+                "would cost more than it saves; results are identical either way)",
+                len(points),
+                MIN_POINTS_ENV,
+                min_parallel_points(),
+            )
+            workers = 1
+        elif (os.cpu_count() or 1) < 2:
+            logger.info(
+                "run_grid: single-CPU host; running %d point(s) serially "
+                "(fork+IPC overhead is pure loss with nothing to overlap)",
+                len(points),
+            )
+            workers = 1
 
-    failed: dict[int, PointFailure] = {}
-    results: list[Any] = [None] * len(points)
     if workers == 1:
-        for index, point in enumerate(points):
-            _, status, payload = _call_point((index, runner, point))
-            if status == "ok":
-                results[index] = payload
-            else:
-                failed[index] = PointFailure(_point_key(point, index, key), payload)
+        raw = _run_serial(points, runner)
     else:
-        tasks = [(index, runner, point) for index, point in enumerate(points)]
         try:
-            pickle.dumps(tasks)
+            pickle.dumps([(index, runner, point) for index, point in enumerate(points)])
         except Exception as exc:
             raise GridError(
                 [PointFailure("<pickling>", f"grid is not picklable: {exc!r}")], 0, len(points)
             ) from exc
-        # fork: workers inherit the parent's imported modules, so runners
-        # defined in pytest-loaded benchmark modules resolve by name.
-        ctx = multiprocessing.get_context("fork")
-        with ctx.Pool(processes=workers) as pool:
-            # chunksize=1: points have heterogeneous cost; let free
-            # workers steal the next point instead of a pre-dealt chunk.
-            for index, status, payload in pool.imap_unordered(_call_point, tasks, chunksize=1):
-                if status == "ok":
-                    results[index] = payload
-                else:
-                    failed[index] = PointFailure(_point_key(points[index], index, key), payload)
+        raw = _run_pooled(points, runner, workers)
+
+    failed: dict[int, PointFailure] = {}
+    results: list[Any] = [None] * len(points)
+    for index, status, payload in raw:
+        if status == "ok":
+            results[index] = payload
+        else:
+            failed[index] = PointFailure(_point_key(points[index], index, key), payload)
     if failed:
         # Report in point order regardless of completion order.
         failures = [failed[index] for index in sorted(failed)]
@@ -207,6 +341,7 @@ def run_grid_dict(
     points: Sequence[Any],
     runner: Callable[[Any], Any],
     workers: Optional[int] = None,
+    force_pool: bool = False,
 ) -> dict:
     """:func:`run_grid`, merged as ``{point: result}`` in point order.
 
@@ -217,5 +352,5 @@ def run_grid_dict(
     points = list(points)
     if len(set(points)) != len(points):
         raise ValueError("grid points must be unique to key a result dict")
-    results = run_grid(points, runner, workers=workers)
+    results = run_grid(points, runner, workers=workers, force_pool=force_pool)
     return dict(zip(points, results))

@@ -68,13 +68,19 @@ class Host:
         self._rx_queues: dict[int, deque[Packet]] = {c.index: deque() for c in self.cpu.cores}
         self._polling: dict[int, bool] = {c.index: False for c in self.cpu.cores}
         self.rx_batch_sizes: list[int] = []
+        # flow -> steered core, memoized: core_for_flow runs once per
+        # packet on both paths, and the CRC-of-repr RSS hash dominates it.
+        self._flow_cores: dict[FlowKey, Core] = {}
 
     # ------------------------------------------------------------------
     def attach_link(self, link: Link, side: str) -> None:
         self.nic.attach_link(link, side)
 
     def core_for_flow(self, flow: FlowKey) -> Core:
-        return self.cpu.core_for_flow(flow_hash(flow))
+        core = self._flow_cores.get(flow)
+        if core is None:
+            core = self._flow_cores[flow] = self.cpu.core_for_flow(flow_hash(flow))
+        return core
 
     def cpu_time(self, flow: FlowKey) -> float:
         """Time at which CPU work already charged for this flow completes."""

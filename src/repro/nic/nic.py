@@ -60,6 +60,9 @@ class OffloadNic(PassthroughNic):
         if self.obs is not None:
             self._tx_pkts_cell = self.obs.cell("nic.tx.pkts")
             self._rx_pkts_cell = self.obs.cell("nic.rx.pkts")
+        # Rebinding swaps the Obs handle: drop the RX engine's cached
+        # per-state cells so they re-resolve against the new registry.
+        self.rx_engine._state_cells = None
         self.cache.wire(self.obs)
         self.cache.clock = (lambda: host.sim.now) if host is not None else None
 

@@ -12,6 +12,7 @@ from repro.analysis.pipeline import run_analysis
 from repro.analysis.rules import all_rules
 from repro.analysis.rules.adapter_protocol import AdapterProtocolRule
 from repro.analysis.rules.event_tiebreak import EventTiebreakRule
+from repro.analysis.rules.hotloop import HotLoopRule
 from repro.analysis.rules.l5p_contract import (
     IncrementalTransformRule,
     MagicFramingRule,
@@ -590,6 +591,97 @@ class TestMetricBaseline:
 
 
 # ----------------------------------------------------------------------
+# SIM013: per-byte loops in hot modules
+# ----------------------------------------------------------------------
+class TestHotLoop:
+    def hot_file(self, tmp_path, body: str, pkg: str = "crypto") -> Path:
+        hot = tmp_path / "repro" / pkg
+        hot.mkdir(parents=True)
+        return write(hot, "mod.py", body)
+
+    def test_per_byte_crc_loop_fires(self, tmp_path):
+        path = self.hot_file(tmp_path, """\
+            def crc(table, data, crc):
+                for byte in data:
+                    crc = table[(crc ^ byte) & 0xFF] ^ (crc >> 8)
+                return crc
+            """)
+        findings = rule_findings(HotLoopRule(), path)
+        assert [f.code for f in findings] == ["SIM013"]
+        assert "per-byte loop over `data`" in findings[0].message
+
+    def test_table_subscript_by_loop_var_fires(self, tmp_path):
+        path = self.hot_file(tmp_path, """\
+            def absorb(self, block):
+                z = 0
+                for b in block:
+                    z ^= self.table[b]
+                return z
+            """, pkg="core")
+        assert [f.code for f in rule_findings(HotLoopRule(), path)] == ["SIM013"]
+
+    def test_range_loop_is_fine(self, tmp_path):
+        path = self.hot_file(tmp_path, """\
+            def crc(table, data, crc):
+                for i in range(len(data)):
+                    crc = table[(crc ^ data[i]) & 0xFF] ^ (crc >> 8)
+                return crc
+            """)
+        assert rule_findings(HotLoopRule(), path) == []
+
+    def test_unpacked_words_loop_is_fine(self, tmp_path):
+        path = self.hot_file(tmp_path, """\
+            import struct
+
+            def crc(t, data, crc):
+                for w in struct.unpack(f"<{len(data) >> 3}Q", data):
+                    crc ^= w & 0xFFFFFFFF
+                return crc
+            """)
+        assert rule_findings(HotLoopRule(), path) == []
+
+    def test_import_time_table_build_is_fine(self, tmp_path):
+        path = self.hot_file(tmp_path, """\
+            SBOX = list(range(256))
+            INV = [0] * 256
+            for i in SBOX:
+                INV[SBOX[i] & 0xFF] = i
+            """)
+        assert rule_findings(HotLoopRule(), path) == []
+
+    def test_non_bitwise_body_is_fine(self, tmp_path):
+        path = self.hot_file(tmp_path, """\
+            def total(sizes):
+                acc = 0
+                for n in sizes:
+                    acc += n
+                return acc
+            """, pkg="net")
+        assert rule_findings(HotLoopRule(), path) == []
+
+    def test_cold_package_is_fine(self, tmp_path):
+        cold = tmp_path / "repro" / "exec"
+        cold.mkdir(parents=True)
+        path = write(cold, "mod.py", """\
+            def mask(values):
+                out = []
+                for v in values:
+                    out.append(v & 0xFF)
+                return out
+            """)
+        assert rule_findings(HotLoopRule(), path) == []
+
+    def test_sim_noqa_waives_reference_impl(self, tmp_path):
+        path = self.hot_file(tmp_path, """\
+            def crc_reference(table, data, crc):
+                for byte in data:  # sim: noqa[SIM013]
+                    crc = table[(crc ^ byte) & 0xFF] ^ (crc >> 8)
+                return crc
+            """)
+        assert [f.code for f in run_rules([path], rules=[HotLoopRule()])] == []
+
+
+# ----------------------------------------------------------------------
 # suppression, the real tree, and the CLI
 # ----------------------------------------------------------------------
 class TestRunner:
@@ -616,7 +708,7 @@ class TestRunner:
 
     def test_all_rules_registered(self):
         assert sorted(rule.code for rule in all_rules()) == [
-            f"SIM{n:03d}" for n in range(1, 13)
+            f"SIM{n:03d}" for n in range(1, 14)
         ]
 
     def test_sim_noqa_suppresses_specific_code(self, tmp_path):

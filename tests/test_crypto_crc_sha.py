@@ -55,6 +55,58 @@ class TestCrc32:
         assert crc32(data) == zlib.crc32(data)
 
 
+class TestSlice8Property:
+    """The slicing-by-8 hot path is bit-identical to the one-byte
+    reference and to zlib, for any stream chunking (docs/performance.md:
+    vectorization must never change a digest)."""
+
+    @given(
+        data=st.binary(max_size=2000),
+        splits=st.lists(st.integers(min_value=0, max_value=2000), max_size=6),
+    )
+    def test_chunked_crc32c_equals_one_shot_equals_reference(self, data, splits):
+        from repro.crypto.crc import _SLICE8_C, _TABLE_C, _crc_bytewise
+
+        one_shot = crc32c(data)
+        assert one_shot == _crc_bytewise(_TABLE_C, data, 0)
+        crc = 0
+        last = 0
+        for split in sorted(min(s, len(data)) for s in splits) + [len(data)]:
+            crc = crc32c(data[last:split], crc)
+            last = split
+        assert crc == one_shot
+        assert _SLICE8_C[0] is _TABLE_C  # slice table 0 IS the bytewise table
+
+    @given(
+        data=st.binary(max_size=2000),
+        splits=st.lists(st.integers(min_value=0, max_value=2000), max_size=6),
+    )
+    def test_chunked_crc32_equals_one_shot_equals_zlib_fastcrc(self, data, splits):
+        from repro.crypto.crc import _TABLE_IEEE, _crc_bytewise
+
+        one_shot = crc32(data)
+        assert one_shot == zlib.crc32(data)
+        assert one_shot == _crc_bytewise(_TABLE_IEEE, data, 0)
+        crc = 0
+        fast = FastCrc()
+        last = 0
+        for split in sorted(min(s, len(data)) for s in splits) + [len(data)]:
+            crc = crc32(data[last:split], crc)
+            fast.update(data[last:split])
+            last = split
+        # streaming slice-8 == one-shot == the zlib-backed FastCrc digest
+        assert crc == one_shot == fast.intdigest()
+
+    @given(data=st.binary(min_size=1, max_size=64))
+    def test_word_boundary_tails(self, data):
+        # Lengths straddling the 8-byte word boundary exercise the
+        # scalar tail loop; every length must agree with the reference.
+        from repro.crypto.crc import _TABLE_C, _crc_bytewise
+
+        for end in range(len(data) + 1):
+            assert crc32c(data[:end]) == _crc_bytewise(_TABLE_C, data[:end], 0)
+
+
 class TestFastCrc:
     def test_matches_zlib(self):
         d = FastCrc()

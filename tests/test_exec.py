@@ -13,12 +13,14 @@ import pytest
 
 from repro.exec import (
     GridError,
+    auto_chunksize,
     default_workers,
     min_parallel_points,
     point_seed,
     run_grid,
     run_grid_dict,
 )
+from repro.exec import engine
 from repro.exec.engine import DEFAULT_MIN_PARALLEL_POINTS, MIN_POINTS_ENV, WORKERS_ENV
 from repro.faults.chaos import chaos_point
 
@@ -83,7 +85,7 @@ def test_unpicklable_grid_fails_fast(monkeypatch):
     monkeypatch.setenv(MIN_POINTS_ENV, "0")  # force the pool for a tiny grid
     points = [lambda: None, lambda: None]  # lambdas don't pickle
     with pytest.raises(GridError) as excinfo:
-        run_grid(points, square, workers=2)
+        run_grid(points, square, workers=2, force_pool=True)
     assert "<pickling>" in str(excinfo.value)
 
 
@@ -125,7 +127,7 @@ def test_serial_and_parallel_merge_byte_identical(monkeypatch):
     monkeypatch.setenv(MIN_POINTS_ENV, "0")  # really exercise the pool
     seeds = [1, 2, 3]
     serial = run_grid(seeds, chaos_tls_point, workers=1)
-    parallel = run_grid(seeds, chaos_tls_point, workers=2)
+    parallel = run_grid(seeds, chaos_tls_point, workers=2, force_pool=True)
     as_json = lambda results: json.dumps(results, sort_keys=True, indent=1)  # noqa: E731
     assert as_json(parallel) == as_json(serial)
     # The runs did something: fault plans armed, streams verified.
@@ -136,6 +138,69 @@ def test_workers_env_is_honored_by_default_path(monkeypatch):
     monkeypatch.setenv(WORKERS_ENV, "2")
     points = list(range(6))
     assert run_grid(points, square) == [p * p for p in points]
+
+
+def test_workers_env_auto(monkeypatch):
+    monkeypatch.setenv(WORKERS_ENV, "auto")
+    assert default_workers() == (os.cpu_count() or 1)
+
+
+# --- the persistent pool --------------------------------------------------
+
+def test_pool_persists_across_consecutive_grids(monkeypatch):
+    """Two back-to-back parallel grids reuse one pool, and the merged
+    output is byte-identical to a fresh-pool run and to serial."""
+    monkeypatch.setenv(MIN_POINTS_ENV, "0")
+    engine.shutdown_pool()
+    first = run_grid(list(range(8)), square, workers=2, force_pool=True)
+    pool_after_first = engine._pool
+    assert pool_after_first is not None
+    second = run_grid(list(range(8, 16)), square, workers=2, force_pool=True)
+    assert engine._pool is pool_after_first  # reused, not re-forked
+    engine.shutdown_pool()  # force a fresh pool for the control run
+    fresh = run_grid(list(range(8, 16)), square, workers=2, force_pool=True)
+    serial = run_grid(list(range(8, 16)), square, workers=1)
+    assert first == [p * p for p in range(8)]
+    assert second == fresh == serial
+
+
+def test_pool_reuse_with_armed_fault_plan(monkeypatch):
+    """Worker reuse across grids whose points arm FaultPlans: the second
+    grid on the warm pool matches fresh-pool and serial byte-for-byte."""
+    monkeypatch.setenv(MIN_POINTS_ENV, "0")
+    engine.shutdown_pool()
+    run_grid([11, 12], chaos_tls_point, workers=2, force_pool=True)  # warm the pool
+    warm = run_grid([13, 14], chaos_tls_point, workers=2, force_pool=True)
+    engine.shutdown_pool()
+    fresh = run_grid([13, 14], chaos_tls_point, workers=2, force_pool=True)
+    serial = run_grid([13, 14], chaos_tls_point, workers=1)
+    as_json = lambda results: json.dumps(results, sort_keys=True, indent=1)  # noqa: E731
+    assert as_json(warm) == as_json(fresh) == as_json(serial)
+    assert all(r["plan"] for r in serial)
+
+
+def test_pool_rebuilt_on_worker_count_change(monkeypatch):
+    monkeypatch.setenv(MIN_POINTS_ENV, "0")
+    engine.shutdown_pool()
+    run_grid([1, 2, 3], square, workers=2, force_pool=True)
+    two_worker_pool = engine._pool
+    run_grid([1, 2, 3], square, workers=3, force_pool=True)
+    assert engine._pool is not two_worker_pool
+    assert engine._pool_workers == 3
+    engine.shutdown_pool()
+
+
+def test_shutdown_pool_is_idempotent():
+    engine.shutdown_pool()
+    engine.shutdown_pool()
+    assert engine._pool is None
+
+
+def test_auto_chunksize():
+    assert auto_chunksize(3, 2) == 1  # small grids: pure work stealing
+    assert auto_chunksize(80, 2) == 10  # ~4 chunks per worker
+    assert auto_chunksize(1000, 4) == 62
+    assert auto_chunksize(0, 8) == 1  # never zero (imap requires >= 1)
 
 
 # --- failure semantics ---------------------------------------------------
