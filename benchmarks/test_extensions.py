@@ -52,7 +52,19 @@ def test_ext_rpc_copy_offload(benchmark, emit):
     )
     table.row("software", base["gbps"], base["calls"], base["placed"], base["cycles"] / 1e6)
     table.row("offload", off["gbps"], off["calls"], off["placed"], off["cycles"] / 1e6)
-    emit("ext_rpc_offload", table.render())
+    emit(
+        "ext_rpc_offload",
+        table.render(),
+        metrics={
+            "sw.gbps": base["gbps"],
+            "sw.calls": base["calls"],
+            "sw.mcycles": base["cycles"] / 1e6,
+            "offload.gbps": off["gbps"],
+            "offload.calls": off["calls"],
+            "offload.placed": off["placed"],
+            "offload.mcycles": off["cycles"] / 1e6,
+        },
+    )
 
     assert off["placed"] == off["calls"] > 0
     assert off["gbps"] > base["gbps"]
@@ -81,10 +93,12 @@ def test_ext_magic_false_positives(benchmark, emit):
         ["adapter", "candidates / MB", "false-positive rate"],
         title="Extension: magic-pattern false positives on random bytes",
     )
+    metrics = {"windows": total}
     for name in ("tls", "nvme"):
         rate = hits[name] / total
         table.row(name, hits[name] / (total / 1e6), f"{rate:.2e}")
-    emit("ext_magic_false_positives", table.render())
+        metrics[f"{name}.hits"] = hits[name]
+    emit("ext_magic_false_positives", table.render(), metrics=metrics)
 
     # TLS: 6 valid types x 1 version x ~16K lengths out of 2^40 ~ 1e-7;
     # NVMe's CH constraints are similarly tight.  Either way far below

@@ -17,6 +17,7 @@ from repro.analysis.rules.hotloop import HotLoopRule
 from repro.analysis.rules.l5p_contract import (
     IncrementalTransformRule,
     MagicFramingRule,
+    PluginDeclarationRule,
     UpcallWiringRule,
 )
 from repro.analysis.rules.metric_baseline import MetricBaselineRule
@@ -41,6 +42,7 @@ def all_rules() -> list[LintRule]:
         MagicFramingRule(),
         IncrementalTransformRule(),
         UpcallWiringRule(),
+        PluginDeclarationRule(),
         MetricBaselineRule(),
         HotLoopRule(),
     ]

@@ -26,6 +26,15 @@ surface, instead of conventions a new plugin can silently skip:
   implement the full set including ``l5o_offload_degraded``, so the
   driver's §5.3 graceful-degradation path (``repro.faults``) always
   has someone to notify.
+- **SIM014** (plugin-declaration): literal ``L5Protocol`` /
+  ``MagicSpec`` / ``Table3Preconditions`` declarations (the
+  ``repro.l5p.plugin`` registry surface) must be statically coherent:
+  pattern/mask lengths agree, the mask is not all-zero, ``confidence``
+  lies in (0, 1], the protocol name is lowercase, and every Table-3
+  row is asserted ``True`` explicitly — a literal ``False`` (or an
+  omitted row, which defaults ``False``) means the protocol is not
+  autonomously offloadable and the declaration would be rejected at
+  import time anyway; the lint moves that failure to review time.
 """
 
 from __future__ import annotations
@@ -43,6 +52,16 @@ _DRIVER_HOME = "repro/core/driver.py"
 
 _UPCALLS = ("l5o_get_tx_msgstate", "l5o_resync_rx_req")
 _DEGRADE_UPCALL = "l5o_offload_degraded"
+#: Module defining the plugin declaration surface itself.
+_PLUGIN_HOME = "repro/l5p/plugin.py"
+
+_TABLE3_ROWS = (
+    "size_preserving",
+    "incremental_constant_state",
+    "header_plaintext_length",
+    "magic_identifiable",
+    "state_from_msg_index",
+)
 
 
 def _base_names(node: ast.ClassDef) -> set:
@@ -254,3 +273,118 @@ class UpcallWiringRule(LintRule):
                     f"{', '.join(missing)}: the driver's graceful-degradation path (§5.3) "
                     "must be able to notify every L5P endpoint",
                 )
+
+
+def _call_name(node: ast.Call) -> str:
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return getattr(node.func, "id", "")
+
+
+def _kwarg(node: ast.Call, name: str) -> Optional[ast.expr]:
+    for kw in node.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def _literal(value: Optional[ast.expr]):
+    """The constant behind ``value``, or None when not a plain literal."""
+    if isinstance(value, ast.Constant):
+        return value.value
+    return None
+
+
+class PluginDeclarationRule(LintRule):
+    code = "SIM014"
+    name = "l5p-plugin-declaration"
+    description = "Literal L5Protocol/MagicSpec/Table3Preconditions declarations must be coherent"
+    family = "contract"
+
+    def check(self, module: SourceModule) -> Iterable[Finding]:
+        if module.posix_path.endswith(_PLUGIN_HOME):
+            return  # the declaration surface itself
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node)
+            if name == "MagicSpec":
+                yield from self._check_magic_spec(module, node)
+            elif name == "L5Protocol":
+                yield from self._check_protocol(module, node)
+
+    def _check_magic_spec(self, module: SourceModule, node: ast.Call) -> Iterator[Finding]:
+        pattern = _literal(_kwarg(node, "pattern"))
+        mask = _literal(_kwarg(node, "mask"))
+        if isinstance(pattern, bytes) and isinstance(mask, bytes):
+            if len(pattern) != len(mask):
+                yield module.finding(
+                    node,
+                    self.code,
+                    f"MagicSpec pattern ({len(pattern)}B) and mask ({len(mask)}B) lengths "
+                    "disagree: the TCAM match is positional, so every pattern byte needs a "
+                    "mask byte (§3.3)",
+                )
+            if pattern == b"":
+                yield module.finding(
+                    node, self.code, "MagicSpec.pattern is empty: nothing for resync to match on"
+                )
+            if mask and not any(mask):
+                yield module.finding(
+                    node,
+                    self.code,
+                    "MagicSpec.mask is all zeroes: it matches every window, so speculative "
+                    "search degenerates to confirming every byte position (§3.3)",
+                )
+        confidence = _literal(_kwarg(node, "confidence"))
+        if isinstance(confidence, (int, float)) and not 0.0 < float(confidence) <= 1.0:
+            yield module.finding(
+                node,
+                self.code,
+                f"MagicSpec.confidence {confidence!r} outside (0, 1]: it is a declared "
+                "false-positive-rate bound, gated by the fig_l5p_plugins study",
+            )
+
+    def _check_protocol(self, module: SourceModule, node: ast.Call) -> Iterator[Finding]:
+        proto_name = _literal(_kwarg(node, "name"))
+        label = proto_name if isinstance(proto_name, str) else "<dynamic>"
+        if isinstance(proto_name, str) and (not proto_name or proto_name != proto_name.lower()):
+            yield module.finding(
+                node,
+                self.code,
+                f"L5Protocol name {proto_name!r} must be non-empty lowercase: registry "
+                "lookups are exact-match",
+            )
+        pre = _kwarg(node, "preconditions")
+        if isinstance(pre, ast.Call) and _call_name(pre) == "Table3Preconditions":
+            given = {kw.arg: _literal(kw.value) for kw in pre.keywords}
+            for row in _TABLE3_ROWS:
+                if row not in given:
+                    yield module.finding(
+                        pre,
+                        self.code,
+                        f"protocol {label!r} omits Table-3 row `{row}` (defaults False): "
+                        "every precondition must be asserted explicitly, or the protocol "
+                        "is declaring itself non-offloadable",
+                    )
+                elif given[row] is False:
+                    yield module.finding(
+                        pre,
+                        self.code,
+                        f"protocol {label!r} declares Table-3 row `{row}=False`: an L5P "
+                        "failing Table 3 is not autonomously offloadable and register() "
+                        "will reject it at import time",
+                    )
+        magic = _kwarg(node, "magic")
+        header_len = _literal(_kwarg(node, "header_len"))
+        if isinstance(magic, ast.Call) and _call_name(magic) == "MagicSpec":
+            pattern = _literal(_kwarg(magic, "pattern"))
+            if isinstance(pattern, bytes) and isinstance(header_len, int):
+                if len(pattern) > header_len:
+                    yield module.finding(
+                        node,
+                        self.code,
+                        f"protocol {label!r}: magic pattern ({len(pattern)}B) exceeds "
+                        f"header_len ({header_len}B) — the NIC only has the header to "
+                        "match against (§3.3)",
+                    )

@@ -112,7 +112,17 @@ class NicDriver:
         msg_index: int = 0,
     ) -> HwContext:
         """Install an offload context for ``conn`` starting at ``tcpsn``
-        (the first byte of the next L5P message on the stream)."""
+        (the first byte of the next L5P message on the stream).
+
+        The adapter's protocol must be registered with
+        :mod:`repro.l5p.plugin` — a NIC image only contains the parsers
+        it was built with, so an unregistered name is a programming
+        error surfaced loudly here rather than a silent misparse."""
+        from repro.l5p import plugin
+
+        plugin.require(adapter.name)
+        if self.nic.obs is not None:
+            self.nic.obs.cell(f"driver.l5p.{adapter.name}.contexts").value += 1
         ctx_id = next(self._ids)
         if direction == Direction.TX:
             flow = conn.flow

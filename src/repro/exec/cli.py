@@ -37,6 +37,7 @@ EXPERIMENTS = {
     "mix": "repro.experiments.scale_mix:run_mix_point",
     "nginx": "repro.experiments.nginx_bench:run_nginx",
     "chaos": "repro.faults.chaos:chaos_point",
+    "l5p": "repro.experiments.l5p_plugins:run_l5p_point",
 }
 
 

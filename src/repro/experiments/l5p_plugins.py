@@ -1,0 +1,165 @@
+"""Plugin-protocol experiments: HTTP/2 frame placement and Redis RESP
+inline steering on the two-machine testbed.
+
+Both protocols enter the simulator through the :mod:`repro.l5p.plugin`
+registry (``TestbedConfig(protocols=...)`` resolves them before the
+first packet moves), making this the template experiment for any L5P
+added by declaration rather than by editing the core:
+
+- ``proto="http2"``: the DUT is the *client* fetching responses whose
+  DATA frames carry a CRC trailer; the NIC verifies the FCS and places
+  frame bodies directly into per-stream buffers.  Chunk lengths are
+  deliberately non-uniform (977 B .. 16380 B cycling), so a loss-induced
+  resync can never ride a fixed record cadence — the speculation engine
+  has to find real frame boundaries.
+- ``proto="resp"``: the DUT is the *server*; clients pipeline short
+  inline commands, many per packet, and the NIC steers each packet to
+  the receive queue owning the first command's key shard.  Dispatch on
+  a steered packet skips the software parse+hash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.harness.testbed import Testbed, TestbedConfig
+from repro.util.units import gbps
+
+#: Non-uniform HTTP/2 response lengths, cycled by the closed-loop client.
+HTTP2_LENGTHS = (48_000, 9_000, 120_000, 3_000)
+#: Commands per pipelined RESP batch (several frames share each packet).
+RESP_BATCH = 8
+
+
+@dataclass
+class L5pRun:
+    proto: str
+    offload: bool
+    loss: float
+    completed: int  # fetches (http2) or batches (resp)
+    bytes_moved: int
+    dut_cycles: dict = field(default_factory=dict)
+    #: Protocol-level offload outcome counters (placed/steered vs software).
+    app_stats: dict = field(default_factory=dict)
+    #: DUT NIC resync machinery deltas over the run.
+    nic_stats: dict = field(default_factory=dict)
+    duration: float = 0.0
+
+    @property
+    def goodput_gbps(self) -> float:
+        return gbps(max(self.bytes_moved, 1), self.duration) if self.duration else 0.0
+
+    @property
+    def offloaded_fraction(self) -> float:
+        """Fraction of frames (http2) or commands (resp) that rode the
+        offloaded path instead of the software fallback."""
+        if self.proto == "http2":
+            done = self.app_stats.get("placed_frames", 0)
+            total = self.app_stats.get("data_frames", 0)
+        else:
+            done = self.app_stats.get("steered", 0)
+            total = self.app_stats.get("commands", 0)
+        return done / total if total else 0.0
+
+
+_NIC_KEYS = ("resync_requests", "resyncs_completed", "boundary_resyncs", "resync_failures")
+
+
+def run_l5p_point(
+    proto: str = "http2",
+    offload: bool = True,
+    loss: float = 0.0,
+    ops: int = 40,
+    seed: int = 0,
+    until: float = 0.5,
+) -> L5pRun:
+    """One (protocol, offload, loss) point; closed-loop ``ops`` operations."""
+    if proto == "http2":
+        return _run_http2(offload, loss, ops, seed, until)
+    if proto == "resp":
+        return _run_resp(offload, loss, ops, seed, until)
+    raise ValueError(f"proto must be http2/resp, got {proto!r}")
+
+
+def _run_http2(offload: bool, loss: float, ops: int, seed: int, until: float) -> L5pRun:
+    from repro.l5p.http2 import Http2Client, Http2Config, Http2Server
+
+    tb = Testbed(
+        TestbedConfig(seed=seed, loss_to_server=loss, protocols=("http2",))
+    )
+    Http2Server(tb.generator, port=8080)
+    config = Http2Config(rx_offload_crc=offload, rx_offload_copy=offload)
+    client = Http2Client(tb.server, "generator", port=8080, config=config)
+    before = {k: tb.server.nic.offload_stats()[k] for k in _NIC_KEYS}
+
+    done = {"count": 0, "bytes": 0}
+
+    def issue(i: int) -> None:
+        if i >= ops:
+            return
+
+        def finished(body, latency, i=i):
+            done["count"] += 1
+            done["bytes"] += len(body)
+            issue(i + 1)
+
+        client.fetch(HTTP2_LENGTHS[i % len(HTTP2_LENGTHS)], finished)
+
+    issue(0)
+    tb.run(until=until)
+    after = tb.server.nic.offload_stats()
+    return L5pRun(
+        proto="http2",
+        offload=offload,
+        loss=loss,
+        completed=done["count"],
+        bytes_moved=done["bytes"],
+        dut_cycles=tb.server.cpu.cycles_by_category(),
+        app_stats=dict(client.stats),
+        nic_stats={k: after[k] - before[k] for k in _NIC_KEYS},
+        duration=until,
+    )
+
+
+def _run_resp(offload: bool, loss: float, ops: int, seed: int, until: float) -> L5pRun:
+    from repro.l5p.resp import RespClient, RespConfig, RespServer
+
+    tb = Testbed(
+        TestbedConfig(seed=seed, loss_to_server=loss, protocols=("resp",))
+    )
+    server = RespServer(
+        tb.server, port=6379, config=RespConfig(rx_offload_steer=offload, steer_queues=4)
+    )
+    client = RespClient(tb.generator, "server", port=6379)
+    before = {k: tb.server.nic.offload_stats()[k] for k in _NIC_KEYS}
+
+    done = {"count": 0, "bytes": 0}
+
+    def issue(batch: int) -> None:
+        if batch >= ops:
+            return
+        commands = [b"SET shard%d:%d value-%d" % (batch % 7, i, i) for i in range(RESP_BATCH)]
+        commands[-1] = b"GET shard%d:0" % (batch % 7)
+        wire_bytes = sum(len(c) for c in commands)
+
+        def finished(replies, latency, batch=batch, wire_bytes=wire_bytes):
+            done["count"] += 1
+            done["bytes"] += wire_bytes
+            issue(batch + 1)
+
+        client.pipeline(commands, finished)
+
+    issue(0)
+    tb.run(until=until)
+    after = tb.server.nic.offload_stats()
+    return L5pRun(
+        proto="resp",
+        offload=offload,
+        loss=loss,
+        completed=done["count"],
+        bytes_moved=done["bytes"],
+        dut_cycles=tb.server.cpu.cycles_by_category(),
+        app_stats=dict(server.stats),
+        nic_stats={k: after[k] - before[k] for k in _NIC_KEYS},
+        duration=until,
+    )

@@ -52,6 +52,12 @@ class TestbedConfig:
     metrics: bool = False
     trace: bool = False
     trace_limit: int = 200_000
+    # Layer-5 protocols this scenario uses, resolved through the
+    # repro.l5p.plugin registry at construction time: unknown or
+    # duplicate names raise PluginError before the first packet moves.
+    # Empty means "don't care" (endpoints still hit the driver-level
+    # registry gate at l5o_create).
+    protocols: tuple = ()
 
 
 class Testbed:
@@ -62,6 +68,11 @@ class Testbed:
     def __init__(self, config: Optional[TestbedConfig] = None):
         self.config = config or TestbedConfig()
         cfg = self.config
+        self.protocols = {}
+        if cfg.protocols:
+            from repro.l5p import plugin
+
+            self.protocols = plugin.resolve(cfg.protocols)
         if cfg.sanitize:
             from repro.analysis import sanitizer
 

@@ -323,3 +323,31 @@ class CompressedStream:
             else:
                 still.append(req)
         self._pending_resync = still
+
+
+from repro.l5p import plugin as _plugin
+
+PLUGIN = _plugin.register(
+    _plugin.L5Protocol(
+        name="decomp",
+        header_len=HEADER_LEN,
+        magic=_plugin.MagicSpec(
+            pattern=MAGIC + b"\x00" * (HEADER_LEN - 2),
+            mask=b"\xff\xff" + b"\x00" * (HEADER_LEN - 2),
+            confidence=1e-4,
+        ),
+        preconditions=_plugin.Table3Preconditions(
+            size_preserving=True,
+            incremental_constant_state=True,
+            header_plaintext_length=True,
+            magic_identifiable=True,
+            state_from_msg_index=True,
+            notes="size-preserving on the wire; inflation happens into the "
+            "pre-registered destination buffer, not the TCP stream (§7)",
+        ),
+        factory=DecompAdapter,
+        upcalls=("l5o_get_tx_msgstate", "l5o_resync_rx_req", "l5o_offload_degraded"),
+        description="Inline decompression into pre-posted buffers",
+        info={"trailer_len": TRAILER_LEN, "ops": ("inflate", "crc", "place")},
+    )
+)

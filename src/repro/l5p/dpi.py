@@ -159,3 +159,33 @@ class DpiAdapter(L5pAdapter):
         meta.crc_ok = processed and ok
         meta.placed = processed and bool(self._pkt_matches)
         self._pkt_matches = set()
+
+
+from repro.l5p import plugin as _plugin
+
+PLUGIN = _plugin.register(
+    _plugin.L5Protocol(
+        name="dpi",
+        header_len=HEADER_LEN,
+        magic=_plugin.MagicSpec(
+            pattern=MAGIC + b"\x00" * (HEADER_LEN - 2),
+            mask=b"\xff\xff" + b"\x00" * (HEADER_LEN - 2),
+            confidence=1e-4,
+        ),
+        preconditions=_plugin.Table3Preconditions(
+            size_preserving=True,
+            incremental_constant_state=True,
+            header_plaintext_length=True,
+            magic_identifiable=True,
+            state_from_msg_index=True,
+            notes="pure scan: bytes pass through unchanged, matches latch "
+            "into packet metadata (§7)",
+        ),
+        factory=lambda patterns=None, **kw: DpiAdapter(
+            patterns if patterns is not None else PatternSet((b"\x00",)), **kw
+        ),
+        upcalls=("l5o_get_tx_msgstate", "l5o_resync_rx_req"),
+        description="NIC-side deep packet inspection over framed streams",
+        info={"trailer_len": 0, "ops": ("scan",)},
+    )
+)

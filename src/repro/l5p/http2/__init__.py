@@ -1,0 +1,11 @@
+"""HTTP/2 framing with an FCS (frame-check-sequence) extension: the
+NIC verifies a CRC32C trailer on DATA frames and places their payload
+directly into per-stream response buffers keyed by stream id — the
+frame-CRC + data-placement offload scenario from ROADMAP's plugin
+track.  Registered as the ``http2`` :mod:`repro.l5p.plugin` protocol.
+"""
+
+from repro.l5p.http2.endpoint import Http2Client, Http2Server
+from repro.l5p.http2.frame import Http2Adapter, Http2Config
+
+__all__ = ["Http2Adapter", "Http2Config", "Http2Client", "Http2Server"]

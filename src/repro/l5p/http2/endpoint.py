@@ -1,0 +1,291 @@
+"""HTTP/2 client and server endpoints over simulated TCP.
+
+The client carries the autonomous offload: before requesting a stream
+it registers the response buffer under the stream id, so the NIC can
+verify each DATA frame's FCS and place its payload inline; frames the
+NIC fully handled skip the software copy+CRC.  The server interleaves
+trailerless control frames (SETTINGS, WINDOW_UPDATE) with DATA frames
+of deliberately non-uniform length across many concurrent streams —
+the resync-speculation stress profile uniform TLS records can't
+produce.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import deque
+from typing import Callable, Optional
+
+from repro.core.types import Direction, TxMsgState
+from repro.l5p import plugin
+from repro.l5p.base import StreamAssembler
+from repro.l5p.http2 import frame as F
+from repro.tcp import seq as sq
+
+#: Non-uniform DATA chunk sizes (bytes), cycled per stream and chunk —
+#: from sub-MTU to the largest FCS frame the 16 KiB cap allows.
+CHUNK_SIZES = (977, 3181, F.MAX_FRAME - F.FCS_LEN, 512, 7900)
+#: The server emits one WINDOW_UPDATE per this many DATA frames.
+WINDOW_UPDATE_EVERY = 4
+
+#: Software cost accounting (cycles) for the HTTP-layer bookkeeping.
+CYCLES_REQUEST = 600
+CYCLES_FRAME = 120
+
+
+class _Http2Peer:
+    """Shared assembler/backpressure machinery (mirrors the RPC peer)."""
+
+    def __init__(self, host, conn, config: F.Http2Config):
+        self.host = host
+        self.conn = conn
+        self.config = config
+        self.model = host.model
+        self.core = host.core_for_flow(conn.flow)
+        self.digest_cls = F.get_digest(config.digest_name)
+        self._assembler: Optional[StreamAssembler] = None
+        self._outq: deque[bytes] = deque()
+        conn.on_data = self._on_skb
+        conn.on_writable = self._flush
+        previous = conn.on_established
+
+        def established():
+            if previous:
+                previous()
+            self._on_established()
+            self._flush()
+
+        conn.on_established = established
+
+    def _on_established(self) -> None:
+        self._queue(F.make_frame(F.TYPE_SETTINGS, 0, 0, b""))
+
+    def _on_skb(self, skb) -> None:
+        if self._assembler is None:
+            self._assembler = StreamAssembler(F.HEADER_LEN, self._total_len, start_seq=skb.seq)
+        for msg in self._assembler.push(skb.data, skb.meta):
+            self._on_frame(msg)
+
+    @staticmethod
+    def _total_len(header: bytes) -> int:
+        parsed = F.parse_frame_header(header)
+        if parsed is None:
+            raise ValueError("bad HTTP/2 frame header")
+        return F.HEADER_LEN + parsed[0]
+
+    def _on_frame(self, msg) -> None:
+        raise NotImplementedError
+
+    def _queue(self, wire: bytes) -> None:
+        self._outq.append(wire)
+        self._flush()
+
+    def _flush(self) -> None:
+        while self._outq and self.conn.state in ("established", "close-wait"):
+            wire = self._outq[0]
+            if self.conn.send_space < len(wire):
+                return
+            self._outq.popleft()
+            sent = self.conn.send(wire)
+            if sent != len(wire):
+                raise RuntimeError("frame split across send buffer boundary")
+
+
+class Http2Server:
+    """Serves synthetic bodies: a HEADERS request names a byte count."""
+
+    def __init__(self, host, port: int = 8080, config: Optional[F.Http2Config] = None):
+        self.host = host
+        self.config = config or F.Http2Config()
+        self.streams_served = 0
+        host.tcp.listen(port, self._accept)
+
+    def _accept(self, conn) -> None:
+        _ServerConn(self, conn)
+
+
+class _ServerConn(_Http2Peer):
+    def __init__(self, server: Http2Server, conn):
+        super().__init__(server.host, conn, server.config)
+        self.server = server
+        self._since_update = 0
+
+    def _on_frame(self, msg) -> None:
+        wire = msg.wire
+        _, ftype, flags, stream_id = F.parse_frame_header(wire[: F.HEADER_LEN])
+        if ftype == F.TYPE_SETTINGS and not flags & F.FLAG_ACK:
+            self._queue(F.make_frame(F.TYPE_SETTINGS, F.FLAG_ACK, 0, b""))
+            return
+        if ftype != F.TYPE_HEADERS:
+            return
+        (length,) = struct.unpack(">I", wire[F.HEADER_LEN : F.HEADER_LEN + 4])
+        self.core.charge(CYCLES_REQUEST, "app")
+        self._queue(F.make_frame(F.TYPE_HEADERS, F.FLAG_END_HEADERS, stream_id, b"200"))
+        self._send_body(stream_id, length)
+        self.server.streams_served += 1
+
+    def _send_body(self, stream_id: int, length: int) -> None:
+        """DATA frames with FCS, chunked non-uniformly per stream."""
+        offset = 0
+        chunk_index = 0
+        while offset < length:
+            size = min(CHUNK_SIZES[(stream_id // 2 + chunk_index) % len(CHUNK_SIZES)],
+                       length - offset)
+            body = bytes((stream_id + offset + i) & 0xFF for i in range(size))
+            flags = F.FLAG_FCS
+            if offset + size >= length:
+                flags |= F.FLAG_END_STREAM
+            # TX stays in software: the server pays the FCS computation.
+            self.core.charge(size * self.host.llc.touch_cpb(self.model.cpb_crc32c), "crc")
+            self.core.charge(CYCLES_FRAME, "app")
+            self._queue(F.make_frame(F.TYPE_DATA, flags, stream_id, body, self.digest_cls))
+            offset += size
+            chunk_index += 1
+            self._since_update += 1
+            if self._since_update >= WINDOW_UPDATE_EVERY:
+                self._since_update = 0
+                self._queue(
+                    F.make_frame(F.TYPE_WINDOW_UPDATE, 0, 0, struct.pack(">I", 1 << 16))
+                )
+
+
+class Http2Client(_Http2Peer):
+    """Fetches streams; offloads DATA-frame FCS + placement when configured."""
+
+    def __init__(self, host, server: str, port: int = 8080,
+                 config: Optional[F.Http2Config] = None):
+        config = config or F.Http2Config()
+        conn = host.tcp.connect(server, port)
+        super().__init__(host, conn, config)
+        self._next_stream = 1  # client streams are odd
+        self._fetches: dict[int, dict] = {}
+        self._rx_ctx = None
+        self._pending_rr: list[tuple[int, dict]] = []
+        self._pending_resync: list[int] = []
+        self.stats = {
+            "fetches": 0,
+            "responses": 0,
+            "data_frames": 0,
+            "placed_frames": 0,
+            "software_frames": 0,
+            "errors": 0,
+            "offload_degraded": 0,
+        }
+        if config.rx_offload:
+            if getattr(host.nic, "driver", None) is None:
+                raise RuntimeError("HTTP/2 offload requires an OffloadNic")
+            plugin.require("http2")
+
+    def _on_established(self) -> None:
+        super()._on_established()
+        if self.config.rx_offload:
+            self._install_offload()
+
+    def _install_offload(self) -> None:
+        adapter = plugin.make_adapter("http2", config=self.config)
+        self._rx_ctx = self.host.nic.driver.l5o_create(
+            self.conn, adapter, None, tcpsn=self.conn.rcv_nxt, direction=Direction.RX,
+            l5p_ops=self,
+        )
+        for stream_id, entry in self._pending_rr:
+            self.host.nic.driver.l5o_add_rr_state(self._rx_ctx, stream_id, entry)
+        self._pending_rr.clear()
+
+    # ------------------------------------------------------------------
+    def fetch(self, length: int, on_done: Callable[[bytes, float], None]) -> int:
+        """Request ``length`` synthetic bytes; ``on_done(body, latency)``."""
+        stream_id = self._next_stream
+        self._next_stream += 2
+        fetch = {
+            "length": length,
+            "received": 0,
+            "on_done": on_done,
+            "issued_at": self.host.sim.now,
+            "body": bytearray(),
+        }
+        if self.config.rx_offload_copy:
+            entry = {"buffer": bytearray(length), "offset": 0}
+            fetch["entry"] = entry
+            if self._rx_ctx is not None:
+                self.host.nic.driver.l5o_add_rr_state(self._rx_ctx, stream_id, entry)
+            else:
+                self._pending_rr.append((stream_id, entry))
+        self._fetches[stream_id] = fetch
+        self.core.charge(CYCLES_REQUEST, "app")
+        self._queue(
+            F.make_frame(F.TYPE_HEADERS, F.FLAG_END_HEADERS, stream_id,
+                         struct.pack(">I", length))
+        )
+        self.stats["fetches"] += 1
+        return stream_id
+
+    def _on_frame(self, msg) -> None:
+        self._answer_resyncs(msg)
+        wire = msg.wire
+        length, ftype, flags, stream_id = F.parse_frame_header(wire[: F.HEADER_LEN])
+        if ftype != F.TYPE_DATA:
+            return
+        fetch = self._fetches.get(stream_id)
+        if fetch is None:
+            return
+        self.stats["data_frames"] += 1
+        fcs = bool(flags & F.FLAG_FCS)
+        body_len = length - F.FCS_LEN if fcs else length
+        body_runs = msg.slice_runs(F.HEADER_LEN, body_len)
+        placed = self.config.rx_offload_copy and all(r.meta.placed for r in body_runs)
+        crc_done = self.config.rx_offload_crc and all(r.meta.crc_ok for r in msg.runs)
+        body = wire[F.HEADER_LEN : F.HEADER_LEN + body_len]
+        if fcs and placed and crc_done:
+            self.stats["placed_frames"] += 1  # copy + FCS check skipped
+        else:
+            self.stats["software_frames"] += 1
+            self.core.charge(body_len * self.host.llc.copy_cpb(), "copy")
+            if fcs:
+                self.core.charge(
+                    body_len * self.host.llc.touch_cpb(self.model.cpb_crc32c), "crc"
+                )
+                if self.digest_cls(body).digest() != wire[F.HEADER_LEN + body_len :]:
+                    self.stats["errors"] += 1
+                    return
+        self.core.charge(CYCLES_FRAME, "app")
+        fetch["received"] += body_len
+        fetch["body"] += body
+        if flags & F.FLAG_END_STREAM:
+            self._finish(stream_id, fetch)
+
+    def _finish(self, stream_id: int, fetch: dict) -> None:
+        del self._fetches[stream_id]
+        if self._rx_ctx is not None and self.config.rx_offload_copy:
+            self.host.nic.driver.l5o_del_rr_state(self._rx_ctx, stream_id)
+        self.stats["responses"] += 1
+        if fetch["received"] != fetch["length"]:
+            self.stats["errors"] += 1
+        latency = self.host.sim.now - fetch["issued_at"]
+        fetch["on_done"](bytes(fetch["body"]), latency)
+
+    # ------------------------------------------------------------------
+    # Listing 2 upcalls
+    # ------------------------------------------------------------------
+    def l5o_get_tx_msgstate(self, tcpsn: int) -> Optional[TxMsgState]:
+        return None  # requests are not TX-offloaded
+
+    def l5o_resync_rx_req(self, tcpsn: int) -> None:
+        self._pending_resync.append(tcpsn)
+
+    def l5o_offload_degraded(self, direction: str, reason: str) -> None:
+        self.stats["offload_degraded"] += 1
+
+    def _answer_resyncs(self, msg) -> None:
+        if not self._pending_resync or self._rx_ctx is None:
+            return
+        driver = self.host.nic.driver
+        end = sq.add(msg.start_seq, msg.length)
+        still = []
+        for req in self._pending_resync:
+            if req == msg.start_seq:
+                driver.l5o_resync_rx_resp(self._rx_ctx, req, True, msg_index=0)
+            elif sq.lt(req, end):
+                driver.l5o_resync_rx_resp(self._rx_ctx, req, False)
+            else:
+                still.append(req)
+        self._pending_resync = still

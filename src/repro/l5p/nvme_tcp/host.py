@@ -16,7 +16,8 @@ from typing import Callable, Optional
 from repro.core.types import Direction, TxMsgState
 from repro.l5p.base import StreamAssembler
 from repro.l5p.nvme_tcp import pdu as P
-from repro.l5p.nvme_tcp.pdu import NvmeAdapter, NvmeConfig
+from repro.l5p import plugin
+from repro.l5p.nvme_tcp.pdu import NvmeConfig
 from repro.tcp import seq as sq
 
 
@@ -94,15 +95,13 @@ class NvmeTcpHost:
             self.conn.on_writable = self._on_writable
 
     def _connect_tls(self) -> None:
-        from repro.l5p.nvme_tls import NvmeTlsAdapter
-        from repro.l5p.tls.ktls import KtlsSocket
-
         from repro.l5p.nvme_tls import PlainTxMap
+        from repro.l5p.tls.ktls import KtlsSocket
 
         adapter = None
         self._tls_tx_map = PlainTxMap()
         if self.tls_config.tx_offload or self.tls_config.rx_offload:
-            adapter = NvmeTlsAdapter(self.config)
+            adapter = plugin.make_adapter("nvme-tls", nvme_config=self.config)
             adapter.inner_tx_ops = self._tls_tx_map
         self.ktls = KtlsSocket(self.host, self.conn, "client", self.tls_config, adapter=adapter)
         self.ktls.on_record = self._on_tls_record
@@ -142,14 +141,14 @@ class NvmeTcpHost:
         if self.config.rx_offload:
             if driver is None:
                 raise RuntimeError("NVMe RX offload requires an OffloadNic")
-            adapter = NvmeAdapter(self.config, place=self.config.rx_offload_copy)
+            adapter = plugin.make_adapter("nvme-tcp", config=self.config, place=self.config.rx_offload_copy)
             self._rx_ctx = driver.l5o_create(
                 self.conn, adapter, None, tcpsn=self.conn.rcv_nxt, direction=Direction.RX, l5p_ops=self
             )
         if self.config.tx_offload:
             if driver is None:
                 raise RuntimeError("NVMe TX offload requires an OffloadNic")
-            adapter = NvmeAdapter(self.config)
+            adapter = plugin.make_adapter("nvme-tcp", config=self.config)
             self._tx_ctx = driver.l5o_create(
                 self.conn,
                 adapter,
@@ -308,7 +307,7 @@ class NvmeTcpHost:
             return None  # the stacked KtlsSocket re-installs for us
         driver = self.host.nic.driver
         if direction == Direction.RX.value:
-            adapter = NvmeAdapter(self.config, place=self.config.rx_offload_copy)
+            adapter = plugin.make_adapter("nvme-tcp", config=self.config, place=self.config.rx_offload_copy)
             tcpsn = self._assembler.next_msg_seq if self._assembler else self.conn.rcv_nxt
             self._rx_ctx = driver.l5o_create(
                 self.conn,
@@ -324,7 +323,7 @@ class NvmeTcpHost:
                     if req.opcode == P.OPC_READ:
                         driver.l5o_add_rr_state(self._rx_ctx, cid, req.buffer)
             return self._rx_ctx
-        adapter = NvmeAdapter(self.config)
+        adapter = plugin.make_adapter("nvme-tcp", config=self.config)
         if self._tx_msgs:
             start, idx, _wire = self._tx_msgs[0]
         else:

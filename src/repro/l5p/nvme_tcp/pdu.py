@@ -245,3 +245,33 @@ class NvmeAdapter(L5pAdapter):
         if self.place:
             meta.placed = processed and self._place_ok
         self._place_ok = True
+
+
+from repro.l5p import plugin as _plugin
+
+#: NVMe/TCP common-header magic: PDU type in 0x04..0x09 (high nibble
+#: zero via the mask; exact membership and HLEN/PLEN checks live in
+#: check_magic).
+PLUGIN = _plugin.register(
+    _plugin.L5Protocol(
+        name="nvme-tcp",
+        header_len=CH_LEN,
+        magic=_plugin.MagicSpec(
+            pattern=b"\x00" * CH_LEN,
+            mask=b"\xf0" + b"\x00" * (CH_LEN - 1),
+            confidence=1e-4,
+        ),
+        preconditions=_plugin.Table3Preconditions(
+            size_preserving=True,
+            incremental_constant_state=True,
+            header_plaintext_length=True,
+            magic_identifiable=True,
+            state_from_msg_index=True,
+            notes="CRC32C digests + CID-keyed data placement (§5.1)",
+        ),
+        factory=lambda config=None, **kw: NvmeAdapter(config or NvmeConfig(), **kw),
+        upcalls=("l5o_get_tx_msgstate", "l5o_resync_rx_req", "l5o_offload_degraded"),
+        description="NVMe-TCP HDGST/DDGST CRC offload and direct data placement",
+        info={"ops": ("crc", "place")},
+    )
+)

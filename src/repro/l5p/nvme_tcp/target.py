@@ -13,7 +13,8 @@ from typing import Optional
 from repro.core.types import Direction, TxMsgState
 from repro.l5p.base import StreamAssembler
 from repro.l5p.nvme_tcp import pdu as P
-from repro.l5p.nvme_tcp.pdu import NvmeAdapter, NvmeConfig
+from repro.l5p import plugin
+from repro.l5p.nvme_tcp.pdu import NvmeConfig
 from repro.storage.blockdev import BlockDevice
 from repro.tcp import seq as sq
 
@@ -67,13 +68,13 @@ class _TargetConn:
         self.offload_degraded = 0
 
         if target.tls_config is not None:
-            from repro.l5p.nvme_tls import NvmeTlsAdapter, PlainTxMap
+            from repro.l5p.nvme_tls import PlainTxMap
             from repro.l5p.tls.ktls import KtlsSocket
 
             adapter = None
             self._tls_tx_map = PlainTxMap()
             if target.tls_config.tx_offload or target.tls_config.rx_offload:
-                adapter = NvmeTlsAdapter(self.config)
+                adapter = plugin.make_adapter("nvme-tls", nvme_config=self.config)
                 adapter.inner_tx_ops = self._tls_tx_map
             self.ktls = KtlsSocket(self.host, conn, "server", target.tls_config, adapter=adapter)
             self.ktls.on_record = self._on_tls_record
@@ -93,7 +94,7 @@ class _TargetConn:
             driver = getattr(self.host.nic, "driver", None)
             if driver is None:
                 raise RuntimeError("target TX offload requires an OffloadNic")
-            adapter = NvmeAdapter(self.config)
+            adapter = plugin.make_adapter("nvme-tcp", config=self.config)
             self._tx_ctx = driver.l5o_create(
                 self.conn,
                 adapter,
@@ -273,7 +274,7 @@ class _TargetConn:
         if self.ktls is not None:
             return None  # the stacked KtlsSocket re-installs for us
         driver = self.host.nic.driver
-        adapter = NvmeAdapter(self.config)
+        adapter = plugin.make_adapter("nvme-tcp", config=self.config)
         if self._tx_msgs:
             start, idx, _wire = self._tx_msgs[0]
         else:

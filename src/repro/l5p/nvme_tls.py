@@ -200,3 +200,36 @@ class NvmeTlsAdapter(TlsAdapter):
         if prefix_len:
             walk(inner, inner_state.wire_bytes[:prefix_len], emit=True)
         self._inner_enabled[Direction.TX] = True
+
+
+from repro.l5p import plugin as _plugin
+from repro.l5p.tls.record import HEADER_LEN as _TLS_HEADER_LEN, TAG_LEN as _TAG_LEN
+
+#: Outer framing is TLS, so the stacked protocol inherits the TLS magic.
+PLUGIN = _plugin.register(
+    _plugin.L5Protocol(
+        name="nvme-tls",
+        header_len=_TLS_HEADER_LEN,
+        magic=_plugin.MagicSpec(
+            pattern=b"\x14\x03\x03\x00\x00",
+            mask=b"\xfc\xff\xff\x00\x00",
+            confidence=1e-4,
+        ),
+        preconditions=_plugin.Table3Preconditions(
+            size_preserving=True,
+            incremental_constant_state=True,
+            header_plaintext_length=True,
+            magic_identifiable=True,
+            state_from_msg_index=True,
+            notes="TLS records outside, NVMe-TCP PDUs inside (§5.3); "
+            "recovery is performed independently per layer",
+        ),
+        factory=lambda nvme_config=None, **kw: NvmeTlsAdapter(
+            nvme_config or NvmeConfig(), **kw
+        ),
+        upcalls=("l5o_get_tx_msgstate", "l5o_resync_rx_req", "l5o_offload_degraded",
+                 "l5o_nic_reattach"),
+        description="Stacked NVMe-TCP-over-TLS offload (both layers autonomous)",
+        info={"trailer_len": _TAG_LEN, "ops": ("encrypt", "decrypt", "crc", "place")},
+    )
+)

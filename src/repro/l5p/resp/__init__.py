@@ -1,0 +1,11 @@
+"""Redis-style RESP with inline receive-side steering: the NIC parses
+each command's key from a fixed-width bulk envelope and dispatches the
+packet to a receive queue by key hash — application-defined receive
+dispatching in the spirit of the ADRSD paper, expressed as a
+:mod:`repro.l5p.plugin` protocol (``resp``).
+"""
+
+from repro.l5p.resp.endpoint import RespClient, RespServer
+from repro.l5p.resp.frame import RespAdapter, RespConfig
+
+__all__ = ["RespAdapter", "RespConfig", "RespClient", "RespServer"]

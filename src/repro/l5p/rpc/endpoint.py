@@ -17,7 +17,8 @@ from repro.core.types import Direction, TxMsgState
 from repro.l5p.base import StreamAssembler
 from repro.l5p.rpc import frame as F
 from repro.l5p.rpc.codec import decode, encode
-from repro.l5p.rpc.frame import RpcAdapter, RpcConfig
+from repro.l5p import plugin
+from repro.l5p.rpc.frame import RpcConfig
 from repro.tcp import seq as sq
 
 
@@ -162,7 +163,7 @@ class RpcClient(_RpcPeer):
             conn.on_established = established
 
     def _install_offload(self) -> None:
-        adapter = RpcAdapter(self.config)
+        adapter = plugin.make_adapter("rpc", config=self.config)
         self._rx_ctx = self.host.nic.driver.l5o_create(
             self.conn, adapter, None, tcpsn=self.conn.rcv_nxt, direction=Direction.RX, l5p_ops=self
         )

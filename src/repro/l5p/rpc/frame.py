@@ -135,3 +135,30 @@ class RpcAdapter(L5pAdapter):
         if self.config.rx_offload_copy:
             meta.placed = processed and self._pkt_place_ok
         self._pkt_place_ok = True
+
+
+from repro.l5p import plugin as _plugin
+
+PLUGIN = _plugin.register(
+    _plugin.L5Protocol(
+        name="rpc",
+        header_len=HEADER_LEN,
+        magic=_plugin.MagicSpec(
+            pattern=MAGIC + b"\x00" * (HEADER_LEN - 2),
+            mask=b"\xff\xff\xfc" + b"\x00" * (HEADER_LEN - 3),
+            confidence=1e-6,
+        ),
+        preconditions=_plugin.Table3Preconditions(
+            size_preserving=True,
+            incremental_constant_state=True,
+            header_plaintext_length=True,
+            magic_identifiable=True,
+            state_from_msg_index=True,
+            notes="RX-side CRC verify + rpc_id-keyed response placement (§7)",
+        ),
+        factory=lambda config=None, **kw: RpcAdapter(config or RpcConfig(), **kw),
+        upcalls=("l5o_get_tx_msgstate", "l5o_resync_rx_req", "l5o_offload_degraded"),
+        description="SRPC response CRC + copy offload keyed by rpc_id",
+        info={"trailer_len": TRAILER_LEN, "ops": ("crc", "place")},
+    )
+)

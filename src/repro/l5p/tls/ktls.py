@@ -190,9 +190,9 @@ class KtlsSocket:
         driver = getattr(self.host.nic, "driver", None)
         adapter = self.adapter
         if adapter is None:
-            from repro.l5p.tls.record import TlsAdapter
+            from repro.l5p import plugin
 
-            adapter = TlsAdapter()
+            adapter = plugin.make_adapter("tls")
         if self.config.tx_offload:
             if driver is None:
                 raise RuntimeError("tx_offload requires an OffloadNic")
@@ -346,9 +346,9 @@ class KtlsSocket:
         driver = self.host.nic.driver
         adapter = self.adapter
         if adapter is None:
-            from repro.l5p.tls.record import TlsAdapter
+            from repro.l5p import plugin
 
-            adapter = TlsAdapter()
+            adapter = plugin.make_adapter("tls")
         if direction == Direction.TX.value:
             if self._tx_msgs:
                 start, idx, _wire, _plain = self._tx_msgs[0]

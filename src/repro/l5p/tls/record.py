@@ -112,3 +112,33 @@ class TlsAdapter(L5pAdapter):
     def apply_packet_meta(self, meta, processed: bool, ok: bool, desc_kinds) -> None:
         # One bit, set iff all ICVs within the packet passed (§5.2).
         meta.decrypted = processed and ok
+
+
+from repro.l5p import plugin as _plugin
+
+#: TLS record magic: content type 20..23 (0b000101xx), version 0x0303,
+#: length unconstrained by the mask (check_magic adds the range check).
+PLUGIN = _plugin.register(
+    _plugin.L5Protocol(
+        name="tls",
+        header_len=HEADER_LEN,
+        magic=_plugin.MagicSpec(
+            pattern=b"\x14\x03\x03\x00\x00",
+            mask=b"\xfc\xff\xff\x00\x00",
+            confidence=1e-4,
+        ),
+        preconditions=_plugin.Table3Preconditions(
+            size_preserving=True,
+            incremental_constant_state=True,
+            header_plaintext_length=True,
+            magic_identifiable=True,
+            state_from_msg_index=True,
+            notes="AES-GCM record crypto; per-record nonce from msg_index (§5.2)",
+        ),
+        factory=TlsAdapter,
+        upcalls=("l5o_get_tx_msgstate", "l5o_resync_rx_req", "l5o_offload_degraded",
+                 "l5o_nic_reattach"),
+        description="Kernel TLS 1.3-style record encryption/decryption offload",
+        info={"trailer_len": TAG_LEN, "ops": ("encrypt", "decrypt")},
+    )
+)

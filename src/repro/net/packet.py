@@ -42,12 +42,16 @@ class SkbMeta:
     ``crc_ok``     - NVMe-TCP: all capsule CRCs within the packet passed.
     ``placed``     - NVMe-TCP: payload was DMA-written to its block-layer
                      destination buffer (the copy may be skipped).
+    ``steer_queue`` - RESP: receive queue the NIC dispatched this packet
+                     to, keyed by the first inline command's key hash
+                     (None when the packet was not steered).
     """
 
     offloaded: bool = False
     decrypted: bool = False
     crc_ok: bool = False
     placed: bool = False
+    steer_queue: Optional[int] = None
 
     def copy(self) -> "SkbMeta":
         return replace(self)

@@ -16,6 +16,7 @@ from repro.analysis.rules.hotloop import HotLoopRule
 from repro.analysis.rules.l5p_contract import (
     IncrementalTransformRule,
     MagicFramingRule,
+    PluginDeclarationRule,
     UpcallWiringRule,
 )
 from repro.analysis.rules.metric_baseline import MetricBaselineRule
@@ -526,6 +527,138 @@ class TestUpcallWiring:
 
 
 # ----------------------------------------------------------------------
+# SIM014: literal plugin declarations stay coherent
+# ----------------------------------------------------------------------
+class TestPluginDeclaration:
+    def test_pattern_mask_length_mismatch_fires(self, tmp_path):
+        path = write(tmp_path, "bad.py", """\
+            from repro.l5p import plugin
+
+            SPEC = plugin.MagicSpec(pattern=b"\\x14\\x03", mask=b"\\xff", confidence=1e-4)
+            """)
+        findings = rule_findings(PluginDeclarationRule(), path)
+        assert [f.code for f in findings] == ["SIM014"]
+        assert "lengths" in findings[0].message
+
+    def test_all_zero_mask_fires(self, tmp_path):
+        path = write(tmp_path, "bad.py", """\
+            from repro.l5p.plugin import MagicSpec
+
+            SPEC = MagicSpec(pattern=b"\\x00\\x00", mask=b"\\x00\\x00", confidence=0.5)
+            """)
+        findings = rule_findings(PluginDeclarationRule(), path)
+        assert [f.code for f in findings] == ["SIM014"]
+        assert "all zeroes" in findings[0].message
+
+    def test_bad_confidence_fires(self, tmp_path):
+        path = write(tmp_path, "bad.py", """\
+            from repro.l5p.plugin import MagicSpec
+
+            SPEC = MagicSpec(pattern=b"\\x01", mask=b"\\xff", confidence=0.0)
+            """)
+        findings = rule_findings(PluginDeclarationRule(), path)
+        assert [f.code for f in findings] == ["SIM014"]
+        assert "confidence" in findings[0].message
+
+    def test_literal_false_precondition_fires(self, tmp_path):
+        path = write(tmp_path, "bad.py", """\
+            from repro.l5p import plugin
+
+            PROTO = plugin.L5Protocol(
+                name="weird",
+                header_len=8,
+                magic=plugin.MagicSpec(pattern=b"\\x01", mask=b"\\xff", confidence=1e-4),
+                preconditions=plugin.Table3Preconditions(
+                    size_preserving=False,
+                    incremental_constant_state=True,
+                    header_plaintext_length=True,
+                    magic_identifiable=True,
+                    state_from_msg_index=True,
+                ),
+                factory=None,
+            )
+            """)
+        findings = rule_findings(PluginDeclarationRule(), path)
+        assert [f.code for f in findings] == ["SIM014"]
+        assert "size_preserving=False" in findings[0].message
+
+    def test_omitted_precondition_row_fires(self, tmp_path):
+        path = write(tmp_path, "bad.py", """\
+            from repro.l5p import plugin
+
+            PROTO = plugin.L5Protocol(
+                name="forgetful",
+                header_len=8,
+                magic=plugin.MagicSpec(pattern=b"\\x01", mask=b"\\xff", confidence=1e-4),
+                preconditions=plugin.Table3Preconditions(
+                    size_preserving=True,
+                    incremental_constant_state=True,
+                    header_plaintext_length=True,
+                    magic_identifiable=True,
+                ),
+                factory=None,
+            )
+            """)
+        findings = rule_findings(PluginDeclarationRule(), path)
+        assert [f.code for f in findings] == ["SIM014"]
+        assert "state_from_msg_index" in findings[0].message
+
+    def test_uppercase_name_and_wide_magic_fire(self, tmp_path):
+        path = write(tmp_path, "bad.py", """\
+            from repro.l5p import plugin
+
+            PROTO = plugin.L5Protocol(
+                name="LOUD",
+                header_len=2,
+                magic=plugin.MagicSpec(pattern=b"\\x01\\x02\\x03", mask=b"\\xff\\xff\\xff",
+                                       confidence=1e-4),
+                preconditions=plugin.Table3Preconditions(
+                    size_preserving=True,
+                    incremental_constant_state=True,
+                    header_plaintext_length=True,
+                    magic_identifiable=True,
+                    state_from_msg_index=True,
+                ),
+                factory=None,
+            )
+            """)
+        codes = sorted(f.code for f in rule_findings(PluginDeclarationRule(), path))
+        assert codes == ["SIM014", "SIM014"]
+
+    def test_coherent_declaration_is_fine(self, tmp_path):
+        path = write(tmp_path, "good.py", """\
+            from repro.l5p import plugin
+
+            PROTO = plugin.L5Protocol(
+                name="tidy",
+                header_len=8,
+                magic=plugin.MagicSpec(pattern=b"\\x01\\x02", mask=b"\\xff\\xf0",
+                                       confidence=1e-4),
+                preconditions=plugin.Table3Preconditions(
+                    size_preserving=True,
+                    incremental_constant_state=True,
+                    header_plaintext_length=True,
+                    magic_identifiable=True,
+                    state_from_msg_index=True,
+                    notes="unit test",
+                ),
+                factory=None,
+            )
+            """)
+        assert rule_findings(PluginDeclarationRule(), path) == []
+
+    def test_dynamic_declarations_are_skipped(self, tmp_path):
+        path = write(tmp_path, "good.py", """\
+            from repro.l5p import plugin
+
+            WIDTH = 4
+            SPEC = plugin.MagicSpec(pattern=b"\\x00" * WIDTH, mask=make_mask(WIDTH),
+                                    confidence=rate())
+            """)
+        assert rule_findings(PluginDeclarationRule(), path) == []
+
+
+# ----------------------------------------------------------------------
 # SIM012: baseline metrics stay reachable (cross-artifact pass)
 # ----------------------------------------------------------------------
 class TestMetricBaseline:
@@ -708,7 +841,7 @@ class TestRunner:
 
     def test_all_rules_registered(self):
         assert sorted(rule.code for rule in all_rules()) == [
-            f"SIM{n:03d}" for n in range(1, 14)
+            f"SIM{n:03d}" for n in range(1, 15)
         ]
 
     def test_sim_noqa_suppresses_specific_code(self, tmp_path):

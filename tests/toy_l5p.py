@@ -124,3 +124,33 @@ def software_decode(wire: bytes, msg_index: int) -> bytes:
     trailer = wire[HEADER_LEN + length : HEADER_LEN + length + TRAILER_LEN]
     assert struct.unpack(">I", trailer)[0] == sum(body) & 0xFFFFFFFF
     return bytes(b ^ key_byte(msg_index) for b in body)
+
+
+from repro.l5p import plugin as _plugin
+
+#: Registered like any real protocol so driver-level tests pass the
+#: l5o_create registry gate — and so the registry tests have a plugin
+#: whose declaration they fully control.
+PLUGIN = _plugin.register(
+    _plugin.L5Protocol(
+        name="toy",
+        header_len=HEADER_LEN,
+        magic=_plugin.MagicSpec(
+            pattern=bytes([MAGIC, 0]),
+            mask=b"\xff\xfc",
+            confidence=1e-4,
+        ),
+        preconditions=_plugin.Table3Preconditions(
+            size_preserving=True,
+            incremental_constant_state=True,
+            header_plaintext_length=True,
+            magic_identifiable=True,
+            state_from_msg_index=True,
+            notes="XOR body keyed by msg_index; checksum trailer",
+        ),
+        factory=ToyAdapter,
+        upcalls=("l5o_get_tx_msgstate", "l5o_resync_rx_req"),
+        description="Unit-test miniature L5P",
+        info={"trailer_len": TRAILER_LEN, "ops": ("xor", "checksum")},
+    )
+)
